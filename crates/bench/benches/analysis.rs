@@ -1,0 +1,84 @@
+//! Microbenchmarks of the analysis pipeline: phase plots, workload
+//! estimation, loss metrics, and the statistics substrate.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probenet_core::{analyze_losses, analyze_workload, PhasePlot};
+use probenet_netdyn::{RttRecord, RttSeries};
+use probenet_sim::SimDuration;
+use probenet_stats::{autocorrelation, periodogram, ArModel, GammaFit};
+
+/// A deterministic synthetic series large enough to exercise the hot paths.
+fn synthetic_series(n: usize) -> RttSeries {
+    let mut state = 12345u64;
+    let mut rtt = 150.0f64;
+    let records = (0..n)
+        .map(|i| {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            rtt = (0.9 * (rtt - 145.0) + 145.0 + 40.0 * (u - 0.3)).max(140.0);
+            let lost = u < 0.08;
+            RttRecord {
+                seq: i as u64,
+                sent_at: i as u64 * 20_000_000,
+                echoed_at: None,
+                rtt: if lost { None } else { Some((rtt * 1e6) as u64) },
+            }
+        })
+        .collect();
+    RttSeries::new(SimDuration::from_millis(20), 72, SimDuration::ZERO, records)
+}
+
+fn bench_phase(c: &mut Criterion) {
+    let series = synthetic_series(50_000);
+    c.bench_function("phase_plot_build_50k", |b| {
+        b.iter(|| black_box(PhasePlot::from_series(&series)))
+    });
+    let plot = PhasePlot::from_series(&series);
+    c.bench_function("bottleneck_estimate_50k", |b| {
+        b.iter(|| black_box(plot.bottleneck_estimate(10)))
+    });
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let series = synthetic_series(50_000);
+    c.bench_function("workload_analysis_50k", |b| {
+        b.iter(|| black_box(analyze_workload(&series, 128_000.0, 4096.0, 100.0)))
+    });
+}
+
+fn bench_loss(c: &mut Criterion) {
+    let series = synthetic_series(50_000);
+    c.bench_function("loss_analysis_50k", |b| {
+        b.iter(|| black_box(analyze_losses(&series)))
+    });
+}
+
+fn bench_stats(c: &mut Criterion) {
+    let xs: Vec<f64> = (0..65_536)
+        .map(|i| (i as f64 * 0.01).sin() + (i as f64 * 0.003).cos() * 2.0)
+        .collect();
+    c.bench_function("periodogram_65536", |b| {
+        b.iter(|| black_box(periodogram(&xs)))
+    });
+    c.bench_function("autocorrelation_65536_lag50", |b| {
+        b.iter(|| black_box(autocorrelation(&xs, 50)))
+    });
+    c.bench_function("ar_fit_order8_65536", |b| {
+        b.iter(|| black_box(ArModel::fit(&xs, 8)))
+    });
+    let positive: Vec<f64> = xs.iter().map(|x| x + 4.0).collect();
+    c.bench_function("gamma_mle_65536", |b| {
+        b.iter(|| black_box(GammaFit::mle(&positive)))
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_phase,
+    bench_workload,
+    bench_loss,
+    bench_stats
+);
+criterion_main!(benches);

@@ -1,0 +1,53 @@
+//! One benchmark per paper artifact: each table and figure of the
+//! evaluation, timed end to end (generation + analysis) at a reduced span
+//! so `cargo bench` finishes quickly. The `repro` binary prints the same
+//! artifacts at full length.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use probenet_bench::*;
+
+const SPAN: u64 = 20; // seconds of probing per iteration
+const SEED: u64 = 1993;
+
+fn artifacts(c: &mut Criterion) {
+    let mut g = c.benchmark_group("paper_artifacts");
+    g.sample_size(10);
+
+    g.bench_function("table1_route_discovery", |b| {
+        b.iter(|| black_box(table1_route()))
+    });
+    g.bench_function("table2_route_discovery", |b| {
+        b.iter(|| black_box(table2_route()))
+    });
+    g.bench_function("fig1_time_series_delta50", |b| {
+        b.iter(|| black_box(figure1_series(SPAN, SEED).loss_probability()))
+    });
+    g.bench_function("fig2_phase_plot_delta50", |b| {
+        b.iter(|| {
+            let (plot, _) = figure2_phase(SPAN, SEED);
+            black_box(plot.bottleneck_estimate(10))
+        })
+    });
+    g.bench_function("fig4_phase_plot_delta500", |b| {
+        b.iter(|| black_box(figure4_phase(120, SEED).near_diagonal(10.0)))
+    });
+    g.bench_function("fig5_phase_plot_umd_pitt_delta8", |b| {
+        b.iter(|| black_box(figure5_phase(SPAN, SEED).near_line(-8.0, 1.5)))
+    });
+    g.bench_function("fig6_phase_plot_umd_pitt_delta50", |b| {
+        b.iter(|| black_box(figure6_phase(SPAN, SEED).near_diagonal(6.0)))
+    });
+    g.bench_function("fig8_workload_dist_delta20", |b| {
+        b.iter(|| black_box(figure8_workload(SPAN, SEED).peaks.len()))
+    });
+    g.bench_function("fig9_workload_dist_delta100", |b| {
+        b.iter(|| black_box(figure9_workload(120, SEED).peaks.len()))
+    });
+    g.bench_function("table3_delta_sweep", |b| {
+        b.iter(|| black_box(table3_rows(SPAN, SEED)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, artifacts);
+criterion_main!(benches);

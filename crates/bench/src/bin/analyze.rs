@@ -1,0 +1,68 @@
+//! `analyze` — run the full probenet analysis pipeline on a measurement
+//! file.
+//!
+//! ```text
+//! analyze <series.csv> [--mu-kbps N] [--json]
+//! analyze --demo [--json]
+//! ```
+//!
+//! The input is the CSV format written by `probenet_netdyn::to_csv` (and by
+//! the `udp_echo` tooling). `--mu-kbps` supplies the bottleneck rate when
+//! known; otherwise it is estimated from probe compression where possible.
+//! `--demo` analyzes a freshly simulated INRIA–UMd run instead of a file.
+
+use probenet_core::{full_report, render_report, PaperScenario};
+use probenet_netdyn::{from_csv, ExperimentConfig};
+use probenet_sim::SimDuration;
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let json = args.iter().any(|a| a == "--json");
+    let mu_bps = args
+        .iter()
+        .position(|a| a == "--mu-kbps")
+        .and_then(|i| args.get(i + 1))
+        .map(|v| v.parse::<f64>().expect("--mu-kbps needs a number") * 1e3);
+    let demo = args.iter().any(|a| a == "--demo");
+
+    let series = if demo {
+        let sc = PaperScenario::inria_umd(1993);
+        let cfg = ExperimentConfig::paper(SimDuration::from_millis(20)).with_count(6000);
+        eprintln!("analyzing a simulated 2-minute INRIA-UMd run at delta = 20 ms");
+        sc.run(&cfg).series
+    } else {
+        let path = args
+            .iter()
+            .find(|a| {
+                !a.starts_with("--")
+                    && Some(a.as_str())
+                        != args
+                            .iter()
+                            .position(|x| x == "--mu-kbps")
+                            .and_then(|i| args.get(i + 1))
+                            .map(|s| s.as_str())
+            })
+            .unwrap_or_else(|| {
+                eprintln!("usage: analyze <series.csv> [--mu-kbps N] [--json] | analyze --demo");
+                std::process::exit(2);
+            });
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("cannot read {path}: {e}");
+            std::process::exit(1);
+        });
+        from_csv(&text).unwrap_or_else(|e| {
+            eprintln!("cannot parse {path}: {e}");
+            std::process::exit(1);
+        })
+    };
+
+    let report = full_report(&series, mu_bps);
+    if json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable report")
+        );
+    } else {
+        print!("{}", render_report(&report));
+    }
+}

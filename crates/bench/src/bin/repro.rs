@@ -1,0 +1,442 @@
+//! `repro` — regenerate every table and figure of Bolot, SIGCOMM '93.
+//!
+//! ```text
+//! repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9]
+//!       [--span-secs N] [--seed N] [--json]
+//! ```
+//!
+//! Each artifact prints the paper's reported values next to the measured
+//! ones, plus a terminal rendering of the figure. `--json` additionally
+//! emits machine-readable results on stdout.
+//!
+//! Figures 3 and 7 of the paper are schematics (the queueing model and the
+//! Lindley proof), realized as code in `probenet_queueing::{BolotModel,
+//! lindley}` and covered by that crate's tests.
+
+use probenet_bench::*;
+use probenet_core::{
+    analyze_losses, render_histogram, render_phase_plot, render_table3, render_time_series,
+    PeakLabel,
+};
+
+struct Args {
+    artifact: String,
+    span_secs: u64,
+    seed: u64,
+    json: bool,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        artifact: "all".to_string(),
+        span_secs: DEFAULT_SPAN_SECS,
+        seed: 1993,
+        json: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--artifact" => args.artifact = it.next().expect("--artifact needs a value"),
+            "--span-secs" => {
+                args.span_secs = it
+                    .next()
+                    .expect("--span-secs needs a value")
+                    .parse()
+                    .expect("span must be an integer")
+            }
+            "--seed" => {
+                args.seed = it
+                    .next()
+                    .expect("--seed needs a value")
+                    .parse()
+                    .expect("seed must be an integer")
+            }
+            "--json" => args.json = true,
+            "--help" | "-h" => {
+                println!(
+                    "repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9|model|campaign] \
+                     [--span-secs N] [--seed N] [--json]"
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+    args
+}
+
+fn heading(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+fn table1() {
+    heading("Table 1: route INRIA -> UMd (July 1992)");
+    println!("paper: 10 hops, transatlantic bottleneck between nodes 4 and 5");
+    for (i, n) in table1_route().iter().enumerate() {
+        println!("{:>3}  {n}", i + 1);
+    }
+}
+
+fn table2() {
+    heading("Table 2: route UMd -> Pittsburgh (May 1993)");
+    println!("paper: 13 hops over the T3 ANSnet backbone");
+    for (i, n) in table2_route().iter().enumerate() {
+        println!("{:>3}  {n}", i + 1);
+    }
+}
+
+fn fig1(a: &Args) {
+    heading("Figure 1: rtt_n vs n, delta = 50 ms");
+    let series = figure1_series(a.span_secs, a.seed);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string(&series).expect("serializable series")
+        );
+    }
+    let strip: Vec<f64> = series.rtt_or_zero_ms().into_iter().take(800).collect();
+    print!("{}", render_time_series(&strip, 100, 18));
+    println!(
+        "paper: loss probability 9% for this experiment | measured: {:.1}% over {} probes",
+        series.loss_probability() * 100.0,
+        series.len()
+    );
+}
+
+fn fig2(a: &Args) {
+    heading("Figure 2: phase plot, delta = 50 ms (INRIA-UMd)");
+    let (plot, loss) = figure2_phase(a.span_secs, a.seed);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string(&plot).expect("serializable plot")
+        );
+    }
+    print!("{}", render_phase_plot(&plot, 72, 24));
+    println!(
+        "paper: D ~ 140 ms | measured min rtt (D + P/mu): {:.1} ms",
+        plot.min_rtt_ms().unwrap_or(f64::NAN)
+    );
+    match plot.bottleneck_estimate(10) {
+        Some(est) => {
+            println!("paper: compression-line x-intercept ~48 ms => mu ~ 130 kb/s (with P = 32 B)");
+            println!(
+                "measured: intercept {:.1} ms, mu = {:.1} kb/s (P = 72 B wire), {} points on the line",
+                est.intercept_ms,
+                est.mu_bps / 1e3,
+                est.compression_points
+            );
+            println!(
+                "clock-resolution bounds: [{:.0}, {:.0}] kb/s (3.906 ms DECstation clock); \
+                 configured truth: 128.0 kb/s",
+                est.mu_lo_bps / 1e3,
+                est.mu_hi_bps / 1e3
+            );
+        }
+        None => println!("measured: no compression line detected"),
+    }
+    println!("losses in this run: ulp {:.2}", loss.ulp);
+}
+
+fn fig4(a: &Args) {
+    heading("Figure 4: phase plot, delta = 500 ms (INRIA-UMd)");
+    let plot = figure4_phase(a.span_secs.max(240), a.seed);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string(&plot).expect("serializable plot")
+        );
+    }
+    print!("{}", render_phase_plot(&plot, 72, 24));
+    let offset = -(500.0 - 72.0 * 8.0 / 128.0); // P/mu - delta, ms
+    let on_line = plot.near_line(offset, 2.0);
+    println!("paper: only 2 points on the compression line; scatter around the diagonal");
+    println!(
+        "measured: {} points near the line y = x {:.0} ms, {} of {} near the diagonal (+-10 ms)",
+        on_line,
+        offset,
+        plot.near_diagonal(10.0),
+        plot.points.len()
+    );
+    println!(
+        "compression-line detector: {:?}",
+        plot.bottleneck_estimate(10).map(|e| e.mu_bps)
+    );
+}
+
+fn fig5(a: &Args) {
+    heading("Figure 5: phase plot, delta = 8 ms (UMd-Pitt, 3 ms clock)");
+    let plot = figure5_phase(a.span_secs, a.seed);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string(&plot).expect("serializable plot")
+        );
+    }
+    print!("{}", render_phase_plot(&plot, 72, 24));
+    println!("paper: lines y = x and y = x - 8 visible; clock-resolution banding");
+    println!(
+        "measured: {} points near diagonal (+-1.5 ms), {} near y = x - 8 (+-1.5 ms), {} total",
+        plot.near_diagonal(1.5),
+        plot.near_line(-8.0, 1.5),
+        plot.points.len()
+    );
+}
+
+fn fig6(a: &Args) {
+    heading("Figure 6: phase plot, delta = 50 ms (UMd-Pitt, 3 ms clock)");
+    let plot = figure6_phase(a.span_secs, a.seed);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string(&plot).expect("serializable plot")
+        );
+    }
+    print!("{}", render_phase_plot(&plot, 72, 24));
+    println!("paper: scatter around the diagonal (no compression at 50 ms)");
+    println!(
+        "measured: {} of {} points near the diagonal (+-6 ms); detector: {:?}",
+        plot.near_diagonal(6.0),
+        plot.points.len(),
+        plot.bottleneck_estimate(10).map(|e| e.mu_bps / 1e3)
+    );
+}
+
+fn fig8(a: &Args) {
+    heading("Figure 8: distribution of w_{n+1} - w_n + delta, delta = 20 ms");
+    let analysis = figure8_workload(a.span_secs, a.seed);
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string(&analysis).expect("serializable analysis")
+        );
+    }
+    print!("{}", render_histogram(&analysis.histogram, 60));
+    println!(
+        "paper: peaks at P/mu (4.5 ms), delta (20 ms), then delta-independent\n\
+         bulk positions; third peak => b_n = 488 bytes ~ one FTP packet"
+    );
+    for p in &analysis.peaks {
+        println!(
+            "measured peak at {:>6.1} ms  (height {:.3})  label {:?}  implied workload {:.0} B",
+            p.position_ms, p.height, p.label, p.implied_workload_bytes
+        );
+    }
+    if let Some(b) = analysis.inferred_bulk_bytes() {
+        println!("inferred bulk packet size: {b:.0} bytes (configured FTP size: 512)");
+    }
+}
+
+fn fig9(a: &Args) {
+    heading("Figure 9: same distribution at delta = 100 ms");
+    let a8 = figure8_workload(a.span_secs, a.seed);
+    let a9 = figure9_workload(a.span_secs, a.seed);
+    print!("{}", render_histogram(&a9.histogram, 60));
+    // Long runs detect many micro-modes; print the structurally labeled
+    // ones plus anything substantial.
+    let max_h = a9.peaks.iter().map(|p| p.height).fold(0.0f64, f64::max);
+    let mut shown = std::collections::HashSet::new();
+    for p in &a9.peaks {
+        let structural = p.label != PeakLabel::Other && shown.insert(format!("{:?}", p.label));
+        if structural || p.height >= 0.1 * max_h {
+            println!(
+                "measured peak at {:>6.1} ms  (height {:.3})  label {:?}",
+                p.position_ms, p.height, p.label
+            );
+        }
+    }
+    let h8 = a8.compressed_peak().map(|p| p.height).unwrap_or(0.0);
+    let h9 = a9.compressed_peak().map(|p| p.height).unwrap_or(0.0);
+    println!("paper: the P/mu peak shrinks relative to Fig 8 (compression rarer as delta grows)");
+    println!("measured: compressed-peak height {h8:.4} at delta=20 ms vs {h9:.4} at delta=100 ms");
+    let labels: Vec<PeakLabel> = a9.peaks.iter().map(|p| p.label).collect();
+    println!("labels at delta=100 ms: {labels:?}");
+}
+
+fn table3(a: &Args) {
+    heading("Table 3: ulp / clp / plg vs delta");
+    let rows = table3_rows(a.span_secs, a.seed);
+    println!("paper (note: its '0.97' at delta=500 is an evident typo for ~0.07-0.10):");
+    println!("| delta(ms) |      8 |     20 |     50 |    100 |    200 |    500 |");
+    println!("| ulp       |   0.23 |   0.16 |   0.12 |   0.10 |   0.11 |  ~0.10 |");
+    println!("| clp       |   0.60 |   0.42 |   0.27 |   0.18 |   0.18 |   0.09 |");
+    println!("| plg       |    2.5 |    1.7 |    1.3 |    1.2 |    1.2 |    1.1 |");
+    println!("measured:");
+    print!("{}", render_table3(&rows));
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&rows).expect("serializable rows")
+        );
+    }
+    // Shape notes.
+    let first = &rows[0];
+    let last = &rows[rows.len() - 1];
+    println!(
+        "shape: ulp falls from {:.2} (probe util {:.0}%) to {:.2} (probe util {:.1}%); \
+         clp >= ulp at small delta; plg -> ~1",
+        first.ulp,
+        first.probe_utilization * 100.0,
+        last.ulp,
+        last.probe_utilization * 100.0
+    );
+    // Randomness check at large delta (the paper's headline loss finding).
+    let series = run_inria_umd(500, a.span_secs.max(240), a.seed);
+    let loss = analyze_losses(&series);
+    println!(
+        "losses at delta=500 ms look random? {} (lag-1 chi^2 p = {:?})",
+        loss.losses_look_random(0.01),
+        loss.lag1_test.map(|t| t.p_value)
+    );
+}
+
+/// §6 cross-validation: the analytic batch-deterministic model vs. the
+/// full multi-hop simulation, compared on the interarrival masses of
+/// Figure 8 (the paper: the analytic results "show good correlation with
+/// our experimental data" and "bring out the probe compression
+/// phenomenon").
+fn model(a: &Args) {
+    use probenet_queueing::{BatchModelSolver, BatchSizeDist, BolotModel};
+    heading("Section 6 model: analytic batch-deterministic queue vs simulation");
+    let sim = figure8_workload(a.span_secs, a.seed);
+    // Fit a batch distribution to the simulated per-interval workloads:
+    // probability of k FTP packets per 20 ms interval.
+    let ftp_bits = 4096.0;
+    let mut counts = [0usize; 6];
+    for &b in &sim.workload_bytes {
+        let k = ((b * 8.0 / ftp_bits).round() as usize).min(5);
+        counts[k] += 1;
+    }
+    let total: usize = counts.iter().sum();
+    let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
+    println!(
+        "batch-size pmf measured from the simulation (k FTP packets/interval): {:?}",
+        probs.iter().map(|p| format!("{p:.3}")).collect::<Vec<_>>()
+    );
+    let solver = BatchModelSolver::new(
+        BolotModel::new(128_000.0, 576.0, 0.020, 0.140),
+        0.010,
+        BatchSizeDist::ftp_batches(ftp_bits, &probs),
+    );
+    let sol = solver.solve(5000);
+    println!(
+        "analytic solver: {} iterations to stationarity",
+        sol.iterations
+    );
+    println!(
+        "{:>26} | {:>10} | {:>10}",
+        "interarrival mass near", "analytic", "simulated"
+    );
+    let sim_hist = &sim.histogram;
+    let sim_total: u64 = sim_hist.total();
+    let sim_mass = |x_ms: f64, tol_ms: f64| {
+        let mut acc = 0u64;
+        for (i, &c) in sim_hist.counts().iter().enumerate() {
+            if (sim_hist.center(i) - x_ms).abs() <= tol_ms {
+                acc += c;
+            }
+        }
+        acc as f64 / sim_total as f64
+    };
+    for (label, x_ms) in [
+        ("P/mu (4.5 ms, compression)", 4.5),
+        ("delta (20 ms, undisturbed)", 20.0),
+        ("1 FTP pkt (36.5 ms)", 36.5),
+        ("2 FTP pkts (68.5 ms)", 68.5),
+    ] {
+        println!(
+            "{label:>26} | {:>10.4} | {:>10.4}",
+            sol.g_mass_near(x_ms / 1e3, 0.002),
+            sim_mass(x_ms, 2.0)
+        );
+    }
+    println!(
+        "reading: the single-queue model concentrates mass on the exact\n\
+         peak positions; the multi-hop simulation spreads each peak with\n\
+         telnet-sized perturbations and return-path queueing, as the real\n\
+         measurements did."
+    );
+}
+
+/// Multi-seed campaign: Table 3's headline metrics with the error bars the
+/// paper's single runs could not provide.
+fn campaign(a: &Args) {
+    use probenet_core::inria_umd_campaign;
+    use probenet_sim::SimDuration;
+    heading("campaign: Table 3 metrics with across-seed spread (8 seeds)");
+    let seeds: Vec<u64> = (0..8).map(|i| a.seed.wrapping_add(i * 7919)).collect();
+    println!(
+        "{:>10} | {:>17} | {:>17} | {:>17}",
+        "delta(ms)", "ulp (mean±std)", "clp (mean±std)", "min rtt (ms)"
+    );
+    for delta_ms in [8u64, 20, 50, 100, 200, 500] {
+        let r = inria_umd_campaign(
+            SimDuration::from_millis(delta_ms),
+            SimDuration::from_secs(a.span_secs.min(120)),
+            &seeds,
+        );
+        let clp = r
+            .clp
+            .map(|c| format!("{:.3} ± {:.3}", c.mean, c.std))
+            .unwrap_or_else(|| "-".into());
+        println!(
+            "{:>10} | {:>9.3} ± {:.3} | {:>17} | {:>8.1} ± {:.2}",
+            delta_ms, r.ulp.mean, r.ulp.std, clp, r.min_rtt_ms.mean, r.min_rtt_ms.std
+        );
+    }
+    println!(
+        "reading: the fixed component D is seed-stable to a fraction of a\n\
+         millisecond; loss metrics carry sampling noise that single\n\
+         10-minute runs (the paper's) cannot expose."
+    );
+}
+
+fn main() {
+    let args = parse_args();
+    let run_all = args.artifact == "all";
+    let is = |n: &str| run_all || args.artifact == n;
+
+    println!(
+        "probenet repro harness | span {} s per experiment | seed {}",
+        args.span_secs, args.seed
+    );
+    if is("table1") {
+        table1();
+    }
+    if is("table2") {
+        table2();
+    }
+    if is("fig1") {
+        fig1(&args);
+    }
+    if is("fig2") {
+        fig2(&args);
+    }
+    if is("fig4") {
+        fig4(&args);
+    }
+    if is("fig5") {
+        fig5(&args);
+    }
+    if is("fig6") {
+        fig6(&args);
+    }
+    if is("fig8") {
+        fig8(&args);
+    }
+    if is("fig9") {
+        fig9(&args);
+    }
+    if is("table3") {
+        table3(&args);
+    }
+    if is("model") {
+        model(&args);
+    }
+    if is("campaign") {
+        campaign(&args);
+    }
+}

@@ -1,0 +1,139 @@
+//! Shared experiment plumbing for the `repro` harness and the criterion
+//! benches: one function per paper artifact, so a figure is regenerated the
+//! same way whether it is being printed, benchmarked, or tested.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use probenet_core::{
+    analyze_losses, analyze_workload, delta_sweep, LossAnalysis, PaperScenario, PhasePlot,
+    SweepRow, WorkloadAnalysis,
+};
+use probenet_netdyn::{ExperimentConfig, RttSeries, UMD_CLOCK};
+use probenet_sim::{discover_route, Path, SimDuration};
+use probenet_traffic::FTP_PACKET_BYTES;
+
+/// Default probing span per experiment. The paper ran 10 minutes; two
+/// minutes is enough to reproduce every shape and keeps the full harness
+/// fast.
+pub const DEFAULT_SPAN_SECS: u64 = 120;
+
+/// Number of probes for a span at interval δ.
+fn count_for(span: SimDuration, delta: SimDuration) -> usize {
+    (span.as_nanos() / delta.as_nanos()) as usize
+}
+
+/// Run the INRIA–UMd scenario at interval δ (ms) for `span_secs`.
+pub fn run_inria_umd(delta_ms: u64, span_secs: u64, seed: u64) -> RttSeries {
+    let scenario = PaperScenario::inria_umd(seed);
+    let delta = SimDuration::from_millis(delta_ms);
+    let config = ExperimentConfig::paper(delta)
+        .with_count(count_for(SimDuration::from_secs(span_secs), delta));
+    scenario.run(&config).series
+}
+
+/// Run the UMd–Pittsburgh scenario at interval δ (ms) for `span_secs`,
+/// with the 3 ms UMd source clock of the paper's Figures 5–6.
+pub fn run_umd_pitt(delta_ms: u64, span_secs: u64, seed: u64) -> RttSeries {
+    let scenario = PaperScenario::umd_pitt(seed);
+    let delta = SimDuration::from_millis(delta_ms);
+    let config = ExperimentConfig::paper(delta)
+        .with_count(count_for(SimDuration::from_secs(span_secs), delta))
+        .with_clock(UMD_CLOCK);
+    scenario.run(&config).series
+}
+
+/// Table 1: the INRIA → UMd route via TTL probing.
+pub fn table1_route() -> Vec<String> {
+    discover_route(&Path::inria_umd_1992(), SimDuration::from_millis(500))
+}
+
+/// Table 2: the UMd → Pittsburgh route via TTL probing.
+pub fn table2_route() -> Vec<String> {
+    discover_route(&Path::umd_pitt_1993(), SimDuration::from_millis(200))
+}
+
+/// Table 3: the δ sweep with loss metrics.
+pub fn table3_rows(span_secs: u64, seed: u64) -> Vec<SweepRow> {
+    let scenario = PaperScenario::inria_umd(seed);
+    delta_sweep(&scenario, SimDuration::from_secs(span_secs))
+        .into_iter()
+        .map(|(row, _)| row)
+        .collect()
+}
+
+/// Figure 1: the δ = 50 ms time series (`rtt_n`, zeros marking losses).
+pub fn figure1_series(span_secs: u64, seed: u64) -> RttSeries {
+    run_inria_umd(50, span_secs, seed)
+}
+
+/// Figure 2 analysis bundle: phase plot + loss metrics of the δ = 50 ms
+/// INRIA–UMd run.
+pub fn figure2_phase(span_secs: u64, seed: u64) -> (PhasePlot, LossAnalysis) {
+    let series = run_inria_umd(50, span_secs, seed);
+    (PhasePlot::from_series(&series), analyze_losses(&series))
+}
+
+/// Figure 4: the δ = 500 ms INRIA–UMd phase plot.
+pub fn figure4_phase(span_secs: u64, seed: u64) -> PhasePlot {
+    PhasePlot::from_series(&run_inria_umd(500, span_secs, seed))
+}
+
+/// Figure 5: the δ = 8 ms UMd–Pitt phase plot (3 ms clock).
+pub fn figure5_phase(span_secs: u64, seed: u64) -> PhasePlot {
+    PhasePlot::from_series(&run_umd_pitt(8, span_secs, seed))
+}
+
+/// Figure 6: the δ = 50 ms UMd–Pitt phase plot (3 ms clock).
+pub fn figure6_phase(span_secs: u64, seed: u64) -> PhasePlot {
+    PhasePlot::from_series(&run_umd_pitt(50, span_secs, seed))
+}
+
+/// Run the INRIA–UMd scenario with an ideal (unquantized) measurement
+/// clock. The paper's Figures 8–9 resolve structure finer than the
+/// DECstation tick (peaks 4.5 ms apart), so the workload figures are
+/// regenerated with the ideal clock; the clock-banding phenomenon itself
+/// is reproduced separately in Figures 5–6.
+pub fn run_inria_umd_ideal_clock(delta_ms: u64, span_secs: u64, seed: u64) -> RttSeries {
+    let scenario = PaperScenario::inria_umd(seed);
+    let delta = SimDuration::from_millis(delta_ms);
+    let config = ExperimentConfig::paper(delta)
+        .with_count(count_for(SimDuration::from_secs(span_secs), delta))
+        .with_clock(SimDuration::ZERO);
+    scenario.run(&config).series
+}
+
+/// Figure 8: workload analysis of the δ = 20 ms INRIA–UMd run.
+pub fn figure8_workload(span_secs: u64, seed: u64) -> WorkloadAnalysis {
+    let series = run_inria_umd_ideal_clock(20, span_secs, seed);
+    analyze_workload(&series, 128_000.0, FTP_PACKET_BYTES as f64 * 8.0, 100.0)
+}
+
+/// Figure 9: workload analysis of the δ = 100 ms INRIA–UMd run.
+pub fn figure9_workload(span_secs: u64, seed: u64) -> WorkloadAnalysis {
+    let series = run_inria_umd_ideal_clock(100, span_secs, seed);
+    analyze_workload(&series, 128_000.0, FTP_PACKET_BYTES as f64 * 8.0, 200.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routes_match_paper_tables() {
+        let t1 = table1_route();
+        assert_eq!(t1.len(), 10);
+        assert_eq!(t1[0], "tom.inria.fr");
+        let t2 = table2_route();
+        assert_eq!(t2.len(), 13);
+        assert_eq!(t2[12], "hub-eh.gw.pitt.edu");
+    }
+
+    #[test]
+    fn figure2_bundle_is_consistent() {
+        let (plot, loss) = figure2_phase(30, 1);
+        assert!(!plot.points.is_empty());
+        assert_eq!(plot.delta_ms, 50.0);
+        assert!(loss.sent > 0);
+    }
+}

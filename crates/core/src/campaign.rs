@@ -1,0 +1,202 @@
+//! Multi-seed measurement campaigns.
+//!
+//! The paper reports single 10-minute runs per δ; a simulator can rerun the
+//! same experiment under many independent seeds and report the sampling
+//! variability of every metric — the error bars the original measurements
+//! could not have. Campaigns run seeds in parallel (crossbeam scoped
+//! threads).
+
+use probenet_netdyn::ExperimentConfig;
+use probenet_sim::SimDuration;
+use probenet_stats::Moments;
+use serde::{Deserialize, Serialize};
+
+use crate::experiment::PaperScenario;
+use crate::loss::analyze_losses;
+use crate::phase::PhasePlot;
+
+/// Mean ± std of one metric across seeds.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MetricSpread {
+    /// Across-seed mean.
+    pub mean: f64,
+    /// Across-seed standard deviation.
+    pub std: f64,
+    /// Smallest observed value.
+    pub min: f64,
+    /// Largest observed value.
+    pub max: f64,
+    /// Number of seeds contributing.
+    pub n: usize,
+}
+
+impl MetricSpread {
+    fn from_values(values: &[f64]) -> MetricSpread {
+        let m = Moments::from_slice(values);
+        MetricSpread {
+            mean: m.mean(),
+            std: m.std_dev(),
+            min: m.min(),
+            max: m.max(),
+            n: values.len(),
+        }
+    }
+}
+
+/// Aggregated results of one experiment configuration across seeds.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct CampaignResult {
+    /// Probe interval δ in ms.
+    pub delta_ms: f64,
+    /// Unconditional loss probability across seeds.
+    pub ulp: MetricSpread,
+    /// Conditional loss probability across seeds (seeds without losses are
+    /// skipped).
+    pub clp: Option<MetricSpread>,
+    /// Mean delivered RTT (ms) across seeds.
+    pub mean_rtt_ms: MetricSpread,
+    /// Minimum RTT (ms) across seeds — the D + P/μ estimate's stability.
+    pub min_rtt_ms: MetricSpread,
+    /// Bottleneck estimate (kb/s) across seeds that detected a compression
+    /// line.
+    pub mu_kbps: Option<MetricSpread>,
+}
+
+/// Run `scenario_for(seed)` under `config` for each seed (in parallel) and
+/// aggregate the headline metrics.
+///
+/// # Panics
+/// Panics if `seeds` is empty.
+pub fn run_campaign<F>(scenario_for: F, config: &ExperimentConfig, seeds: &[u64]) -> CampaignResult
+where
+    F: Fn(u64) -> PaperScenario + Sync,
+{
+    assert!(!seeds.is_empty(), "a campaign needs at least one seed");
+    struct RunMetrics {
+        ulp: f64,
+        clp: Option<f64>,
+        mean_rtt: f64,
+        min_rtt: f64,
+        mu_kbps: Option<f64>,
+    }
+    let runs: Vec<RunMetrics> = crossbeam::thread::scope(|s| {
+        let handles: Vec<_> = seeds
+            .iter()
+            .map(|&seed| {
+                let config = config.clone();
+                let scenario_for = &scenario_for;
+                s.spawn(move |_| {
+                    let out = scenario_for(seed).run(&config);
+                    let loss = analyze_losses(&out.series);
+                    let rtts = out.series.delivered_rtts_ms();
+                    let mean_rtt = if rtts.is_empty() {
+                        f64::NAN
+                    } else {
+                        rtts.iter().sum::<f64>() / rtts.len() as f64
+                    };
+                    let plot = PhasePlot::from_series(&out.series);
+                    RunMetrics {
+                        ulp: loss.ulp,
+                        clp: loss.clp,
+                        mean_rtt,
+                        min_rtt: out.series.min_rtt_ms().unwrap_or(f64::NAN),
+                        mu_kbps: plot.bottleneck_estimate(10).map(|e| e.mu_bps / 1e3),
+                    }
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("campaign worker panicked"))
+            .collect()
+    })
+    .expect("campaign scope");
+
+    let collect = |f: &dyn Fn(&RunMetrics) -> Option<f64>| -> Vec<f64> {
+        runs.iter()
+            .filter_map(f)
+            .filter(|x| x.is_finite())
+            .collect()
+    };
+    let ulp = MetricSpread::from_values(&collect(&|r| Some(r.ulp)));
+    let clp_vals = collect(&|r| r.clp);
+    let mu_vals = collect(&|r| r.mu_kbps);
+    CampaignResult {
+        delta_ms: config.interval.as_millis_f64(),
+        ulp,
+        clp: if clp_vals.is_empty() {
+            None
+        } else {
+            Some(MetricSpread::from_values(&clp_vals))
+        },
+        mean_rtt_ms: MetricSpread::from_values(&collect(&|r| Some(r.mean_rtt))),
+        min_rtt_ms: MetricSpread::from_values(&collect(&|r| Some(r.min_rtt))),
+        mu_kbps: if mu_vals.is_empty() {
+            None
+        } else {
+            Some(MetricSpread::from_values(&mu_vals))
+        },
+    }
+}
+
+/// Convenience: the calibrated INRIA–UMd campaign at interval δ.
+pub fn inria_umd_campaign(delta: SimDuration, span: SimDuration, seeds: &[u64]) -> CampaignResult {
+    let config =
+        ExperimentConfig::paper(delta).with_count((span.as_nanos() / delta.as_nanos()) as usize);
+    run_campaign(PaperScenario::inria_umd, &config, seeds)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn campaign_aggregates_across_seeds() {
+        let r = inria_umd_campaign(
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(40),
+            &[1, 2, 3, 4],
+        );
+        assert_eq!(r.ulp.n, 4);
+        assert!(r.ulp.mean > 0.02 && r.ulp.mean < 0.3, "ulp {}", r.ulp.mean);
+        assert!(r.ulp.min <= r.ulp.mean && r.ulp.mean <= r.ulp.max);
+        // The fixed component is stable across seeds.
+        assert!(r.min_rtt_ms.std < 1.0, "min rtt std {}", r.min_rtt_ms.std);
+        assert!((r.min_rtt_ms.mean - 140.6).abs() < 2.0);
+        // Queueing means vary with the seed but stay in a sane band.
+        assert!(r.mean_rtt_ms.mean > r.min_rtt_ms.mean + 10.0);
+    }
+
+    #[test]
+    fn different_seeds_actually_vary() {
+        let r = inria_umd_campaign(
+            SimDuration::from_millis(20),
+            SimDuration::from_secs(30),
+            &[10, 20, 30, 40, 50],
+        );
+        assert!(r.ulp.std > 0.0, "seeds produced identical loss rates");
+        assert!(r.ulp.max > r.ulp.min);
+    }
+
+    #[test]
+    fn single_seed_campaign_is_degenerate_but_valid() {
+        let r = inria_umd_campaign(
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(30),
+            &[7],
+        );
+        assert_eq!(r.ulp.n, 1);
+        assert_eq!(r.ulp.std, 0.0);
+        assert_eq!(r.ulp.min, r.ulp.max);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one seed")]
+    fn empty_seed_list_panics() {
+        inria_umd_campaign(
+            SimDuration::from_millis(100),
+            SimDuration::from_secs(10),
+            &[],
+        );
+    }
+}

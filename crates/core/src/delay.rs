@@ -1,0 +1,278 @@
+//! Delay-distribution characterization.
+//!
+//! Mukherjee's companion study (the paper's ref \[19\]) found that end-to-end
+//! delay distributions are "best modeled by a constant plus gamma
+//! distribution, where the parameters of the gamma distribution depend on
+//! the path and the time of the day". This module fits that model to a
+//! probe series and scores it, and computes the loss–delay dependence that
+//! the same reference reports ("packet losses … are positively correlated
+//! with various statistics of delay").
+
+use probenet_netdyn::RttSeries;
+use probenet_stats::{correlation, Ecdf, Moments, ShiftedGammaFit};
+use serde::{Deserialize, Serialize};
+
+/// Summary of a fitted constant-plus-gamma delay model.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DelayFit {
+    /// The constant offset (fixed path delay), ms.
+    pub shift_ms: f64,
+    /// Gamma shape parameter k.
+    pub shape: f64,
+    /// Gamma scale parameter θ, ms.
+    pub scale_ms: f64,
+    /// Kolmogorov–Smirnov distance between the fit and the empirical CDF.
+    pub ks_distance: f64,
+}
+
+/// Full delay-distribution analysis of one experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct DelayAnalysis {
+    /// Delivered probes analyzed.
+    pub samples: usize,
+    /// Sample mean, ms.
+    pub mean_ms: f64,
+    /// Sample standard deviation, ms.
+    pub std_ms: f64,
+    /// Minimum (fixed component estimate), ms.
+    pub min_ms: f64,
+    /// Median, ms.
+    pub median_ms: f64,
+    /// 95th percentile, ms — what a playback buffer must absorb (the
+    /// paper's §1: "the shape of the delay distribution is crucial for the
+    /// proper sizing of playback buffers").
+    pub p95_ms: f64,
+    /// The constant-plus-gamma fit, if the data admits one.
+    pub fit: Option<DelayFit>,
+}
+
+/// Fit and summarize the delivered-RTT distribution. Returns `None` when
+/// fewer than 10 probes were delivered.
+pub fn analyze_delay_distribution(series: &RttSeries) -> Option<DelayAnalysis> {
+    let rtts = series.delivered_rtts_ms();
+    if rtts.len() < 10 {
+        return None;
+    }
+    let m = Moments::from_slice(&rtts);
+    let ecdf = Ecdf::new(&rtts);
+    let fit = if m.std_dev() > 0.0 {
+        let f = ShiftedGammaFit::fit(&rtts);
+        let ks = ecdf.ks_statistic(|x| f.cdf(x));
+        Some(DelayFit {
+            shift_ms: f.shift,
+            shape: f.gamma.shape,
+            scale_ms: f.gamma.scale,
+            ks_distance: ks,
+        })
+    } else {
+        None
+    };
+    Some(DelayAnalysis {
+        samples: rtts.len(),
+        mean_ms: m.mean(),
+        std_ms: m.std_dev(),
+        min_ms: m.min(),
+        median_ms: ecdf.median(),
+        p95_ms: ecdf.quantile(0.95),
+        fit,
+    })
+}
+
+/// Playback-buffer sizing: the smallest delay budget (ms above the minimum
+/// RTT) that keeps the late-packet fraction at or below `loss_budget`
+/// among **delivered** probes. The paper motivates exactly this: "the
+/// shape of the delay distribution is crucial for the proper sizing of
+/// playback buffers".
+pub fn playback_buffer_ms(series: &RttSeries, loss_budget: f64) -> Option<f64> {
+    assert!(
+        (0.0..1.0).contains(&loss_budget),
+        "loss budget must be in [0,1)"
+    );
+    let rtts = series.delivered_rtts_ms();
+    if rtts.is_empty() {
+        return None;
+    }
+    let ecdf = Ecdf::new(&rtts);
+    let min = series.min_rtt_ms().expect("non-empty");
+    Some(ecdf.quantile(1.0 - loss_budget) - min)
+}
+
+/// Point-biserial correlation between the loss indicator of probe `n` and
+/// the most recent delivered RTT before it. Positive values mean losses
+/// follow congestion (queue-overflow losses); near-zero means losses are
+/// delay-independent (random drops). Returns `None` when either variable
+/// is degenerate.
+pub fn loss_delay_correlation(series: &RttSeries) -> Option<f64> {
+    let mut losses: Vec<f64> = Vec::new();
+    let mut delays: Vec<f64> = Vec::new();
+    let mut last_rtt: Option<f64> = None;
+    for r in &series.records {
+        match (r.rtt, last_rtt) {
+            (Some(ns), _) => {
+                if let Some(prev) = last_rtt {
+                    losses.push(0.0);
+                    delays.push(prev);
+                }
+                last_rtt = Some(ns as f64 / 1e6);
+            }
+            (None, Some(prev)) => {
+                losses.push(1.0);
+                delays.push(prev);
+            }
+            (None, None) => {}
+        }
+    }
+    if losses.len() < 10 {
+        return None;
+    }
+    let c = correlation(&losses, &delays);
+    if c == 0.0 && losses.iter().all(|&l| l == losses[0]) {
+        return None;
+    }
+    Some(c)
+}
+
+/// Conditional loss probability given that the previous delivered RTT was
+/// above the series' `q`-quantile, versus the probability given it was
+/// below — the concrete form of ref \[19\]'s loss–delay correlation.
+///
+/// Returns `(p_loss_high_delay, p_loss_low_delay)`, or `None` when either
+/// conditioning set is empty.
+pub fn loss_given_delay(series: &RttSeries, q: f64) -> Option<(f64, f64)> {
+    assert!((0.0..1.0).contains(&q), "quantile must be in [0,1)");
+    let rtts = series.delivered_rtts_ms();
+    if rtts.is_empty() {
+        return None;
+    }
+    let threshold = Ecdf::new(&rtts).quantile(q);
+    let mut high = (0usize, 0usize); // (losses, total)
+    let mut low = (0usize, 0usize);
+    let mut last_rtt: Option<f64> = None;
+    for r in &series.records {
+        if let Some(prev) = last_rtt {
+            let bucket = if prev >= threshold {
+                &mut high
+            } else {
+                &mut low
+            };
+            bucket.1 += 1;
+            if r.rtt.is_none() {
+                bucket.0 += 1;
+            }
+        }
+        if let Some(ns) = r.rtt {
+            last_rtt = Some(ns as f64 / 1e6);
+        }
+    }
+    if high.1 == 0 || low.1 == 0 {
+        return None;
+    }
+    Some((high.0 as f64 / high.1 as f64, low.0 as f64 / low.1 as f64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PaperScenario;
+    use probenet_netdyn::{ExperimentConfig, RttRecord};
+    use probenet_sim::SimDuration;
+
+    fn scenario_series(delta_ms: u64, count: usize, seed: u64) -> RttSeries {
+        let sc = PaperScenario::inria_umd(seed);
+        let cfg = ExperimentConfig::paper(SimDuration::from_millis(delta_ms))
+            .with_count(count)
+            .with_clock(SimDuration::ZERO);
+        sc.run(&cfg).series
+    }
+
+    fn series_from(rtts: &[Option<f64>]) -> RttSeries {
+        let records = rtts
+            .iter()
+            .enumerate()
+            .map(|(n, r)| RttRecord {
+                seq: n as u64,
+                sent_at: n as u64 * 20_000_000,
+                echoed_at: None,
+                rtt: r.map(|ms| (ms * 1e6) as u64),
+            })
+            .collect();
+        RttSeries::new(SimDuration::from_millis(20), 72, SimDuration::ZERO, records)
+    }
+
+    #[test]
+    fn constant_plus_gamma_fits_the_scenario() {
+        let series = scenario_series(20, 6000, 1);
+        let a = analyze_delay_distribution(&series).expect("enough probes");
+        assert!(a.samples > 4000);
+        let fit = a.fit.expect("dispersed data");
+        // The constant absorbs (most of) the fixed path delay.
+        assert!(
+            (a.min_ms - 10.0..=a.min_ms).contains(&fit.shift_ms),
+            "shift {} vs min {}",
+            fit.shift_ms,
+            a.min_ms
+        );
+        assert!(fit.shape > 0.0 && fit.scale_ms > 0.0);
+        // The constant-plus-gamma model captures the gross shape. It cannot
+        // be exact here: the RTT distribution carries a point mass at the
+        // floor (probes finding the bottleneck idle) that no continuous
+        // density reproduces, so the KS distance plateaus around that mass.
+        assert!(fit.ks_distance < 0.25, "KS {}", fit.ks_distance);
+        // Order statistics are coherent.
+        assert!(a.min_ms <= a.median_ms && a.median_ms <= a.p95_ms);
+    }
+
+    #[test]
+    fn playback_buffer_grows_with_stricter_budget() {
+        let series = scenario_series(20, 6000, 2);
+        let loose = playback_buffer_ms(&series, 0.10).expect("data");
+        let strict = playback_buffer_ms(&series, 0.01).expect("data");
+        assert!(strict > loose, "strict {strict} loose {loose}");
+        assert!(loose > 0.0);
+    }
+
+    #[test]
+    fn loss_delay_correlation_positive_under_congestion_losses() {
+        // δ = 8 ms drives overflow losses, which follow congestion: the
+        // correlation must be positive (ref [19]'s observation).
+        let series = scenario_series(8, 15_000, 3);
+        let c = loss_delay_correlation(&series).expect("losses exist");
+        assert!(c > 0.1, "correlation {c}");
+        let (p_high, p_low) = loss_given_delay(&series, 0.9).expect("both buckets");
+        assert!(
+            p_high > 1.5 * p_low,
+            "loss after high delay {p_high} vs low {p_low}"
+        );
+    }
+
+    #[test]
+    fn pure_random_losses_show_no_delay_dependence() {
+        // Synthetic: constant RTT with iid losses.
+        let mut state = 5u64;
+        let rtts: Vec<Option<f64>> = (0..20_000)
+            .map(|i| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                if u < 0.1 {
+                    None
+                } else {
+                    Some(150.0 + (i % 13) as f64)
+                }
+            })
+            .collect();
+        let series = series_from(&rtts);
+        let c = loss_delay_correlation(&series).expect("losses exist");
+        assert!(c.abs() < 0.05, "correlation {c}");
+        let (p_high, p_low) = loss_given_delay(&series, 0.9).expect("both buckets");
+        assert!((p_high - p_low).abs() < 0.03);
+    }
+
+    #[test]
+    fn degenerate_inputs_are_none() {
+        assert!(analyze_delay_distribution(&series_from(&[Some(1.0); 5])).is_none());
+        assert!(loss_delay_correlation(&series_from(&[Some(1.0); 50])).is_none());
+        assert!(playback_buffer_ms(&series_from(&[None, None]), 0.05).is_none());
+    }
+}

@@ -1,0 +1,72 @@
+//! # probenet-core
+//!
+//! The analysis pipeline of the probenet workspace — the primary
+//! contribution of Bolot's SIGCOMM '93 paper *"End-to-End Packet Delay and
+//! Loss Behavior in the Internet"*, as a library:
+//!
+//! * [`phase`] — phase plots `(rtt_n, rtt_{n+1})`, probe-compression-line
+//!   detection, and bottleneck-bandwidth estimation from the line's
+//!   intercept (§4, Figures 2, 4–6).
+//! * [`workload`] — the equation-(6) workload estimator
+//!   `b_n = μ(w_{n+1} − w_n + δ) − P` and the multimodal interarrival
+//!   distribution with automatic peak labeling (§4, Figures 8–9).
+//! * [`loss`] — `ulp`, `clp`, the packet loss gap, loss-run statistics and
+//!   randomness tests (§5, Table 3).
+//! * [`experiment`] — calibrated INRIA–UMd and UMd–Pitt scenarios and the
+//!   parallel δ sweep behind Table 3.
+//! * [`recovery`] — FEC and repetition recovery under measured loss
+//!   processes (§5's audio/video implications).
+//! * [`report`] — terminal renderings of every table and figure.
+//!
+//! ## End-to-end example
+//!
+//! ```
+//! use probenet_core::{PaperScenario, PhasePlot};
+//! use probenet_netdyn::ExperimentConfig;
+//! use probenet_sim::SimDuration;
+//!
+//! // Probe the calibrated INRIA -> UMd path at δ = 50 ms for 30 s.
+//! let scenario = PaperScenario::inria_umd(42);
+//! let config = ExperimentConfig::paper(SimDuration::from_millis(50))
+//!     .with_count(600);
+//! let out = scenario.run(&config);
+//!
+//! // The phase plot exposes the fixed delay near (D, D).
+//! let plot = PhasePlot::from_series(&out.series);
+//! assert!(plot.min_rtt_ms().unwrap() > 100.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod delay;
+pub mod experiment;
+pub mod loss;
+pub mod owd;
+pub mod phase;
+pub mod recovery;
+pub mod report;
+pub mod routechange;
+pub mod summary;
+pub mod workload;
+
+pub use campaign::{inria_umd_campaign, run_campaign, CampaignResult, MetricSpread};
+pub use delay::{
+    analyze_delay_distribution, loss_delay_correlation, loss_given_delay, playback_buffer_ms,
+    DelayAnalysis, DelayFit,
+};
+pub use experiment::{delta_sweep, ExperimentOutput, PaperScenario, SweepRow};
+pub use loss::{
+    analyze_loss_flags, analyze_losses, Chi2Summary, GilbertModel, LossAnalysis, RunsTestSummary,
+};
+pub use owd::{analyze_owd, DirectionSummary, OwdAnalysis};
+pub use phase::{BottleneckEstimate, PhasePlot, PhasePoint};
+pub use recovery::{fec_overhead, fec_recovery, repetition_recovery, RecoveryStats};
+pub use report::{render_histogram, render_phase_plot, render_table3, render_time_series};
+pub use routechange::{detect_route_changes, RouteChange};
+pub use summary::{full_report, render_report, FullReport, MeasurementSummary};
+pub use workload::{
+    analyze_workload, interarrival_series, workload_estimates, LabeledPeak, PeakLabel,
+    WorkloadAnalysis,
+};

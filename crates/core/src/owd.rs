@@ -1,0 +1,169 @@
+//! One-way delay analysis — the measurement the paper could *not* make.
+//!
+//! The paper's §2 explains that with geographically distant hosts "their
+//! local clocks may not be synchronized and hence the timestamps in the UDP
+//! probe packets would be difficult to interpret", which is why it analyzes
+//! only round trips. Inside the simulator every host shares one clock, so
+//! the three NetDyn timestamps decompose each RTT into its outbound and
+//! inbound halves — quantifying exactly the directional asymmetry the
+//! round-trip view averages away.
+
+use probenet_netdyn::RttSeries;
+use probenet_stats::{correlation, Moments};
+use serde::{Deserialize, Serialize};
+
+/// Summary of one direction's delays.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DirectionSummary {
+    /// Mean delay, ms.
+    pub mean_ms: f64,
+    /// Standard deviation, ms.
+    pub std_ms: f64,
+    /// Minimum observed, ms — the direction's fixed component.
+    pub min_ms: f64,
+    /// Maximum observed, ms.
+    pub max_ms: f64,
+}
+
+fn summarize(xs: impl Iterator<Item = f64>) -> DirectionSummary {
+    let mut m = Moments::new();
+    for x in xs {
+        m.push(x);
+    }
+    DirectionSummary {
+        mean_ms: m.mean(),
+        std_ms: m.std_dev(),
+        min_ms: m.min(),
+        max_ms: m.max(),
+    }
+}
+
+/// One-way delay decomposition of an experiment.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct OwdAnalysis {
+    /// Probes with echo timestamps (the sample size).
+    pub samples: usize,
+    /// Source → echo direction.
+    pub outbound: DirectionSummary,
+    /// Echo → source direction.
+    pub inbound: DirectionSummary,
+    /// Mean queueing asymmetry: mean outbound queueing minus mean inbound
+    /// queueing (each direction's mean minus its own minimum), ms.
+    /// Positive = the outbound direction carries more queueing.
+    pub queueing_asymmetry_ms: f64,
+    /// Pearson correlation between a probe's outbound and inbound delays.
+    /// Near zero when the two directions' queues are independent — which is
+    /// why round-trip measurements can't be halved to get one-way delays.
+    pub direction_correlation: f64,
+}
+
+/// Decompose an experiment's delays by direction. Returns `None` when no
+/// probe carries an echo timestamp (e.g. unsynchronized real-path data).
+pub fn analyze_owd(series: &RttSeries) -> Option<OwdAnalysis> {
+    let pairs = series.one_way_delays_ms();
+    if pairs.is_empty() {
+        return None;
+    }
+    let outs: Vec<f64> = pairs.iter().map(|&(o, _)| o).collect();
+    let backs: Vec<f64> = pairs.iter().map(|&(_, b)| b).collect();
+    let outbound = summarize(outs.iter().copied());
+    let inbound = summarize(backs.iter().copied());
+    Some(OwdAnalysis {
+        samples: pairs.len(),
+        outbound,
+        inbound,
+        queueing_asymmetry_ms: (outbound.mean_ms - outbound.min_ms)
+            - (inbound.mean_ms - inbound.min_ms),
+        direction_correlation: correlation(&outs, &backs),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PaperScenario;
+    use probenet_netdyn::{ExperimentConfig, RttRecord, RttSeries};
+    use probenet_sim::SimDuration;
+
+    fn scenario_series(seed: u64) -> RttSeries {
+        let sc = PaperScenario::inria_umd(seed);
+        let cfg = ExperimentConfig::paper(SimDuration::from_millis(20))
+            .with_count(3000)
+            .with_clock(SimDuration::ZERO);
+        sc.run(&cfg).series
+    }
+
+    #[test]
+    fn decomposition_sums_to_rtt() {
+        let series = scenario_series(1);
+        let pairs = series.one_way_delays_ms();
+        let rtts = series.delivered_rtts_ms();
+        assert_eq!(pairs.len(), rtts.len());
+        for ((o, b), r) in pairs.iter().zip(&rtts) {
+            assert!((o + b - r).abs() < 1e-6, "out {o} + back {b} != rtt {r}");
+        }
+    }
+
+    #[test]
+    fn asymmetric_load_shows_up_in_owd() {
+        // The calibrated scenario loads the bottleneck 62% outbound vs 20%
+        // inbound: outbound queueing must dominate.
+        let a = analyze_owd(&scenario_series(2)).expect("echo stamps in sim");
+        assert!(a.samples > 1000);
+        assert!(
+            a.queueing_asymmetry_ms > 5.0,
+            "asymmetry {} ms with 62/20 load split",
+            a.queueing_asymmetry_ms
+        );
+        let out_queue = a.outbound.mean_ms - a.outbound.min_ms;
+        let in_queue = a.inbound.mean_ms - a.inbound.min_ms;
+        assert!(
+            out_queue > 2.0 * in_queue,
+            "outbound queueing {out_queue} vs inbound {in_queue}"
+        );
+    }
+
+    #[test]
+    fn directions_are_weakly_correlated() {
+        // Independent cross-traffic streams drive the two directions; a
+        // probe's outbound and inbound delays should be nearly independent.
+        let a = analyze_owd(&scenario_series(3)).expect("echo stamps");
+        assert!(
+            a.direction_correlation.abs() < 0.35,
+            "direction correlation {}",
+            a.direction_correlation
+        );
+    }
+
+    #[test]
+    fn minimums_match_path_geometry() {
+        let series = scenario_series(4);
+        let a = analyze_owd(&series).expect("echo stamps");
+        // The INRIA-UMd path is symmetric in its fixed components: the two
+        // directional minimums are close and sum to the series' RTT floor.
+        let floor = series.min_rtt_ms().expect("deliveries");
+        assert!(
+            (a.outbound.min_ms + a.inbound.min_ms - floor).abs() < 1.0,
+            "out {} + in {} vs floor {floor}",
+            a.outbound.min_ms,
+            a.inbound.min_ms
+        );
+        assert!((a.outbound.min_ms - a.inbound.min_ms).abs() < 2.0);
+    }
+
+    #[test]
+    fn no_echo_stamps_yields_none() {
+        let series = RttSeries::new(
+            SimDuration::from_millis(20),
+            72,
+            SimDuration::ZERO,
+            vec![RttRecord {
+                seq: 0,
+                sent_at: 0,
+                echoed_at: None,
+                rtt: Some(150_000_000),
+            }],
+        );
+        assert!(analyze_owd(&series).is_none());
+    }
+}

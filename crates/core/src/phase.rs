@@ -1,0 +1,324 @@
+//! Phase-plot analysis of RTT series (the paper's §4).
+//!
+//! A phase plot marks a point at `(rtt_n, rtt_{n+1})` for each consecutive
+//! pair of delivered probes. Its structure encodes the path:
+//!
+//! * a cluster hugging the **diagonal** near `(D, D)` = probes that saw a
+//!   roughly constant (often empty) queue — eq. (1);
+//! * a line `rtt_{n+1} = rtt_n + P/μ − δ` = **probe compression**: probes
+//!   queued back-to-back drain at the bottleneck rate, so their RTT
+//!   difference is the constant `P/μ − δ` — eq. (3);
+//! * the x-intercept of that line, `δ − P/μ`, yields the **bottleneck
+//!   bandwidth** `μ = P / (δ − intercept)` — how the paper recovers the
+//!   128 kb/s transatlantic link from Figure 2.
+
+use probenet_netdyn::RttSeries;
+use probenet_stats::{find_relative_peaks, Histogram};
+use serde::{Deserialize, Serialize};
+
+/// One phase-plane point, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PhasePoint {
+    /// `rtt_n`.
+    pub x: f64,
+    /// `rtt_{n+1}`.
+    pub y: f64,
+}
+
+/// A phase plot plus the experiment parameters its analysis needs.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhasePlot {
+    /// Points for consecutive delivered probe pairs, in ms.
+    pub points: Vec<PhasePoint>,
+    /// Probe interval δ in ms.
+    pub delta_ms: f64,
+    /// Probe wire size in bits (the `P` of the analysis).
+    pub probe_bits: f64,
+    /// Clock resolution of the measurements in ms (0 = perfect).
+    pub clock_resolution_ms: f64,
+}
+
+/// A bottleneck-bandwidth estimate read off the compression line.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct BottleneckEstimate {
+    /// The compression-line RTT difference `P/μ − δ`, ms (negative).
+    pub line_offset_ms: f64,
+    /// The x-axis intercept `δ − P/μ`, ms (the paper reads ≈48 ms in Fig 2).
+    pub intercept_ms: f64,
+    /// Estimated bottleneck bandwidth in bits/s.
+    pub mu_bps: f64,
+    /// Lower bandwidth bound given the clock resolution (equals `mu_bps`
+    /// for a perfect clock).
+    pub mu_lo_bps: f64,
+    /// Upper bandwidth bound given the clock resolution.
+    pub mu_hi_bps: f64,
+    /// Number of phase points within tolerance of the compression line.
+    pub compression_points: usize,
+}
+
+impl PhasePlot {
+    /// Build from an RTT series: one point per consecutive pair of
+    /// **delivered** probes (pairs broken by a loss are skipped, losses
+    /// being `rtt = 0` in the paper's convention would otherwise smear
+    /// points onto the axes).
+    pub fn from_series(series: &RttSeries) -> PhasePlot {
+        let mut points = Vec::new();
+        for w in series.records.windows(2) {
+            if let (Some(a), Some(b)) = (w[0].rtt, w[1].rtt) {
+                points.push(PhasePoint {
+                    x: a as f64 / 1e6,
+                    y: b as f64 / 1e6,
+                });
+            }
+        }
+        PhasePlot {
+            points,
+            delta_ms: series.interval().as_millis_f64(),
+            probe_bits: series.wire_bytes as f64 * 8.0,
+            clock_resolution_ms: series.clock_resolution_ns as f64 / 1e6,
+        }
+    }
+
+    /// RTT differences `rtt_{n+1} − rtt_n` of all phase points, ms.
+    pub fn diffs(&self) -> Vec<f64> {
+        self.points.iter().map(|p| p.y - p.x).collect()
+    }
+
+    /// Smallest RTT in the plot — the fixed-component estimate `D + P/μ`
+    /// (the paper reads the `(D, D)` cluster, ≈140 ms in Figure 2).
+    pub fn min_rtt_ms(&self) -> Option<f64> {
+        self.points
+            .iter()
+            .flat_map(|p| [p.x, p.y])
+            .min_by(|a, b| a.partial_cmp(b).expect("finite RTTs"))
+    }
+
+    /// Points within `tol_ms` of the diagonal `y = x` — eq. (1) behaviour.
+    pub fn near_diagonal(&self, tol_ms: f64) -> usize {
+        self.points
+            .iter()
+            .filter(|p| (p.y - p.x).abs() <= tol_ms)
+            .count()
+    }
+
+    /// Points within `tol_ms` of the compression line `y = x + offset`.
+    pub fn near_line(&self, offset_ms: f64, tol_ms: f64) -> usize {
+        self.points
+            .iter()
+            .filter(|p| (p.y - p.x - offset_ms).abs() <= tol_ms)
+            .count()
+    }
+
+    /// Detect the compression line and estimate the bottleneck bandwidth.
+    ///
+    /// The RTT differences of compressed probe pairs all equal `P/μ − δ`,
+    /// so they form a mode well below zero. The detector histograms the
+    /// differences below `−δ/2`, takes the strongest peak as the line
+    /// offset, and inverts `μ = P / (δ − offset... )`; it needs at least
+    /// `min_points` differences on the line to report anything (the paper's
+    /// Figure 4, δ = 500 ms, has only two compression points — too few to
+    /// call a line).
+    pub fn bottleneck_estimate(&self, min_points: usize) -> Option<BottleneckEstimate> {
+        if self.points.is_empty() {
+            return None;
+        }
+        let delta = self.delta_ms;
+        // Bin at the clock resolution (the data is quantized to it), at
+        // least 0.25 ms.
+        let bin = self.clock_resolution_ms.max(0.25);
+        // Candidate diffs: distinctly below the diagonal scatter and
+        // physically possible — a queue drains at most δ between probes, so
+        // no true difference can fall below `P/μ − δ` (one extra bin of
+        // slack absorbs clock quantization).
+        let lo = -delta - bin;
+        let hi = -(delta / 4.0).max(1.5 * bin);
+        if hi <= lo {
+            return None;
+        }
+        let cands: Vec<f64> = self
+            .diffs()
+            .into_iter()
+            .filter(|d| (lo..hi).contains(d))
+            .collect();
+        if cands.len() < min_points {
+            return None;
+        }
+        let res = self.clock_resolution_ms;
+        let (line_offset_ms, on_line) = if res > 0.0 {
+            // Quantized measurements: every difference is (nearly) a
+            // multiple of the clock resolution, and the constant true
+            // difference is dithered onto two adjacent ticks with weights
+            // that keep the mean unbiased. Find the lowest well-populated
+            // tick — true compression differences are the *minimum*
+            // possible, partial-drain contamination sits strictly above —
+            // and average that tick with its upper neighbour, mass-weighted.
+            let mut ticks: std::collections::BTreeMap<i64, (usize, f64)> =
+                std::collections::BTreeMap::new();
+            for &d in &cands {
+                let k = (d / res).round() as i64;
+                let e = ticks.entry(k).or_insert((0, 0.0));
+                e.0 += 1;
+                e.1 += d;
+            }
+            let max_mass = ticks.values().map(|&(n, _)| n).max().unwrap_or(0);
+            let (&k0, &(n0, s0)) = ticks
+                .iter()
+                .find(|&(_, &(n, _))| n >= (max_mass / 3).max(min_points))?;
+            let (n1, s1) = ticks.get(&(k0 + 1)).copied().unwrap_or((0, 0.0));
+            ((s0 + s1) / (n0 + n1) as f64, n0 + n1)
+        } else {
+            // Fine-grained clock: histogram the candidates and refine the
+            // leftmost strong peak by a local average.
+            let bins = (((hi - lo) / bin).ceil() as usize).max(1);
+            let hist = Histogram::from_data(&cands, lo, hi, bins);
+            let peaks = find_relative_peaks(&hist.frequencies(), 0.5, 2, 0);
+            let best = peaks.into_iter().min_by_key(|p| p.index)?;
+            let center = hist.center(best.index);
+            let near: Vec<f64> = cands
+                .iter()
+                .copied()
+                .filter(|d| (d - center).abs() <= 1.5 * bin)
+                .collect();
+            if near.len() < min_points {
+                return None;
+            }
+            (near.iter().sum::<f64>() / near.len() as f64, near.len())
+        };
+        // A real compression line carries non-trivial mass: isolated deep
+        // drains (the paper's Figure 4 has two) must not read as a line.
+        if on_line < min_points.max(self.points.len() / 200) {
+            return None;
+        }
+        let service_ms = delta + line_offset_ms; // P/μ in ms
+        if service_ms <= 0.0 {
+            return None;
+        }
+        let mu_bps = self.probe_bits / (service_ms / 1e3);
+        // The clock bounds the service-time reading by ± one tick.
+        let mu_hi_bps = if service_ms - res > 0.0 {
+            self.probe_bits / ((service_ms - res) / 1e3)
+        } else {
+            f64::INFINITY
+        };
+        let mu_lo_bps = self.probe_bits / ((service_ms + res) / 1e3);
+        Some(BottleneckEstimate {
+            line_offset_ms,
+            intercept_ms: -line_offset_ms,
+            mu_bps,
+            mu_lo_bps,
+            mu_hi_bps,
+            compression_points: self.near_line(line_offset_ms, bin).max(on_line),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probenet_netdyn::{RttRecord, RttSeries};
+    use probenet_sim::SimDuration;
+
+    fn series_from_ms(delta_ms: u64, rtts: &[Option<f64>]) -> RttSeries {
+        let records = rtts
+            .iter()
+            .enumerate()
+            .map(|(n, r)| RttRecord {
+                seq: n as u64,
+                sent_at: n as u64 * delta_ms * 1_000_000,
+                echoed_at: None,
+                rtt: r.map(|ms| (ms * 1e6) as u64),
+            })
+            .collect();
+        RttSeries::new(
+            SimDuration::from_millis(delta_ms),
+            72,
+            SimDuration::ZERO,
+            records,
+        )
+    }
+
+    #[test]
+    fn points_skip_lost_probes() {
+        let s = series_from_ms(
+            50,
+            &[Some(140.0), Some(141.0), None, Some(150.0), Some(149.0)],
+        );
+        let p = PhasePlot::from_series(&s);
+        // Pairs: (0,1) and (3,4) only.
+        assert_eq!(p.points.len(), 2);
+        assert_eq!(p.points[0], PhasePoint { x: 140.0, y: 141.0 });
+        assert_eq!(p.points[1], PhasePoint { x: 150.0, y: 149.0 });
+    }
+
+    #[test]
+    fn min_rtt_reads_fixed_component() {
+        let s = series_from_ms(50, &[Some(162.0), Some(140.5), Some(188.0)]);
+        let p = PhasePlot::from_series(&s);
+        assert_eq!(p.min_rtt_ms(), Some(140.5));
+        assert_eq!(p.near_diagonal(1.0), 0);
+        assert_eq!(p.near_diagonal(50.0), 2);
+    }
+
+    #[test]
+    fn synthetic_compression_line_recovers_mu() {
+        // Build a synthetic experiment: μ = 128 kb/s, P = 72 B = 576 bits,
+        // δ = 50 ms. P/μ = 4.5 ms, so compressed pairs differ by −45.5 ms.
+        let delta = 50.0;
+        let service = 4.5;
+        let mut rtts: Vec<Option<f64>> = Vec::new();
+        let mut current: f64 = 140.0;
+        // 40 compression episodes: a jump up then a drain of 4 probes.
+        for _ in 0..40 {
+            rtts.push(Some(current));
+            let mut r = current + 120.0; // behind a large workload
+            for _ in 0..4 {
+                rtts.push(Some(r));
+                r += service - delta;
+            }
+            current = 140.0 + (rtts.len() % 7) as f64 * 0.3;
+        }
+        let s = series_from_ms(delta as u64, &rtts);
+        let p = PhasePlot::from_series(&s);
+        let est = p.bottleneck_estimate(10).expect("line detected");
+        assert!(
+            (est.line_offset_ms + 45.5).abs() < 0.3,
+            "offset {}",
+            est.line_offset_ms
+        );
+        assert!((est.intercept_ms - 45.5).abs() < 0.3);
+        let err = (est.mu_bps - 128_000.0).abs() / 128_000.0;
+        assert!(err < 0.05, "mu {} off by {err}", est.mu_bps);
+        assert!(est.compression_points >= 100);
+    }
+
+    #[test]
+    fn no_compression_returns_none() {
+        // Diagonal scatter only (the paper's Figure 4 situation).
+        let rtts: Vec<Option<f64>> = (0..200)
+            .map(|i| Some(140.0 + (i % 13) as f64 * 2.0))
+            .collect();
+        let s = series_from_ms(500, &rtts);
+        let p = PhasePlot::from_series(&s);
+        assert!(p.bottleneck_estimate(5).is_none());
+    }
+
+    #[test]
+    fn a_few_stray_points_do_not_fake_a_line() {
+        let mut rtts: Vec<Option<f64>> = (0..100).map(|_| Some(141.0)).collect();
+        // Two isolated compression-like drops (as in Figure 4).
+        rtts[10] = Some(141.0 + 400.0);
+        rtts[50] = Some(141.0 + 420.0);
+        let s = series_from_ms(500, &rtts);
+        let p = PhasePlot::from_series(&s);
+        assert!(p.bottleneck_estimate(5).is_none());
+    }
+
+    #[test]
+    fn empty_series_is_safe() {
+        let s = series_from_ms(50, &[]);
+        let p = PhasePlot::from_series(&s);
+        assert!(p.points.is_empty());
+        assert_eq!(p.min_rtt_ms(), None);
+        assert!(p.bottleneck_estimate(1).is_none());
+    }
+}

@@ -1,0 +1,242 @@
+//! Text rendering of the paper's artifacts: Table 3, ASCII phase plots
+//! (Figures 2, 4–6), time-series strips (Figure 1) and interarrival
+//! histograms (Figures 8–9).
+//!
+//! These renderers are what the `repro` harness prints, so every figure of
+//! the paper has a directly inspectable, terminal-friendly counterpart.
+
+use crate::experiment::SweepRow;
+use crate::phase::PhasePlot;
+use probenet_stats::Histogram;
+
+/// Render the paper's Table 3 (`ulp`, `clp`, `plg` per δ).
+pub fn render_table3(rows: &[SweepRow]) -> String {
+    let mut out = String::new();
+    out.push_str("| delta(ms) |");
+    for r in rows {
+        out.push_str(&format!(" {:>6.0} |", r.delta_ms));
+    }
+    out.push('\n');
+    out.push_str("| ulp       |");
+    for r in rows {
+        out.push_str(&format!(" {:>6.2} |", r.ulp));
+    }
+    out.push('\n');
+    out.push_str("| clp       |");
+    for r in rows {
+        out.push_str(&format!(" {:>6.2} |", r.clp));
+    }
+    out.push('\n');
+    out.push_str("| plg       |");
+    for r in rows {
+        out.push_str(&format!(" {:>6.1} |", r.plg));
+    }
+    out.push('\n');
+    out
+}
+
+/// An ASCII scatter plot of a phase plane: `x = rtt_n`, `y = rtt_{n+1}`.
+/// The diagonal is drawn with `.` where no data lands.
+pub fn render_phase_plot(plot: &PhasePlot, width: usize, height: usize) -> String {
+    let mut out = String::new();
+    if plot.points.is_empty() {
+        out.push_str("(no phase points)\n");
+        return out;
+    }
+    let (mut lo, mut hi) = (f64::INFINITY, f64::NEG_INFINITY);
+    for p in &plot.points {
+        lo = lo.min(p.x).min(p.y);
+        hi = hi.max(p.x).max(p.y);
+    }
+    if hi <= lo {
+        hi = lo + 1.0;
+    }
+    let pad = (hi - lo) * 0.05;
+    let (lo, hi) = (lo - pad, hi + pad);
+    let span = hi - lo;
+    let mut grid = vec![vec![b' '; width]; height];
+    // Diagonal guide: one dot per column, at a row computed from the
+    // column — inherently index-driven.
+    #[allow(clippy::needless_range_loop)]
+    for gx in 0..width {
+        let v = lo + span * (gx as f64 + 0.5) / width as f64;
+        let gy = ((v - lo) / span * height as f64) as usize;
+        if gy < height {
+            grid[height - 1 - gy][gx] = b'.';
+        }
+    }
+    // Density buckets -> glyphs.
+    let mut counts = vec![vec![0u32; width]; height];
+    for p in &plot.points {
+        let gx = (((p.x - lo) / span) * width as f64) as usize;
+        let gy = (((p.y - lo) / span) * height as f64) as usize;
+        if gx < width && gy < height {
+            counts[height - 1 - gy][gx] += 1;
+        }
+    }
+    for (r, row) in counts.iter().enumerate() {
+        for (c, &n) in row.iter().enumerate() {
+            grid[r][c] = match n {
+                0 => grid[r][c],
+                1..=2 => b'o',
+                3..=9 => b'*',
+                _ => b'#',
+            };
+        }
+    }
+    out.push_str(&format!(
+        "rtt_(n+1) vs rtt_n [{lo:.0}..{hi:.0} ms], {} points\n",
+        plot.points.len()
+    ));
+    for row in grid {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// An ASCII strip chart of a time series (`rtt_n` vs `n`), `0` marking
+/// losses on the bottom row, as in the paper's Figure 1.
+pub fn render_time_series(rtt_or_zero_ms: &[f64], width: usize, height: usize) -> String {
+    let mut out = String::new();
+    if rtt_or_zero_ms.is_empty() {
+        out.push_str("(empty series)\n");
+        return out;
+    }
+    let hi = rtt_or_zero_ms
+        .iter()
+        .copied()
+        .fold(0.0f64, f64::max)
+        .max(1.0);
+    let mut grid = vec![vec![b' '; width]; height];
+    let n = rtt_or_zero_ms.len();
+    for (i, &r) in rtt_or_zero_ms.iter().enumerate() {
+        let gx = i * width / n;
+        if r == 0.0 {
+            grid[height - 1][gx] = b'0'; // loss marker on the axis
+        } else {
+            let gy = ((r / hi) * (height as f64 - 1.0)) as usize;
+            grid[height - 1 - gy.min(height - 1)][gx] = b'+';
+        }
+    }
+    out.push_str(&format!(
+        "rtt_n vs n [0..{hi:.0} ms], {n} probes ('0' on axis = loss)\n"
+    ));
+    for row in grid {
+        out.push_str(std::str::from_utf8(&row).expect("ascii"));
+        out.push('\n');
+    }
+    out
+}
+
+/// An ASCII bar chart of a histogram (Figures 8–9 style).
+pub fn render_histogram(hist: &Histogram, max_width: usize) -> String {
+    let mut out = String::new();
+    let counts = hist.counts();
+    let peak = counts.iter().copied().max().unwrap_or(0);
+    if peak == 0 {
+        out.push_str("(empty histogram)\n");
+        return out;
+    }
+    for (i, &c) in counts.iter().enumerate() {
+        if c == 0 {
+            continue;
+        }
+        let bar = (c as usize * max_width).div_ceil(peak as usize);
+        out.push_str(&format!(
+            "{:>8.1} ms | {} {}\n",
+            hist.center(i),
+            "#".repeat(bar),
+            c
+        ));
+    }
+    if hist.overflow() > 0 {
+        out.push_str(&format!(
+            "   (>{:.1} ms: {} samples)\n",
+            hist.hi(),
+            hist.overflow()
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::PhasePoint;
+
+    #[test]
+    fn table3_layout() {
+        let rows = vec![
+            SweepRow {
+                delta_ms: 8.0,
+                ulp: 0.23,
+                clp: 0.60,
+                plg: 2.5,
+                probe_utilization: 0.56,
+            },
+            SweepRow {
+                delta_ms: 500.0,
+                ulp: 0.10,
+                clp: 0.09,
+                plg: 1.1,
+                probe_utilization: 0.009,
+            },
+        ];
+        let t = render_table3(&rows);
+        assert!(t.contains("delta(ms)"));
+        assert!(t.contains("0.23"));
+        assert!(t.contains("0.60"));
+        assert!(t.contains("2.5"));
+        assert_eq!(t.lines().count(), 4);
+    }
+
+    #[test]
+    fn phase_plot_renders_points_and_diagonal() {
+        let plot = PhasePlot {
+            points: vec![
+                PhasePoint { x: 140.0, y: 140.0 },
+                PhasePoint { x: 150.0, y: 260.0 },
+            ],
+            delta_ms: 50.0,
+            probe_bits: 576.0,
+            clock_resolution_ms: 0.0,
+        };
+        let s = render_phase_plot(&plot, 40, 20);
+        assert!(s.contains('o'));
+        assert!(s.contains('.'));
+        assert!(s.lines().count() == 21);
+    }
+
+    #[test]
+    fn empty_phase_plot_is_graceful() {
+        let plot = PhasePlot {
+            points: vec![],
+            delta_ms: 50.0,
+            probe_bits: 576.0,
+            clock_resolution_ms: 0.0,
+        };
+        assert!(render_phase_plot(&plot, 10, 5).contains("no phase points"));
+    }
+
+    #[test]
+    fn time_series_marks_losses() {
+        let s = render_time_series(&[140.0, 0.0, 150.0, 170.0], 20, 8);
+        assert!(s.contains('0'));
+        assert!(s.contains('+'));
+    }
+
+    #[test]
+    fn histogram_bars_scale() {
+        let mut h = Histogram::new(0.0, 10.0, 5);
+        for _ in 0..10 {
+            h.add(1.0);
+        }
+        h.add(5.0);
+        h.add(42.0);
+        let s = render_histogram(&h, 30);
+        assert!(s.contains("##"));
+        assert!(s.contains("10"));
+        assert!(s.contains(">10.0 ms"));
+    }
+}

@@ -1,0 +1,247 @@
+//! One-stop analysis: everything the pipeline knows about a measurement,
+//! in one structure — what you run on a series you just collected (real or
+//! simulated) to get the paper's §4 and §5 readings at once.
+
+use probenet_netdyn::RttSeries;
+use serde::{Deserialize, Serialize};
+
+use crate::delay::{analyze_delay_distribution, loss_delay_correlation, DelayAnalysis};
+use crate::loss::{analyze_losses, GilbertModel, LossAnalysis};
+use crate::owd::{analyze_owd, OwdAnalysis};
+use crate::phase::{BottleneckEstimate, PhasePlot};
+use crate::routechange::{detect_route_changes, RouteChange};
+use crate::workload::{analyze_workload, WorkloadAnalysis};
+
+/// Basic facts about the measurement itself.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct MeasurementSummary {
+    /// Probes sent.
+    pub sent: usize,
+    /// Probes returned.
+    pub received: usize,
+    /// Probe interval δ, ms.
+    pub interval_ms: f64,
+    /// Probe wire size, bytes.
+    pub wire_bytes: u32,
+    /// Clock resolution, ms (0 = ideal).
+    pub clock_resolution_ms: f64,
+    /// Reordered probe pairs (arrival-order inversions).
+    pub reordering: u64,
+}
+
+/// Every analysis the pipeline can run on one series.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct FullReport {
+    /// The measurement's vitals.
+    pub measurement: MeasurementSummary,
+    /// Loss metrics (§5).
+    pub loss: LossAnalysis,
+    /// Fitted Gilbert loss model, when both states occur.
+    pub gilbert: Option<GilbertModel>,
+    /// Loss–delay correlation (ref \[19\]), when computable.
+    pub loss_delay_correlation: Option<f64>,
+    /// Delay distribution summary and constant+gamma fit.
+    pub delay: Option<DelayAnalysis>,
+    /// Phase-plot bottleneck estimate (§4), when compression exists.
+    pub bottleneck: Option<BottleneckEstimate>,
+    /// Workload analysis (§4, Figures 8–9) using the estimated or supplied
+    /// bottleneck rate; absent when no rate is known.
+    pub workload: Option<WorkloadAnalysis>,
+    /// One-way decomposition, when echo timestamps exist (simulation, or
+    /// synchronized real hosts).
+    pub owd: Option<OwdAnalysis>,
+    /// Detected RTT baseline shifts (route changes).
+    pub route_changes: Vec<RouteChange>,
+}
+
+/// Run every applicable analysis. `mu_bps_hint` supplies the bottleneck
+/// rate when known; otherwise the phase-plot estimate is used, and the
+/// workload analysis is skipped if neither is available. `bulk_bits` is the
+/// hypothesized bulk packet size for peak labeling (512 bytes default).
+pub fn full_report(series: &RttSeries, mu_bps_hint: Option<f64>) -> FullReport {
+    let plot = PhasePlot::from_series(series);
+    let bottleneck = plot.bottleneck_estimate(10);
+    let mu = mu_bps_hint.or(bottleneck.map(|b| b.mu_bps));
+    let delta_ms = series.interval().as_millis_f64();
+    let workload =
+        mu.map(|mu| analyze_workload(series, mu, 512.0 * 8.0, (4.0 * delta_ms).max(100.0)));
+    let flags = series.loss_flags();
+    FullReport {
+        measurement: MeasurementSummary {
+            sent: series.len(),
+            received: series.received(),
+            interval_ms: delta_ms,
+            wire_bytes: series.wire_bytes,
+            clock_resolution_ms: series.clock_resolution_ns as f64 / 1e6,
+            reordering: series.reordering_count(),
+        },
+        loss: analyze_losses(series),
+        gilbert: GilbertModel::fit(&flags),
+        loss_delay_correlation: loss_delay_correlation(series),
+        delay: analyze_delay_distribution(series),
+        bottleneck,
+        workload,
+        owd: analyze_owd(series),
+        route_changes: detect_route_changes(series, (series.len() / 10).max(50), 10.0),
+    }
+}
+
+/// Render a report as human-readable text.
+pub fn render_report(r: &FullReport) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let m = &r.measurement;
+    let _ = writeln!(
+        s,
+        "measurement: {} probes at {} ms ({} wire bytes, clock {} ms), {} received, {} reordered pairs",
+        m.sent, m.interval_ms, m.wire_bytes, m.clock_resolution_ms, m.received, m.reordering
+    );
+    let _ = writeln!(
+        s,
+        "loss: ulp {:.3}, clp {:?}, gap {:?} (Palm {:?}), random? {}",
+        r.loss.ulp,
+        r.loss.clp,
+        r.loss.plg_measured,
+        r.loss.plg_palm,
+        r.loss.losses_look_random(0.01)
+    );
+    if let Some(g) = &r.gilbert {
+        let _ = writeln!(
+            s,
+            "gilbert model: p {:.4}, r {:.4} (burst length {:.2})",
+            g.p,
+            g.r,
+            if g.r > 0.0 { 1.0 / g.r } else { f64::NAN }
+        );
+    }
+    if let Some(c) = r.loss_delay_correlation {
+        let _ = writeln!(s, "loss-delay correlation: {c:.3}");
+    }
+    if let Some(d) = &r.delay {
+        let _ = writeln!(
+            s,
+            "delay: min {:.1} / median {:.1} / mean {:.1} / p95 {:.1} ms",
+            d.min_ms, d.median_ms, d.mean_ms, d.p95_ms
+        );
+        if let Some(f) = &d.fit {
+            let _ = writeln!(
+                s,
+                "  constant+gamma fit: shift {:.1} ms, shape {:.2}, scale {:.2} ms (KS {:.3})",
+                f.shift_ms, f.shape, f.scale_ms, f.ks_distance
+            );
+        }
+    }
+    match &r.bottleneck {
+        Some(b) => {
+            let _ = writeln!(
+                s,
+                "bottleneck: {:.1} kb/s from the compression line (intercept {:.1} ms, bounds [{:.0}, {:.0}] kb/s, {} pairs)",
+                b.mu_bps / 1e3,
+                b.intercept_ms,
+                b.mu_lo_bps / 1e3,
+                b.mu_hi_bps / 1e3,
+                b.compression_points
+            );
+        }
+        None => {
+            let _ = writeln!(s, "bottleneck: no probe compression detected");
+        }
+    }
+    if let Some(w) = &r.workload {
+        let _ = writeln!(
+            s,
+            "workload: {} peaks; mean per-interval estimate {:.0} B; inferred bulk packet {:?} B",
+            w.peaks.len(),
+            w.mean_workload_bytes(),
+            w.inferred_bulk_bytes().map(|b| b.round())
+        );
+    }
+    if let Some(o) = &r.owd {
+        let _ = writeln!(
+            s,
+            "one-way: out {:.1}±{:.1} ms vs back {:.1}±{:.1} ms (queueing asymmetry {:+.1} ms)",
+            o.outbound.mean_ms,
+            o.outbound.std_ms,
+            o.inbound.mean_ms,
+            o.inbound.std_ms,
+            o.queueing_asymmetry_ms
+        );
+    }
+    for c in &r.route_changes {
+        let _ = writeln!(
+            s,
+            "route change at probe {}: {:.1} -> {:.1} ms ({:+.1} ms)",
+            c.at_index,
+            c.before_ms,
+            c.after_ms,
+            c.shift_ms()
+        );
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiment::PaperScenario;
+    use probenet_netdyn::ExperimentConfig;
+    use probenet_sim::SimDuration;
+
+    fn scenario_series(seed: u64) -> RttSeries {
+        let sc = PaperScenario::inria_umd(seed);
+        let cfg = ExperimentConfig::paper(SimDuration::from_millis(20))
+            .with_count(4500)
+            .with_clock(SimDuration::ZERO);
+        sc.run(&cfg).series
+    }
+
+    #[test]
+    fn full_report_populates_every_section_in_simulation() {
+        let series = scenario_series(1);
+        let r = full_report(&series, None);
+        assert_eq!(r.measurement.sent, 4500);
+        assert_eq!(r.measurement.reordering, 0);
+        assert!(r.loss.ulp > 0.0);
+        assert!(r.gilbert.is_some());
+        assert!(r.delay.is_some());
+        assert!(r.bottleneck.is_some(), "compression expected at 20 ms");
+        assert!(r.workload.is_some(), "mu known via the phase estimate");
+        assert!(r.owd.is_some(), "simulation provides echo stamps");
+        assert!(r.route_changes.is_empty(), "stable route");
+    }
+
+    #[test]
+    fn mu_hint_overrides_the_estimate() {
+        let series = scenario_series(2);
+        let r = full_report(&series, Some(128_000.0));
+        let w = r.workload.expect("workload with hint");
+        assert_eq!(w.mu_bps, 128_000.0);
+    }
+
+    #[test]
+    fn report_renders_all_sections() {
+        let series = scenario_series(3);
+        let r = full_report(&series, Some(128_000.0));
+        let text = render_report(&r);
+        for needle in [
+            "measurement:",
+            "loss:",
+            "gilbert model:",
+            "delay:",
+            "bottleneck:",
+            "workload:",
+            "one-way:",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+
+    #[test]
+    fn report_serializes_to_json() {
+        let series = scenario_series(4);
+        let r = full_report(&series, None);
+        let json = serde_json::to_string(&r).expect("serializable");
+        assert!(json.contains("\"ulp\""));
+        assert!(json.contains("\"measurement\""));
+    }
+}

@@ -1,0 +1,158 @@
+//! Experiment configuration.
+
+use probenet_sim::SimDuration;
+
+/// UDP + IP + link-level overhead added to the probe payload on the wire.
+/// With the 32-byte payload this gives the 72-byte `P` the paper's
+/// equation-(6) arithmetic uses (it evaluates `P = 72 × 8` bits).
+pub const WIRE_OVERHEAD_BYTES: u32 = 40;
+
+/// The paper's probe payload: 32 bytes (§2).
+pub const PROBE_PAYLOAD_BYTES: u32 = 32;
+
+/// Clock resolution of the DECstation 5000 source host at INRIA:
+/// 3.906 ms ≈ 1/256 s (§2).
+pub const DECSTATION_CLOCK: SimDuration = SimDuration::from_nanos(3_906_250);
+
+/// Clock resolution of the source host at UMd in the May 1993 experiments:
+/// 3 ms (§4, discussion of Figure 6).
+pub const UMD_CLOCK: SimDuration = SimDuration::from_millis(3);
+
+/// The probe intervals δ the paper sweeps (§2): 8, 20, 50, 100, 200, 500 ms.
+pub fn paper_intervals() -> Vec<SimDuration> {
+    [8u64, 20, 50, 100, 200, 500]
+        .iter()
+        .map(|&ms| SimDuration::from_millis(ms))
+        .collect()
+}
+
+/// Configuration of one probing experiment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExperimentConfig {
+    /// Probe payload size in bytes.
+    pub payload_bytes: u32,
+    /// Extra wire bytes per probe (headers + framing).
+    pub overhead_bytes: u32,
+    /// Interval δ between successive probes.
+    pub interval: SimDuration,
+    /// Number of probes to send.
+    pub count: usize,
+    /// Measurement clock resolution; `SimDuration::ZERO` means a perfect
+    /// clock (timestamps are not quantized).
+    pub clock_resolution: SimDuration,
+}
+
+impl ExperimentConfig {
+    /// The paper's configuration for a given δ: 32-byte probes for 10
+    /// minutes (§2), measured with the DECstation clock.
+    ///
+    /// # Panics
+    /// Panics if `interval` is zero.
+    pub fn paper(interval: SimDuration) -> Self {
+        assert!(!interval.is_zero(), "probe interval must be positive");
+        let experiment = SimDuration::from_secs(600); // 10 minutes
+        let count = (experiment.as_nanos() / interval.as_nanos()) as usize;
+        ExperimentConfig {
+            payload_bytes: PROBE_PAYLOAD_BYTES,
+            overhead_bytes: WIRE_OVERHEAD_BYTES,
+            interval,
+            count,
+            clock_resolution: DECSTATION_CLOCK,
+        }
+    }
+
+    /// A short configuration for tests and examples: `count` probes at
+    /// `interval`, perfect clock.
+    pub fn quick(interval: SimDuration, count: usize) -> Self {
+        ExperimentConfig {
+            payload_bytes: PROBE_PAYLOAD_BYTES,
+            overhead_bytes: WIRE_OVERHEAD_BYTES,
+            interval,
+            count,
+            clock_resolution: SimDuration::ZERO,
+        }
+    }
+
+    /// Replace the clock resolution.
+    pub fn with_clock(mut self, resolution: SimDuration) -> Self {
+        self.clock_resolution = resolution;
+        self
+    }
+
+    /// Replace the probe count.
+    pub fn with_count(mut self, count: usize) -> Self {
+        self.count = count;
+        self
+    }
+
+    /// Total probe size on the wire.
+    pub fn wire_bytes(&self) -> u32 {
+        self.payload_bytes + self.overhead_bytes
+    }
+
+    /// Wall-clock span of the send schedule.
+    pub fn span(&self) -> SimDuration {
+        self.interval.saturating_mul(self.count as u64)
+    }
+
+    /// Fraction of a bottleneck of `mu_bps` the probe stream consumes —
+    /// the quantity the paper's loss analysis conditions on ("unless the
+    /// probe traffic uses a large fraction of the available bandwidth").
+    pub fn probe_utilization(&self, mu_bps: u64) -> f64 {
+        (self.wire_bytes() as f64 * 8.0) / (self.interval.as_secs_f64() * mu_bps as f64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_config_matches_section2() {
+        let c = ExperimentConfig::paper(SimDuration::from_millis(50));
+        assert_eq!(c.payload_bytes, 32);
+        assert_eq!(c.wire_bytes(), 72);
+        assert_eq!(c.count, 12_000); // 600 s / 50 ms
+        assert_eq!(c.clock_resolution, DECSTATION_CLOCK);
+        assert_eq!(c.span(), SimDuration::from_secs(600));
+    }
+
+    #[test]
+    fn paper_interval_sweep() {
+        let ds = paper_intervals();
+        assert_eq!(ds.len(), 6);
+        assert_eq!(ds[0], SimDuration::from_millis(8));
+        assert_eq!(ds[5], SimDuration::from_millis(500));
+    }
+
+    #[test]
+    fn decstation_clock_is_1_over_256_s() {
+        assert_eq!(DECSTATION_CLOCK.as_nanos() * 256, 1_000_000_000);
+    }
+
+    #[test]
+    fn probe_utilization_math() {
+        // 72 B every 8 ms at 128 kb/s: 72*8/0.008 = 72 kb/s -> 56.25%.
+        let c = ExperimentConfig::paper(SimDuration::from_millis(8));
+        let u = c.probe_utilization(128_000);
+        assert!((u - 0.5625).abs() < 1e-12, "utilization {u}");
+        // At δ = 500 ms it is below 1%.
+        let c = ExperimentConfig::paper(SimDuration::from_millis(500));
+        assert!(c.probe_utilization(128_000) < 0.01);
+    }
+
+    #[test]
+    fn builders() {
+        let c = ExperimentConfig::quick(SimDuration::from_millis(10), 100)
+            .with_clock(UMD_CLOCK)
+            .with_count(50);
+        assert_eq!(c.count, 50);
+        assert_eq!(c.clock_resolution, UMD_CLOCK);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_interval_panics() {
+        ExperimentConfig::paper(SimDuration::ZERO);
+    }
+}

@@ -1,0 +1,252 @@
+//! Plain-text CSV interchange for RTT series.
+//!
+//! The original NetDyn workflow wrote measurement logs to flat files for
+//! offline analysis; this module provides the same capability so series can
+//! move between probenet and external tools (gnuplot, R, spreadsheets)
+//! without a serde dependency on the consumer side.
+//!
+//! Format (header + one row per probe; empty fields for lost probes):
+//!
+//! ```text
+//! seq,sent_at_ns,echoed_at_ns,rtt_ns
+//! 0,0,71214771,142429542
+//! 1,50000000,,
+//! ```
+
+use std::fmt::Write as _;
+
+use probenet_sim::SimDuration;
+
+use crate::series::{RttRecord, RttSeries};
+
+/// Errors raised when parsing a CSV series.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsvError {
+    /// The header line is missing or wrong.
+    BadHeader,
+    /// A data row has the wrong number of fields.
+    BadRow {
+        /// 1-based line number.
+        line: usize,
+    },
+    /// A field failed to parse as an integer.
+    BadField {
+        /// 1-based line number.
+        line: usize,
+        /// Column name.
+        column: &'static str,
+    },
+}
+
+impl std::fmt::Display for CsvError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsvError::BadHeader => write!(f, "missing or invalid CSV header"),
+            CsvError::BadRow { line } => write!(f, "line {line}: wrong field count"),
+            CsvError::BadField { line, column } => {
+                write!(f, "line {line}: invalid {column}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsvError {}
+
+const HEADER: &str = "seq,sent_at_ns,echoed_at_ns,rtt_ns";
+
+/// Serialize a series to CSV. Metadata (interval, wire size, clock) rides
+/// in `#`-prefixed comment lines so the file is self-describing.
+pub fn to_csv(series: &RttSeries) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "# interval_ns={}", series.interval_ns);
+    let _ = writeln!(out, "# wire_bytes={}", series.wire_bytes);
+    let _ = writeln!(out, "# clock_resolution_ns={}", series.clock_resolution_ns);
+    out.push_str(HEADER);
+    out.push('\n');
+    for r in &series.records {
+        let _ = write!(out, "{},{},", r.seq, r.sent_at);
+        if let Some(e) = r.echoed_at {
+            let _ = write!(out, "{e}");
+        }
+        out.push(',');
+        if let Some(rtt) = r.rtt {
+            let _ = write!(out, "{rtt}");
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Parse a series from CSV produced by [`to_csv`] (or hand-written in the
+/// same format; metadata comments are optional and default to zero).
+pub fn from_csv(text: &str) -> Result<RttSeries, CsvError> {
+    let mut interval_ns = 0u64;
+    let mut wire_bytes = 0u32;
+    let mut clock_ns = 0u64;
+    let mut records = Vec::new();
+    let mut saw_header = false;
+    for (i, line) in text.lines().enumerate() {
+        let line_no = i + 1;
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(meta) = line.strip_prefix('#') {
+            let meta = meta.trim();
+            if let Some(v) = meta.strip_prefix("interval_ns=") {
+                interval_ns = v.parse().map_err(|_| CsvError::BadField {
+                    line: line_no,
+                    column: "interval_ns",
+                })?;
+            } else if let Some(v) = meta.strip_prefix("wire_bytes=") {
+                wire_bytes = v.parse().map_err(|_| CsvError::BadField {
+                    line: line_no,
+                    column: "wire_bytes",
+                })?;
+            } else if let Some(v) = meta.strip_prefix("clock_resolution_ns=") {
+                clock_ns = v.parse().map_err(|_| CsvError::BadField {
+                    line: line_no,
+                    column: "clock_resolution_ns",
+                })?;
+            }
+            continue;
+        }
+        if !saw_header {
+            if line != HEADER {
+                return Err(CsvError::BadHeader);
+            }
+            saw_header = true;
+            continue;
+        }
+        let fields: Vec<&str> = line.split(',').collect();
+        if fields.len() != 4 {
+            return Err(CsvError::BadRow { line: line_no });
+        }
+        let seq = fields[0].parse().map_err(|_| CsvError::BadField {
+            line: line_no,
+            column: "seq",
+        })?;
+        let sent_at = fields[1].parse().map_err(|_| CsvError::BadField {
+            line: line_no,
+            column: "sent_at_ns",
+        })?;
+        let echoed_at = if fields[2].is_empty() {
+            None
+        } else {
+            Some(fields[2].parse().map_err(|_| CsvError::BadField {
+                line: line_no,
+                column: "echoed_at_ns",
+            })?)
+        };
+        let rtt = if fields[3].is_empty() {
+            None
+        } else {
+            Some(fields[3].parse().map_err(|_| CsvError::BadField {
+                line: line_no,
+                column: "rtt_ns",
+            })?)
+        };
+        records.push(RttRecord {
+            seq,
+            sent_at,
+            echoed_at,
+            rtt,
+        });
+    }
+    if !saw_header {
+        return Err(CsvError::BadHeader);
+    }
+    Ok(RttSeries::new(
+        SimDuration::from_nanos(interval_ns),
+        wire_bytes,
+        SimDuration::from_nanos(clock_ns),
+        records,
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> RttSeries {
+        RttSeries::new(
+            SimDuration::from_millis(50),
+            72,
+            SimDuration::from_nanos(3_906_250),
+            vec![
+                RttRecord {
+                    seq: 0,
+                    sent_at: 0,
+                    echoed_at: Some(71_000_000),
+                    rtt: Some(142_000_000),
+                },
+                RttRecord {
+                    seq: 1,
+                    sent_at: 50_000_000,
+                    echoed_at: None,
+                    rtt: None,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn round_trip() {
+        let s = sample();
+        let csv = to_csv(&s);
+        let back = from_csv(&csv).expect("parse");
+        assert_eq!(back.records, s.records);
+        assert_eq!(back.interval_ns, s.interval_ns);
+        assert_eq!(back.wire_bytes, s.wire_bytes);
+        assert_eq!(back.clock_resolution_ns, s.clock_resolution_ns);
+    }
+
+    #[test]
+    fn lost_probe_has_empty_fields() {
+        let csv = to_csv(&sample());
+        let lost_row = csv.lines().last().expect("rows");
+        assert_eq!(lost_row, "1,50000000,,");
+    }
+
+    #[test]
+    fn header_is_mandatory() {
+        assert_eq!(from_csv("1,2,3,4\n").unwrap_err(), CsvError::BadHeader);
+        assert_eq!(from_csv("").unwrap_err(), CsvError::BadHeader);
+    }
+
+    #[test]
+    fn bad_rows_are_located() {
+        let text = format!("{HEADER}\n0,0,,\n1,2,3\n");
+        assert_eq!(from_csv(&text).unwrap_err(), CsvError::BadRow { line: 3 });
+        let text = format!("{HEADER}\nx,0,,\n");
+        assert!(matches!(
+            from_csv(&text),
+            Err(CsvError::BadField {
+                line: 2,
+                column: "seq"
+            })
+        ));
+    }
+
+    #[test]
+    fn metadata_is_optional() {
+        let text = format!("{HEADER}\n0,0,,150000000\n");
+        let s = from_csv(&text).expect("parse");
+        assert_eq!(s.interval_ns, 0);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.received(), 1);
+    }
+
+    #[test]
+    fn blank_lines_and_unknown_comments_are_ignored() {
+        let text = format!("# made by hand\n\n{HEADER}\n\n0,0,,150000000\n");
+        let s = from_csv(&text).expect("parse");
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn error_display() {
+        assert!(CsvError::BadHeader.to_string().contains("header"));
+        assert!(CsvError::BadRow { line: 7 }.to_string().contains('7'));
+    }
+}

@@ -1,0 +1,214 @@
+//! Run a probing experiment against the discrete-event simulator.
+//!
+//! This is the simulated counterpart of the real UDP driver: probes are
+//! injected at `n·δ`, cross traffic competes for the configured queues, and
+//! the delivered round trips — quantized to the host clock resolution —
+//! are assembled into an [`RttSeries`].
+
+use probenet_sim::{Direction, Engine, Path, SimTime};
+use probenet_traffic::Arrival;
+
+use crate::config::ExperimentConfig;
+use crate::series::{quantized_rtt, RttRecord, RttSeries};
+
+/// Cross traffic bound for one queue of the path.
+#[derive(Debug, Clone)]
+pub struct CrossTrafficBinding {
+    /// Link index on the path.
+    pub link: usize,
+    /// Queue direction on that link.
+    pub direction: Direction,
+    /// The arrival stream.
+    pub arrivals: Vec<Arrival>,
+}
+
+/// A fully specified simulated experiment.
+#[derive(Debug, Clone)]
+pub struct SimExperiment {
+    /// Probing parameters.
+    pub config: ExperimentConfig,
+    /// The path to probe.
+    pub path: Path,
+    /// Cross traffic per queue.
+    pub cross_traffic: Vec<CrossTrafficBinding>,
+    /// Seed for the simulator's randomness (link loss).
+    pub seed: u64,
+}
+
+impl SimExperiment {
+    /// An experiment over `path` with no cross traffic.
+    pub fn new(config: ExperimentConfig, path: Path, seed: u64) -> Self {
+        SimExperiment {
+            config,
+            path,
+            cross_traffic: Vec::new(),
+            seed,
+        }
+    }
+
+    /// Attach a cross-traffic stream to one queue.
+    pub fn with_cross_traffic(
+        mut self,
+        link: usize,
+        direction: Direction,
+        arrivals: Vec<Arrival>,
+    ) -> Self {
+        self.cross_traffic.push(CrossTrafficBinding {
+            link,
+            direction,
+            arrivals,
+        });
+        self
+    }
+
+    /// Run to completion and collect the RTT series. Also returns the
+    /// engine for callers that want queue statistics or drop records.
+    pub fn run(self) -> (RttSeries, Engine) {
+        let mut engine = Engine::new(self.path, self.seed);
+        for binding in self.cross_traffic {
+            engine.attach_cross_traffic(
+                binding.link,
+                binding.direction,
+                binding.arrivals.iter().map(|a| a.into_pair()),
+            );
+        }
+        let wire = self.config.wire_bytes();
+        for n in 0..self.config.count as u64 {
+            let at = SimTime::ZERO + self.config.interval * n;
+            engine.inject_probe(at, wire, n);
+        }
+        engine.run();
+
+        let mut records: Vec<RttRecord> = (0..self.config.count as u64)
+            .map(|n| RttRecord {
+                seq: n,
+                sent_at: (SimTime::ZERO + self.config.interval * n).as_nanos(),
+                echoed_at: None,
+                rtt: None,
+            })
+            .collect();
+        for d in engine.probe_deliveries() {
+            let sent = d.injected_at;
+            let rtt = quantized_rtt(sent, d.delivered_at, self.config.clock_resolution);
+            records[d.seq as usize].rtt = Some(rtt.as_nanos());
+            records[d.seq as usize].echoed_at = d
+                .echoed_at
+                .map(|e| crate::series::quantize(e, self.config.clock_resolution).as_nanos());
+        }
+        let series = RttSeries::new(
+            self.config.interval,
+            wire,
+            self.config.clock_resolution,
+            records,
+        );
+        (series, engine)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probenet_sim::{BufferLimit, LinkSpec, SimDuration};
+    use probenet_traffic::{InternetMix, PacketSize, PeriodicStream};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn flat_path(bw: u64) -> Path {
+        Path::new(
+            vec!["src".into(), "echo".into()],
+            vec![LinkSpec::new(bw, SimDuration::from_millis(10))
+                .with_buffer(BufferLimit::Packets(20))],
+        )
+    }
+
+    #[test]
+    fn unloaded_experiment_has_constant_rtt_no_loss() {
+        let cfg = ExperimentConfig::quick(SimDuration::from_millis(50), 200);
+        let (series, _) = SimExperiment::new(cfg, flat_path(128_000), 1).run();
+        assert_eq!(series.len(), 200);
+        assert_eq!(series.lost(), 0);
+        let rtts = series.delivered_rtts_ms();
+        // 72 B at 128 kb/s = 4.5 ms per direction + 20 ms propagation.
+        assert!(
+            rtts.iter().all(|&r| (r - 29.0).abs() < 1e-9),
+            "{:?}",
+            &rtts[..3]
+        );
+    }
+
+    #[test]
+    fn cross_traffic_inflates_rtts() {
+        let cfg = ExperimentConfig::quick(SimDuration::from_millis(50), 200);
+        let mix = InternetMix::calibrated(128_000, 0.5, 0.2, 3.0);
+        let arrivals = mix.generate(&mut StdRng::seed_from_u64(3), SimDuration::from_secs(12));
+        let loaded = SimExperiment::new(cfg.clone(), flat_path(128_000), 1)
+            .with_cross_traffic(0, Direction::Outbound, arrivals)
+            .run()
+            .0;
+        let unloaded = SimExperiment::new(cfg, flat_path(128_000), 1).run().0;
+        let mean = |s: &RttSeries| {
+            let v = s.delivered_rtts_ms();
+            v.iter().sum::<f64>() / v.len() as f64
+        };
+        assert!(
+            mean(&loaded) > mean(&unloaded) + 5.0,
+            "loaded {} unloaded {}",
+            mean(&loaded),
+            mean(&unloaded)
+        );
+    }
+
+    #[test]
+    fn saturating_cross_traffic_causes_losses() {
+        let cfg = ExperimentConfig::quick(SimDuration::from_millis(20), 400);
+        // Offered cross load alone ≈ 1.3 µ: the finite buffer must drop.
+        let cross = PeriodicStream::every(SimDuration::from_millis(24), PacketSize::Constant(512))
+            .generate(&mut StdRng::seed_from_u64(5), SimDuration::from_secs(10));
+        let (series, engine) = SimExperiment::new(cfg, flat_path(128_000), 1)
+            .with_cross_traffic(0, Direction::Outbound, cross)
+            .run();
+        assert!(
+            series.loss_probability() > 0.05,
+            "ulp {}",
+            series.loss_probability()
+        );
+        assert!(!engine.drops().is_empty());
+    }
+
+    #[test]
+    fn clock_quantization_bands_the_rtts() {
+        let res = SimDuration::from_millis(3);
+        let cfg = ExperimentConfig::quick(SimDuration::from_millis(50), 100).with_clock(res);
+        let (series, _) = SimExperiment::new(cfg, flat_path(10_000_000), 1).run();
+        for r in series.delivered_rtts_ms() {
+            let ns = (r * 1e6).round() as u64;
+            assert_eq!(ns % 3_000_000, 0, "rtt {r} not on a 3 ms grid");
+        }
+    }
+
+    #[test]
+    fn deliveries_map_back_to_correct_sequence_numbers() {
+        let cfg = ExperimentConfig::quick(SimDuration::from_millis(10), 50);
+        let (series, _) = SimExperiment::new(cfg, flat_path(1_000_000), 1).run();
+        for (i, rec) in series.records.iter().enumerate() {
+            assert_eq!(rec.seq, i as u64);
+            assert_eq!(rec.sent_at, (i as u64) * 10_000_000);
+        }
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = || {
+            let cfg = ExperimentConfig::quick(SimDuration::from_millis(20), 300);
+            let mix = InternetMix::calibrated(128_000, 0.6, 0.2, 3.0);
+            let arr = mix.generate(&mut StdRng::seed_from_u64(9), SimDuration::from_secs(7));
+            SimExperiment::new(cfg, flat_path(128_000), 4)
+                .with_cross_traffic(0, Direction::Outbound, arr)
+                .run()
+                .0
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.records, b.records);
+    }
+}

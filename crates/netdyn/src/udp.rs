@@ -1,0 +1,528 @@
+//! The real-network probe tool: a UDP echo server and a probing client
+//! over `std::net` sockets.
+//!
+//! This is a working NetDyn clone (§2 of the paper): the client sends
+//! 32-byte probe packets at a fixed interval, the echo host stamps and
+//! returns them, and the client assembles the [`RttSeries`]. The paper
+//! routed probes source → echo → destination with source == destination;
+//! with a single client socket both roles coincide exactly as in the
+//! paper's setup.
+//!
+//! The server offers Bernoulli **drop fault injection** so loss handling
+//! can be exercised deterministically on loopback, in the spirit of the
+//! fault-injection options small network stacks ship in their examples.
+
+use std::io;
+use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use parking_lot::Mutex;
+use probenet_sim::SimDuration;
+use probenet_wire::{ProbePacket, Timestamp48, PROBE_PAYLOAD_BYTES};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ExperimentConfig;
+use crate::series::{RttRecord, RttSeries};
+
+/// Microseconds since an arbitrary process-local epoch, monotonic.
+fn monotonic_micros(epoch: Instant) -> Timestamp48 {
+    Timestamp48::from_micros(epoch.elapsed().as_micros() as u64)
+}
+
+/// Counters published by a running echo server.
+#[derive(Debug, Default, Clone)]
+pub struct EchoServerStats {
+    /// Probes received and echoed.
+    pub echoed: u64,
+    /// Probes deliberately dropped by fault injection.
+    pub dropped: u64,
+    /// Datagrams that failed to decode as probe packets.
+    pub decode_errors: u64,
+}
+
+/// A UDP echo host: stamps `echo_ts` into each valid probe and returns it
+/// to the sender. Runs on its own thread until dropped or shut down.
+#[derive(Debug)]
+pub struct EchoServer {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<EchoServerStats>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl EchoServer {
+    /// Bind to `addr` (e.g. `"127.0.0.1:0"`) and start echoing.
+    pub fn spawn<A: ToSocketAddrs>(addr: A) -> io::Result<EchoServer> {
+        Self::spawn_with_loss(addr, 0.0, 0)
+    }
+
+    /// Bind and **forward** stamped probes to a fixed destination instead
+    /// of reflecting them to the sender — the paper's actual three-host
+    /// topology (§2): "sends UDP packets at regular intervals from a source
+    /// host to a destination host via an intermediate host". Use
+    /// [`DestinationCollector`] on the destination side.
+    pub fn spawn_forwarding<A: ToSocketAddrs>(
+        addr: A,
+        destination: SocketAddr,
+    ) -> io::Result<EchoServer> {
+        Self::spawn_inner(addr, 0.0, 0, Some(destination))
+    }
+
+    /// As [`EchoServer::spawn`], dropping each probe independently with
+    /// probability `drop_probability` (deterministic per `seed`) — fault
+    /// injection for testing loss behaviour on a lossless loopback.
+    ///
+    /// # Panics
+    /// Panics unless `0.0 <= drop_probability <= 1.0`.
+    pub fn spawn_with_loss<A: ToSocketAddrs>(
+        addr: A,
+        drop_probability: f64,
+        seed: u64,
+    ) -> io::Result<EchoServer> {
+        Self::spawn_inner(addr, drop_probability, seed, None)
+    }
+
+    fn spawn_inner<A: ToSocketAddrs>(
+        addr: A,
+        drop_probability: f64,
+        seed: u64,
+        forward_to: Option<SocketAddr>,
+    ) -> io::Result<EchoServer> {
+        assert!(
+            (0.0..=1.0).contains(&drop_probability),
+            "drop probability out of range"
+        );
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let local_addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let stats = Arc::new(Mutex::new(EchoServerStats::default()));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let stats = Arc::clone(&stats);
+            std::thread::spawn(move || {
+                echo_loop(socket, shutdown, stats, drop_probability, seed, forward_to);
+            })
+        };
+        Ok(EchoServer {
+            local_addr,
+            shutdown,
+            stats,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address (with the kernel-chosen port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Snapshot of the server counters.
+    pub fn stats(&self) -> EchoServerStats {
+        self.stats.lock().clone()
+    }
+
+    /// Stop the server thread and wait for it to exit.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EchoServer {
+    fn drop(&mut self) {
+        self.stop();
+    }
+}
+
+fn echo_loop(
+    socket: UdpSocket,
+    shutdown: Arc<AtomicBool>,
+    stats: Arc<Mutex<EchoServerStats>>,
+    drop_probability: f64,
+    seed: u64,
+    forward_to: Option<SocketAddr>,
+) {
+    let epoch = Instant::now();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut buf = [0u8; 2048];
+    while !shutdown.load(Ordering::SeqCst) {
+        let (len, peer) = match socket.recv_from(&mut buf) {
+            Ok(x) => x,
+            Err(e)
+                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
+            {
+                continue
+            }
+            Err(_) => break,
+        };
+        match ProbePacket::decode(&buf[..len]) {
+            Ok(mut probe) => {
+                if drop_probability > 0.0 && rng.gen::<f64>() < drop_probability {
+                    stats.lock().dropped += 1;
+                    continue;
+                }
+                probe.echo_ts = monotonic_micros(epoch);
+                let out = probe.to_bytes();
+                let target = forward_to.unwrap_or(peer);
+                if socket.send_to(&out, target).is_ok() {
+                    stats.lock().echoed += 1;
+                }
+            }
+            Err(_) => {
+                stats.lock().decode_errors += 1;
+            }
+        }
+    }
+}
+
+/// The destination host of the paper's three-host topology: listens for
+/// probes forwarded by an [`EchoServer`] in forwarding mode, stamps
+/// `dest_ts` on arrival, and collects the packets for retrieval.
+///
+/// Note the paper's caveat (§2): with three *distinct* hosts the timestamps
+/// mix clocks, so only same-clock differences are meaningful — which is why
+/// the paper (and [`run_probes`]) collapse source and destination onto one
+/// host. The collector exists to realize the full topology and to measure
+/// echo→destination one-way delays on hosts that *are* synchronized.
+#[derive(Debug)]
+pub struct DestinationCollector {
+    local_addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    received: Arc<Mutex<Vec<ProbePacket>>>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl DestinationCollector {
+    /// Bind to `addr` and start collecting.
+    pub fn spawn<A: ToSocketAddrs>(addr: A) -> io::Result<DestinationCollector> {
+        let socket = UdpSocket::bind(addr)?;
+        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let local_addr = socket.local_addr()?;
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let received = Arc::new(Mutex::new(Vec::new()));
+        let handle = {
+            let shutdown = Arc::clone(&shutdown);
+            let received = Arc::clone(&received);
+            std::thread::spawn(move || {
+                let epoch = Instant::now();
+                let mut buf = [0u8; 2048];
+                while !shutdown.load(Ordering::SeqCst) {
+                    let len = match socket.recv(&mut buf) {
+                        Ok(l) => l,
+                        Err(e)
+                            if e.kind() == io::ErrorKind::WouldBlock
+                                || e.kind() == io::ErrorKind::TimedOut =>
+                        {
+                            continue
+                        }
+                        Err(_) => break,
+                    };
+                    if let Ok(mut probe) = ProbePacket::decode(&buf[..len]) {
+                        probe.dest_ts = monotonic_micros(epoch);
+                        received.lock().push(probe);
+                    }
+                }
+            })
+        };
+        Ok(DestinationCollector {
+            local_addr,
+            shutdown,
+            received,
+            handle: Some(handle),
+        })
+    }
+
+    /// The bound address to hand to [`EchoServer::spawn_forwarding`].
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Probes collected so far (stamped with the destination clock).
+    pub fn received(&self) -> Vec<ProbePacket> {
+        self.received.lock().clone()
+    }
+
+    /// Stop the collector and return everything it received.
+    pub fn shutdown(mut self) -> Vec<ProbePacket> {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+        std::mem::take(&mut self.received.lock())
+    }
+}
+
+impl Drop for DestinationCollector {
+    fn drop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+/// Fire-and-forget sender for the three-host topology: sends `count`
+/// probes at `interval` toward the echo host and returns the number sent
+/// (delivery is observed at the [`DestinationCollector`]).
+pub fn send_probes_via(echo: SocketAddr, count: usize, interval: Duration) -> io::Result<usize> {
+    let socket = UdpSocket::bind(("0.0.0.0", 0))?;
+    socket.connect(echo)?;
+    let epoch = Instant::now();
+    let start = Instant::now();
+    let mut sent = 0;
+    for n in 0..count {
+        let target = start + interval * n as u32;
+        let now = Instant::now();
+        if target > now {
+            std::thread::sleep(target - now);
+        }
+        let probe = ProbePacket::outgoing(n as u32, monotonic_micros(epoch));
+        if socket.send(&probe.to_bytes()).is_ok() {
+            sent += 1;
+        }
+    }
+    Ok(sent)
+}
+
+/// Outcome of a real probing run beyond the series itself.
+#[derive(Debug, Clone, Default)]
+pub struct ProbeRunStats {
+    /// Replies that arrived after a probe with the same sequence number had
+    /// already been recorded.
+    pub duplicates: u64,
+    /// Replies whose payload failed to decode.
+    pub decode_errors: u64,
+}
+
+/// Send `config.count` probes of `config.payload_bytes` to `server` at
+/// `config.interval`, then linger `drain` waiting for stragglers; returns
+/// the measured series (lost probes have `rtt = None`) and run statistics.
+///
+/// The measured RTT is `dest_ts − source_ts` from the packet's own
+/// timestamp fields, exactly as NetDyn computes it, then quantized to
+/// `config.clock_resolution`.
+pub fn run_probes(
+    server: SocketAddr,
+    config: &ExperimentConfig,
+    drain: Duration,
+) -> io::Result<(RttSeries, ProbeRunStats)> {
+    assert_eq!(
+        config.payload_bytes as usize, PROBE_PAYLOAD_BYTES,
+        "the wire format carries exactly the 32-byte NetDyn payload"
+    );
+    let socket = UdpSocket::bind(("0.0.0.0", 0))?;
+    socket.connect(server)?;
+    socket.set_nonblocking(true)?;
+
+    let epoch = Instant::now();
+    let interval = Duration::from_nanos(config.interval.as_nanos());
+    let mut rtts: Vec<Option<u64>> = vec![None; config.count];
+    let mut echoes: Vec<Option<u64>> = vec![None; config.count];
+    let mut stats = ProbeRunStats::default();
+    let mut buf = [0u8; 2048];
+
+    let mut receive = |rtts: &mut Vec<Option<u64>>,
+                       echoes: &mut Vec<Option<u64>>,
+                       stats: &mut ProbeRunStats| loop {
+        match socket.recv(&mut buf) {
+            Ok(len) => match ProbePacket::decode(&buf[..len]) {
+                Ok(mut probe) => {
+                    probe.dest_ts = monotonic_micros(epoch);
+                    let n = probe.seq as usize;
+                    if n >= rtts.len() {
+                        stats.decode_errors += 1;
+                        continue;
+                    }
+                    if rtts[n].is_some() {
+                        stats.duplicates += 1;
+                        continue;
+                    }
+                    rtts[n] = Some(probe.rtt_micros() * 1_000); // µs -> ns
+                                                                // Echo-host clock reading; comparable to sent_at only
+                                                                // under synchronized clocks (see RttRecord::echoed_at).
+                    echoes[n] = Some(probe.echo_ts.as_micros() * 1_000);
+                }
+                Err(_) => stats.decode_errors += 1,
+            },
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+            Err(e) => {
+                // Treat transient errors (e.g. ICMP-induced ECONNREFUSED on
+                // some platforms) as "nothing received".
+                let _ = e;
+                break;
+            }
+        }
+    };
+
+    let start = Instant::now();
+    for n in 0..config.count {
+        let target = start + interval * n as u32;
+        // Service the receive queue while waiting for the send slot.
+        loop {
+            let now = Instant::now();
+            if now >= target {
+                break;
+            }
+            receive(&mut rtts, &mut echoes, &mut stats);
+            let remaining = target - now;
+            std::thread::sleep(remaining.min(Duration::from_micros(200)));
+        }
+        let probe = ProbePacket::outgoing(n as u32, monotonic_micros(epoch));
+        let _ = socket.send(&probe.to_bytes());
+    }
+    // Drain stragglers.
+    let deadline = Instant::now() + drain;
+    while Instant::now() < deadline {
+        receive(&mut rtts, &mut echoes, &mut stats);
+        std::thread::sleep(Duration::from_micros(500));
+    }
+
+    let resolution = config.clock_resolution;
+    let records = rtts
+        .into_iter()
+        .enumerate()
+        .map(|(n, rtt)| RttRecord {
+            seq: n as u64,
+            sent_at: config.interval.as_nanos() * n as u64,
+            echoed_at: echoes[n],
+            rtt: rtt.map(|ns| quantize_ns(ns, resolution)),
+        })
+        .collect();
+    Ok((
+        RttSeries::new(config.interval, config.wire_bytes(), resolution, records),
+        stats,
+    ))
+}
+
+fn quantize_ns(ns: u64, resolution: SimDuration) -> u64 {
+    match resolution.as_nanos() {
+        0 => ns,
+        r => ns / r * r,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probenet_sim::SimDuration;
+
+    fn quick(count: usize, interval_ms: u64) -> ExperimentConfig {
+        ExperimentConfig::quick(SimDuration::from_millis(interval_ms), count)
+    }
+
+    #[test]
+    fn loopback_probes_all_return() {
+        let server = EchoServer::spawn("127.0.0.1:0").expect("bind echo server");
+        let cfg = quick(30, 2);
+        let (series, stats) =
+            run_probes(server.local_addr(), &cfg, Duration::from_millis(300)).expect("probe run");
+        assert_eq!(series.len(), 30);
+        assert_eq!(
+            series.lost(),
+            0,
+            "lost {} probes on loopback",
+            series.lost()
+        );
+        assert_eq!(stats.decode_errors, 0);
+        // Loopback RTTs are far below a second.
+        assert!(series.delivered_rtts_ms().iter().all(|&r| r < 1000.0));
+        assert!(server.stats().echoed >= 30);
+        server.shutdown();
+    }
+
+    #[test]
+    fn full_fault_injection_loses_everything() {
+        let server = EchoServer::spawn_with_loss("127.0.0.1:0", 1.0, 7).expect("bind echo server");
+        let cfg = quick(10, 2);
+        let (series, _) =
+            run_probes(server.local_addr(), &cfg, Duration::from_millis(100)).expect("probe run");
+        assert_eq!(series.lost(), 10);
+        assert_eq!(server.stats().dropped, 10);
+    }
+
+    #[test]
+    fn partial_fault_injection_loses_roughly_the_configured_fraction() {
+        let server = EchoServer::spawn_with_loss("127.0.0.1:0", 0.5, 11).expect("bind echo server");
+        let cfg = quick(200, 1);
+        let (series, _) =
+            run_probes(server.local_addr(), &cfg, Duration::from_millis(300)).expect("probe run");
+        let ulp = series.loss_probability();
+        assert!((0.3..0.7).contains(&ulp), "ulp {ulp}");
+    }
+
+    #[test]
+    fn malformed_datagrams_are_counted_not_echoed() {
+        let server = EchoServer::spawn("127.0.0.1:0").expect("bind echo server");
+        let sock = UdpSocket::bind("127.0.0.1:0").unwrap();
+        sock.send_to(b"not a probe", server.local_addr()).unwrap();
+        sock.send_to(&[0u8; 32], server.local_addr()).unwrap();
+        std::thread::sleep(Duration::from_millis(100));
+        let stats = server.stats();
+        assert_eq!(stats.decode_errors, 2);
+        assert_eq!(stats.echoed, 0);
+    }
+
+    #[test]
+    fn three_host_topology_forwards_to_the_destination() {
+        // source --(probes)--> echo --(stamped)--> destination, all on
+        // loopback: the paper's §2 arrangement with distinct sockets.
+        let destination = DestinationCollector::spawn("127.0.0.1:0").expect("bind destination");
+        let echo = EchoServer::spawn_forwarding("127.0.0.1:0", destination.local_addr())
+            .expect("bind echo");
+        let sent =
+            send_probes_via(echo.local_addr(), 25, Duration::from_millis(2)).expect("send probes");
+        assert_eq!(sent, 25);
+        std::thread::sleep(Duration::from_millis(200));
+        let got = destination.shutdown();
+        assert!(got.len() >= 23, "destination got only {} probes", got.len());
+        // Every probe carries all three stamps; on one machine the clocks
+        // are per-process epochs, so only ordering is asserted.
+        for p in &got {
+            assert!(p.echo_ts.as_micros() > 0, "echo stamp missing");
+            assert!(p.dest_ts.as_micros() > 0, "dest stamp missing");
+        }
+        // Sequence numbers arrive without duplication.
+        let mut seqs: Vec<u32> = got.iter().map(|p| p.seq).collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        assert_eq!(seqs.len(), got.len(), "duplicated probes at destination");
+        assert!(echo.stats().echoed >= 23);
+        echo.shutdown();
+    }
+
+    #[test]
+    fn forwarding_server_does_not_reflect_to_the_sender() {
+        let destination = DestinationCollector::spawn("127.0.0.1:0").expect("bind destination");
+        let echo = EchoServer::spawn_forwarding("127.0.0.1:0", destination.local_addr())
+            .expect("bind echo");
+        // A probing client pointed at a forwarding echo gets nothing back.
+        let cfg = ExperimentConfig::quick(SimDuration::from_millis(2), 10);
+        let (series, _) =
+            run_probes(echo.local_addr(), &cfg, Duration::from_millis(150)).expect("probe run");
+        assert_eq!(series.received(), 0, "forwarding server must not reflect");
+        std::thread::sleep(Duration::from_millis(100));
+        assert!(destination.received().len() >= 9);
+    }
+
+    #[test]
+    fn clock_resolution_applies_to_real_measurements() {
+        let server = EchoServer::spawn("127.0.0.1:0").expect("bind echo server");
+        let cfg = quick(20, 2).with_clock(SimDuration::from_millis(3));
+        let (series, _) =
+            run_probes(server.local_addr(), &cfg, Duration::from_millis(200)).expect("probe run");
+        for r in series.records.iter().filter_map(|r| r.rtt) {
+            assert_eq!(r % 3_000_000, 0);
+        }
+    }
+}

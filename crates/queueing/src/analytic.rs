@@ -1,0 +1,141 @@
+//! Closed-form queueing results used as test oracles.
+//!
+//! The simulator and the Lindley engine are validated against textbook
+//! formulas (Kleinrock vol. 2, the paper's ref \[14\]): M/M/1 and M/D/1
+//! waiting times via Pollaczek–Khinchine, and M/M/1/K blocking.
+
+/// Mean waiting time (excluding service) in an M/M/1 queue with arrival
+/// rate λ and service rate μ: `Wq = ρ / (μ − λ)`.
+///
+/// # Panics
+/// Panics unless `0 < λ < μ`.
+pub fn mm1_mean_wait(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu");
+    let rho = lambda / mu;
+    rho / (mu - lambda)
+}
+
+/// Mean number in system for M/M/1: `L = ρ / (1 − ρ)`.
+///
+/// # Panics
+/// Panics unless `0 < λ < μ`.
+pub fn mm1_mean_in_system(lambda: f64, mu: f64) -> f64 {
+    assert!(lambda > 0.0 && mu > lambda, "need 0 < lambda < mu");
+    let rho = lambda / mu;
+    rho / (1.0 - rho)
+}
+
+/// Mean waiting time in an M/G/1 queue by Pollaczek–Khinchine:
+/// `Wq = λ E[S²] / (2 (1 − ρ))`.
+///
+/// # Panics
+/// Panics unless the queue is stable (`ρ = λ E[S] < 1`) and moments are
+/// positive.
+pub fn mg1_mean_wait(lambda: f64, mean_service: f64, second_moment_service: f64) -> f64 {
+    assert!(
+        lambda > 0.0 && mean_service > 0.0,
+        "positive rates required"
+    );
+    assert!(
+        second_moment_service >= mean_service * mean_service,
+        "E[S²] ≥ E[S]²"
+    );
+    let rho = lambda * mean_service;
+    assert!(rho < 1.0, "unstable queue (rho = {rho})");
+    lambda * second_moment_service / (2.0 * (1.0 - rho))
+}
+
+/// Mean waiting time in M/D/1 (deterministic service `s`):
+/// `Wq = ρ s / (2 (1 − ρ))` — the PK formula with `E[S²] = s²`.
+///
+/// # Panics
+/// Panics unless stable.
+pub fn md1_mean_wait(lambda: f64, service: f64) -> f64 {
+    mg1_mean_wait(lambda, service, service * service)
+}
+
+/// Blocking probability of an M/M/1/K queue (K = max customers in system):
+/// `P_K = (1 − ρ) ρ^K / (1 − ρ^{K+1})`, with the ρ = 1 limit `1/(K+1)`.
+///
+/// # Panics
+/// Panics unless `ρ > 0` and `K ≥ 1`.
+pub fn mm1k_blocking(rho: f64, k: usize) -> f64 {
+    assert!(rho > 0.0, "rho must be positive");
+    assert!(k >= 1, "K must be at least 1");
+    if (rho - 1.0).abs() < 1e-12 {
+        return 1.0 / (k as f64 + 1.0);
+    }
+    (1.0 - rho) * rho.powi(k as i32) / (1.0 - rho.powi(k as i32 + 1))
+}
+
+/// Utilization (fraction of time busy) of a lossy queue: the accepted load
+/// `ρ (1 − P_block)` for M/M/1/K.
+pub fn mm1k_utilization(rho: f64, k: usize) -> f64 {
+    rho * (1.0 - mm1k_blocking(rho, k))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mm1_reference() {
+        // λ = 1, μ = 2: ρ = 0.5, Wq = 0.5 / 1 = 0.5; L = 1.
+        assert!((mm1_mean_wait(1.0, 2.0) - 0.5).abs() < 1e-12);
+        assert!((mm1_mean_in_system(1.0, 2.0) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn md1_is_half_of_mm1() {
+        // Classic result: deterministic service halves the queueing delay
+        // relative to exponential service at the same rates.
+        let lambda = 0.8;
+        let mu = 1.0;
+        let md1 = md1_mean_wait(lambda, 1.0 / mu);
+        let mm1 = mm1_mean_wait(lambda, mu);
+        assert!((md1 - 0.5 * mm1).abs() < 1e-12, "md1 {md1} mm1 {mm1}");
+    }
+
+    #[test]
+    fn mg1_reduces_to_mm1() {
+        // Exponential service with mean s has E[S²] = 2 s².
+        let lambda = 0.6;
+        let s = 1.0;
+        let w = mg1_mean_wait(lambda, s, 2.0 * s * s);
+        assert!((w - mm1_mean_wait(lambda, 1.0 / s)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_limits() {
+        // Tiny load: blocking vanishes. Huge load: blocking → 1 - 1/ρ.
+        assert!(mm1k_blocking(0.01, 10) < 1e-19);
+        let b = mm1k_blocking(5.0, 20);
+        assert!((b - (1.0 - 1.0 / 5.0)).abs() < 1e-9, "b {b}");
+        // ρ = 1 limit.
+        assert!((mm1k_blocking(1.0, 9) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn blocking_decreases_with_buffer() {
+        let mut prev = 1.0;
+        for k in 1..20 {
+            let b = mm1k_blocking(0.8, k);
+            assert!(b < prev, "blocking must fall with K");
+            prev = b;
+        }
+    }
+
+    #[test]
+    fn utilization_caps_at_one() {
+        for &rho in &[0.2, 0.9, 1.0, 3.0, 10.0] {
+            let u = mm1k_utilization(rho, 7);
+            assert!(u <= 1.0 + 1e-12, "rho {rho} -> util {u}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "unstable")]
+    fn unstable_mg1_panics() {
+        mg1_mean_wait(2.0, 1.0, 1.0);
+    }
+}

@@ -1,0 +1,378 @@
+//! Numerical analysis of the paper's §6 model — the "currently analyzing"
+//! future work, implemented.
+//!
+//! The model: the probe arrival process is deterministic (period δ) and the
+//! Internet arrival process is **batch deterministic** — one batch of `B_n`
+//! bits per interval, at a fixed offset `t` after the probe, with a general
+//! batch-size distribution. The probe waiting time then evolves as the
+//! Markov chain
+//!
+//! ```text
+//! w_{n+1} = ((w_n + P/μ − t)⁺ + B_n/μ − (δ − t))⁺
+//! ```
+//!
+//! [`BatchModelSolver`] discretizes the waiting time and iterates the
+//! transition law to the stationary distribution, from which it derives the
+//! stationary distribution of the **return interarrival** `g = w' − w + δ`
+//! — the quantity of the paper's Figures 8–9. The paper reports that this
+//! analysis "brings out the probe compression phenomenon": the solver's
+//! `g` distribution indeed shows the compression mass at `P/μ` (and, with
+//! a finite buffer, the random-loss behaviour at high intensity).
+
+use crate::bolot::BolotModel;
+
+/// A discrete batch-size distribution: `(probability, bits)` pairs.
+///
+/// Probabilities are normalized on construction.
+#[derive(Debug, Clone)]
+pub struct BatchSizeDist {
+    parts: Vec<(f64, f64)>,
+}
+
+impl BatchSizeDist {
+    /// Build from `(weight, bits)` pairs.
+    ///
+    /// # Panics
+    /// Panics if empty, if any weight or size is negative, or if the total
+    /// weight is zero.
+    pub fn new(parts: Vec<(f64, f64)>) -> Self {
+        assert!(!parts.is_empty(), "empty batch distribution");
+        assert!(
+            parts.iter().all(|&(w, b)| w >= 0.0 && b >= 0.0),
+            "negative weight or size"
+        );
+        let total: f64 = parts.iter().map(|&(w, _)| w).sum();
+        assert!(total > 0.0, "zero total weight");
+        BatchSizeDist {
+            parts: parts.into_iter().map(|(w, b)| (w / total, b)).collect(),
+        }
+    }
+
+    /// The paper's hypothesis: with probability `p_k` the interval carries
+    /// `k` FTP packets of `packet_bits` each (`k = 0..probs.len()-1`).
+    pub fn ftp_batches(packet_bits: f64, probs: &[f64]) -> Self {
+        BatchSizeDist::new(
+            probs
+                .iter()
+                .enumerate()
+                .map(|(k, &p)| (p, k as f64 * packet_bits))
+                .collect(),
+        )
+    }
+
+    /// Mean batch size in bits.
+    pub fn mean_bits(&self) -> f64 {
+        self.parts.iter().map(|&(w, b)| w * b).sum()
+    }
+
+    /// The `(probability, bits)` support.
+    pub fn parts(&self) -> &[(f64, f64)] {
+        &self.parts
+    }
+}
+
+/// Stationary solution of the §6 model.
+#[derive(Debug, Clone)]
+pub struct BatchModelSolution {
+    /// Discretization step in seconds.
+    pub step: f64,
+    /// Stationary waiting-time pmf: `wait_pmf[i]` = P(w ∈ bin i).
+    pub wait_pmf: Vec<f64>,
+    /// Stationary return-interarrival pmf over the same grid:
+    /// `g_pmf[i]` = P(g ∈ bin i), where `g = w' − w + δ ≥ 0`.
+    pub g_pmf: Vec<f64>,
+    /// Iterations until convergence.
+    pub iterations: usize,
+}
+
+impl BatchModelSolution {
+    /// Mean stationary waiting time (seconds).
+    pub fn mean_wait(&self) -> f64 {
+        self.wait_pmf
+            .iter()
+            .enumerate()
+            .map(|(i, &p)| p * i as f64 * self.step)
+            .sum()
+    }
+
+    /// P(w = 0): the probability a probe finds the bottleneck idle.
+    pub fn idle_probability(&self) -> f64 {
+        self.wait_pmf.first().copied().unwrap_or(0.0)
+    }
+
+    /// Probability mass of `g` within `±tol` seconds of `x`.
+    pub fn g_mass_near(&self, x: f64, tol: f64) -> f64 {
+        self.g_pmf
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| ((i as f64 * self.step) - x).abs() <= tol)
+            .map(|(_, &p)| p)
+            .sum()
+    }
+}
+
+/// Solver configuration and state.
+#[derive(Debug, Clone)]
+pub struct BatchModelSolver {
+    /// The deterministic part of the model (μ, P, δ, D).
+    pub model: BolotModel,
+    /// Batch arrival offset `t` within the interval (seconds).
+    pub offset: f64,
+    /// Batch-size distribution.
+    pub batches: BatchSizeDist,
+    /// Waiting-time discretization step (seconds).
+    pub step: f64,
+    /// Maximum waiting time represented (seconds) — an implicit buffer
+    /// bound; mass pushed beyond it accumulates in the last bin.
+    pub max_wait: f64,
+}
+
+impl BatchModelSolver {
+    /// A solver with step 0.5 ms and a 2-second waiting cap.
+    ///
+    /// # Panics
+    /// Panics if `offset` lies outside `[0, δ]`.
+    pub fn new(model: BolotModel, offset: f64, batches: BatchSizeDist) -> Self {
+        assert!(
+            (0.0..=model.delta).contains(&offset),
+            "batch offset outside the interval"
+        );
+        BatchModelSolver {
+            model,
+            offset,
+            batches,
+            step: 0.0005,
+            max_wait: 2.0,
+        }
+    }
+
+    /// Offered Internet load as a fraction of μ.
+    pub fn intensity(&self) -> f64 {
+        self.batches.mean_bits() / (self.model.mu_bps * self.model.delta)
+    }
+
+    fn bins(&self) -> usize {
+        (self.max_wait / self.step).ceil() as usize + 1
+    }
+
+    /// One application of the transition law to a waiting-time pmf.
+    fn evolve(&self, pmf: &[f64]) -> Vec<f64> {
+        let n = self.bins();
+        let mut next = vec![0.0; n];
+        for (i, &p) in pmf.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let w = i as f64 * self.step;
+            for &(q, bits) in self.batches.parts() {
+                let w2 = self.model.step(
+                    w,
+                    crate::bolot::Batch {
+                        bits,
+                        offset: self.offset,
+                    },
+                );
+                let j = ((w2 / self.step).round() as usize).min(n - 1);
+                next[j] += p * q;
+            }
+        }
+        next
+    }
+
+    /// Iterate to the stationary distribution (L1 tolerance `1e-10`, at
+    /// most `max_iters` sweeps), then derive the `g` distribution.
+    pub fn solve(&self, max_iters: usize) -> BatchModelSolution {
+        let n = self.bins();
+        let mut pmf = vec![0.0; n];
+        pmf[0] = 1.0; // start empty
+        let mut iterations = 0;
+        for it in 0..max_iters {
+            let next = self.evolve(&pmf);
+            let delta: f64 = next.iter().zip(&pmf).map(|(a, b)| (a - b).abs()).sum();
+            pmf = next;
+            iterations = it + 1;
+            if delta < 1e-10 {
+                break;
+            }
+        }
+
+        // g = w' − w + δ: joint over (w, batch) since w' is a deterministic
+        // function of both.
+        let mut g_pmf = vec![0.0; n];
+        for (i, &p) in pmf.iter().enumerate() {
+            if p == 0.0 {
+                continue;
+            }
+            let w = i as f64 * self.step;
+            for &(q, bits) in self.batches.parts() {
+                let w2 = self.model.step(
+                    w,
+                    crate::bolot::Batch {
+                        bits,
+                        offset: self.offset,
+                    },
+                );
+                let g = w2 - w + self.model.delta;
+                let j = ((g / self.step).round() as usize).min(n - 1);
+                g_pmf[j] += p * q;
+            }
+        }
+        BatchModelSolution {
+            step: self.step,
+            wait_pmf: pmf,
+            g_pmf,
+            iterations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn paper_model(delta: f64) -> BolotModel {
+        BolotModel::new(128_000.0, 72.0 * 8.0, delta, 0.140)
+    }
+
+    /// δ = 20 ms with one FTP packet (4096 bits) in 20% of intervals.
+    fn light_solver() -> BatchModelSolver {
+        BatchModelSolver::new(
+            paper_model(0.020),
+            0.005,
+            BatchSizeDist::ftp_batches(4096.0, &[0.8, 0.2]),
+        )
+    }
+
+    #[test]
+    fn batch_dist_normalizes() {
+        let d = BatchSizeDist::new(vec![(2.0, 100.0), (2.0, 300.0)]);
+        assert!((d.mean_bits() - 200.0).abs() < 1e-12);
+        let total: f64 = d.parts().iter().map(|&(w, _)| w).sum();
+        assert!((total - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ftp_batches_constructor() {
+        let d = BatchSizeDist::ftp_batches(4096.0, &[0.5, 0.3, 0.2]);
+        // mean = 0.3*4096 + 0.2*8192
+        assert!((d.mean_bits() - (0.3 * 4096.0 + 0.2 * 8192.0)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_traffic_stays_idle() {
+        let solver = BatchModelSolver::new(
+            paper_model(0.020),
+            0.005,
+            BatchSizeDist::new(vec![(1.0, 0.0)]),
+        );
+        let sol = solver.solve(100);
+        assert!((sol.idle_probability() - 1.0).abs() < 1e-12);
+        assert!(sol.mean_wait() < 1e-12);
+        // All g mass at δ.
+        assert!((sol.g_mass_near(0.020, 1e-6) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stationary_pmf_is_a_distribution() {
+        let sol = light_solver().solve(2000);
+        let mass: f64 = sol.wait_pmf.iter().sum();
+        assert!((mass - 1.0).abs() < 1e-9, "wait mass {mass}");
+        let gmass: f64 = sol.g_pmf.iter().sum();
+        assert!((gmass - 1.0).abs() < 1e-9, "g mass {gmass}");
+        assert!(sol.wait_pmf.iter().all(|&p| p >= 0.0));
+    }
+
+    #[test]
+    fn compression_mass_appears_at_p_over_mu() {
+        // The paper: the analytic model "brings out the probe compression
+        // phenomenon" — stationary g mass at P/μ = 4.5 ms.
+        let sol = light_solver().solve(2000);
+        let at_compression = sol.g_mass_near(0.0045, 0.001);
+        assert!(at_compression > 0.02, "compression mass {at_compression}");
+        // And an undisturbed mass at δ.
+        let at_delta = sol.g_mass_near(0.020, 0.001);
+        assert!(at_delta > 0.3, "undisturbed mass {at_delta}");
+        // And a bulk peak at (B + P)/μ = 36.5 ms.
+        let at_bulk = sol.g_mass_near(0.0365, 0.001);
+        assert!(at_bulk > 0.05, "bulk mass {at_bulk}");
+    }
+
+    #[test]
+    fn heavier_traffic_raises_mean_wait() {
+        let light = light_solver().solve(2000);
+        let heavy = BatchModelSolver::new(
+            paper_model(0.020),
+            0.005,
+            BatchSizeDist::ftp_batches(4096.0, &[0.5, 0.35, 0.15]),
+        )
+        .solve(2000);
+        assert!(
+            heavy.mean_wait() > light.mean_wait(),
+            "heavy {} vs light {}",
+            heavy.mean_wait(),
+            light.mean_wait()
+        );
+    }
+
+    #[test]
+    fn solver_matches_monte_carlo_of_the_recurrence() {
+        // Validate the numerical stationary distribution against a long
+        // deterministic-pattern simulation of the same recurrence.
+        let model = paper_model(0.020);
+        let solver = BatchModelSolver::new(
+            model,
+            0.005,
+            BatchSizeDist::ftp_batches(4096.0, &[0.75, 0.25]),
+        );
+        let sol = solver.solve(2000);
+
+        // Monte Carlo with an LCG matching the 25% batch probability.
+        let mut state = 77u64;
+        let mut w = 0.0f64;
+        let mut waits = Vec::with_capacity(200_000);
+        for _ in 0..200_000 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+            let bits = if u < 0.25 { 4096.0 } else { 0.0 };
+            w = model.step(
+                w,
+                crate::bolot::Batch {
+                    bits,
+                    offset: 0.005,
+                },
+            );
+            waits.push(w);
+        }
+        let mc_mean = waits.iter().sum::<f64>() / waits.len() as f64;
+        let an_mean = sol.mean_wait();
+        assert!(
+            (mc_mean - an_mean).abs() < 0.002,
+            "monte carlo {mc_mean} vs solver {an_mean}"
+        );
+        let mc_idle = waits.iter().filter(|&&x| x == 0.0).count() as f64 / waits.len() as f64;
+        assert!(
+            (mc_idle - sol.idle_probability()).abs() < 0.02,
+            "idle: mc {mc_idle} vs solver {}",
+            sol.idle_probability()
+        );
+    }
+
+    #[test]
+    fn intensity_formula() {
+        let s = light_solver();
+        // mean bits = 0.2 * 4096; μδ = 2560.
+        assert!((s.intensity() - (0.2 * 4096.0) / 2560.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "offset outside")]
+    fn bad_offset_panics() {
+        BatchModelSolver::new(
+            paper_model(0.020),
+            0.5,
+            BatchSizeDist::new(vec![(1.0, 0.0)]),
+        );
+    }
+}

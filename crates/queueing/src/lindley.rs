@@ -1,0 +1,273 @@
+//! Lindley's recurrence for single-server FIFO queues.
+//!
+//! The paper's exact analysis (§4, its Figure 7) rests on Lindley's
+//! recurrence: with `w_n` the waiting time of customer `n`, `y_n` its
+//! service time and `x_n` the interarrival gap to customer `n + 1`,
+//!
+//! ```text
+//! w_{n+1} = (w_n + y_n − x_n)⁺
+//! ```
+//!
+//! This module provides the recurrence for arbitrary arrival/service
+//! sequences, a finite-buffer variant, and helpers to derive waiting times
+//! from absolute arrival instants.
+
+/// `max(x, 0)` — the paper's `x⁺` notation.
+#[inline]
+pub fn plus(x: f64) -> f64 {
+    x.max(0.0)
+}
+
+/// One step of Lindley's recurrence.
+#[inline]
+pub fn lindley_step(w: f64, service: f64, interarrival: f64) -> f64 {
+    plus(w + service - interarrival)
+}
+
+/// Waiting times of every customer given interarrival gaps and service
+/// times: `interarrivals[n]` separates customers `n` and `n+1`;
+/// `services[n]` is customer `n`'s service time. Customer 0 waits
+/// `initial_wait` (usually 0).
+///
+/// Returns one waiting time per customer (`services.len()` of them).
+///
+/// ```
+/// use probenet_queueing::waiting_times;
+/// // Service takes 2 time units, arrivals 1 apart: each customer waits
+/// // one more than the last (the paper's Figure-7 situation).
+/// let w = waiting_times(&[1.0, 1.0, 1.0], &[2.0; 4], 0.0);
+/// assert_eq!(w, vec![0.0, 1.0, 2.0, 3.0]);
+/// ```
+///
+/// # Panics
+/// Panics unless `interarrivals.len() + 1 == services.len()`, or both empty.
+pub fn waiting_times(interarrivals: &[f64], services: &[f64], initial_wait: f64) -> Vec<f64> {
+    if services.is_empty() {
+        assert!(interarrivals.is_empty(), "gaps without customers");
+        return Vec::new();
+    }
+    assert_eq!(
+        interarrivals.len() + 1,
+        services.len(),
+        "need one interarrival gap between consecutive customers"
+    );
+    let mut w = Vec::with_capacity(services.len());
+    let mut cur = plus(initial_wait);
+    w.push(cur);
+    for (n, &x) in interarrivals.iter().enumerate() {
+        cur = lindley_step(cur, services[n], x);
+        w.push(cur);
+    }
+    w
+}
+
+/// Waiting times from absolute arrival instants (must be non-decreasing)
+/// and service times.
+///
+/// # Panics
+/// Panics if lengths differ, arrivals decrease, or input is empty with
+/// non-empty services.
+pub fn waiting_times_from_arrivals(arrivals: &[f64], services: &[f64]) -> Vec<f64> {
+    assert_eq!(arrivals.len(), services.len(), "one service per arrival");
+    if arrivals.is_empty() {
+        return Vec::new();
+    }
+    let gaps: Vec<f64> = arrivals
+        .windows(2)
+        .map(|w| {
+            let g = w[1] - w[0];
+            assert!(g >= 0.0, "arrival times must be non-decreasing");
+            g
+        })
+        .collect();
+    waiting_times(&gaps, services, 0.0)
+}
+
+/// What happened to each customer of a finite-buffer queue.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Outcome {
+    /// Customer entered and waited this long before service.
+    Served {
+        /// Waiting time (excluding service).
+        wait: f64,
+    },
+    /// Customer found `capacity` others in the system and was lost.
+    Blocked,
+}
+
+/// Finite-buffer (drop-on-full) FIFO queue fed by absolute arrival instants:
+/// a customer arriving when `capacity` customers are already in the system
+/// (queued + in service) is lost. Exact event bookkeeping via departure
+/// times.
+///
+/// # Panics
+/// Panics if lengths differ, arrivals decrease, or `capacity == 0`.
+pub fn finite_queue(arrivals: &[f64], services: &[f64], capacity: usize) -> Vec<Outcome> {
+    assert_eq!(arrivals.len(), services.len(), "one service per arrival");
+    assert!(capacity > 0, "capacity must be positive");
+    let mut departures: Vec<f64> = Vec::new(); // departure times of admitted customers
+    let mut out = Vec::with_capacity(arrivals.len());
+    let mut last_arrival = f64::NEG_INFINITY;
+    for (i, &t) in arrivals.iter().enumerate() {
+        assert!(t >= last_arrival, "arrival times must be non-decreasing");
+        last_arrival = t;
+        // Number still in system: departures after t.
+        let in_system = departures.iter().rev().take_while(|&&d| d > t).count();
+        if in_system >= capacity {
+            out.push(Outcome::Blocked);
+            continue;
+        }
+        let start = if let Some(&last) = departures.last() {
+            last.max(t)
+        } else {
+            t
+        };
+        let depart = start + services[i];
+        departures.push(depart);
+        out.push(Outcome::Served { wait: start - t });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_queue_stays_empty() {
+        // Service 1, gaps 2: every customer finds an empty queue.
+        let w = waiting_times(&[2.0; 9], &[1.0; 10], 0.0);
+        assert!(w.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn overloaded_queue_grows_linearly() {
+        // Service 2, gaps 1: each wait grows by exactly 1.
+        let w = waiting_times(&[1.0; 5], &[2.0; 6], 0.0);
+        assert_eq!(w, vec![0.0, 1.0, 2.0, 3.0, 4.0, 5.0]);
+    }
+
+    #[test]
+    fn waiting_clears_after_idle_gap() {
+        // A burst, then a long gap: wait resets to zero.
+        let gaps = [0.0, 0.0, 100.0];
+        let services = [1.0, 1.0, 1.0, 1.0];
+        let w = waiting_times(&gaps, &services, 0.0);
+        assert_eq!(w, vec![0.0, 1.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn initial_wait_propagates() {
+        let w = waiting_times(&[1.0], &[1.0, 1.0], 5.0);
+        assert_eq!(w, vec![5.0, 5.0]);
+    }
+
+    #[test]
+    fn from_arrivals_matches_gap_form() {
+        let arrivals = [0.0, 1.0, 1.5, 4.0];
+        let services = [2.0, 1.0, 1.0, 1.0];
+        let w1 = waiting_times_from_arrivals(&arrivals, &services);
+        let w2 = waiting_times(&[1.0, 0.5, 2.5], &services, 0.0);
+        assert_eq!(w1, w2);
+        assert_eq!(w1, vec![0.0, 1.0, 1.5, 0.0]);
+    }
+
+    #[test]
+    fn finite_queue_blocks_when_full() {
+        // Capacity 2 (1 in service + 1 waiting). Three simultaneous
+        // arrivals: third blocked.
+        let out = finite_queue(&[0.0, 0.0, 0.0, 10.0], &[1.0; 4], 2);
+        assert_eq!(
+            out,
+            vec![
+                Outcome::Served { wait: 0.0 },
+                Outcome::Served { wait: 1.0 },
+                Outcome::Blocked,
+                Outcome::Served { wait: 0.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn infinite_capacity_matches_lindley() {
+        let arrivals = [0.0, 0.5, 0.9, 3.0, 3.1, 3.2, 9.0];
+        let services = [1.0, 0.7, 2.0, 0.2, 0.2, 0.2, 1.0];
+        let waits = waiting_times_from_arrivals(&arrivals, &services);
+        let outcomes = finite_queue(&arrivals, &services, usize::MAX);
+        for (w, o) in waits.iter().zip(&outcomes) {
+            match o {
+                Outcome::Served { wait } => assert!((wait - w).abs() < 1e-12),
+                Outcome::Blocked => panic!("blocked with infinite capacity"),
+            }
+        }
+    }
+
+    #[test]
+    fn blocked_customers_do_not_add_work() {
+        // Capacity 1: while one customer is in service everything is lost,
+        // so the server is never backlogged.
+        let arrivals = [0.0, 0.1, 0.2, 0.3, 2.0];
+        let services = [1.0; 5];
+        let out = finite_queue(&arrivals, &services, 1);
+        assert_eq!(out[0], Outcome::Served { wait: 0.0 });
+        assert_eq!(out[1], Outcome::Blocked);
+        assert_eq!(out[2], Outcome::Blocked);
+        assert_eq!(out[3], Outcome::Blocked);
+        assert_eq!(out[4], Outcome::Served { wait: 0.0 });
+    }
+
+    proptest! {
+        #[test]
+        fn prop_waits_are_nonnegative(
+            gaps in proptest::collection::vec(0.0f64..5.0, 0..100),
+            seed_services in proptest::collection::vec(0.0f64..5.0, 1..101),
+        ) {
+            let n = gaps.len() + 1;
+            let services: Vec<f64> =
+                seed_services.iter().cycle().take(n).copied().collect();
+            let w = waiting_times(&gaps, &services, 0.0);
+            prop_assert!(w.iter().all(|&x| x >= 0.0));
+        }
+
+        #[test]
+        fn prop_monotone_in_service_times(
+            gaps in proptest::collection::vec(0.0f64..3.0, 1..50),
+            services in proptest::collection::vec(0.0f64..3.0, 1..51),
+            bump in 0.0f64..2.0,
+        ) {
+            let n = gaps.len() + 1;
+            let services: Vec<f64> =
+                services.iter().cycle().take(n).copied().collect();
+            let bigger: Vec<f64> = services.iter().map(|s| s + bump).collect();
+            let w1 = waiting_times(&gaps, &services, 0.0);
+            let w2 = waiting_times(&gaps, &bigger, 0.0);
+            for (a, b) in w1.iter().zip(&w2) {
+                prop_assert!(b >= a, "inflating service reduced a wait");
+            }
+        }
+
+        #[test]
+        fn prop_finite_queue_agrees_with_lindley_when_capacity_huge(
+            gaps in proptest::collection::vec(0.0f64..3.0, 1..40),
+            services in proptest::collection::vec(0.01f64..3.0, 1..41),
+        ) {
+            let n = gaps.len() + 1;
+            let services: Vec<f64> =
+                services.iter().cycle().take(n).copied().collect();
+            let mut arrivals = vec![0.0f64];
+            for g in &gaps {
+                let last = *arrivals.last().expect("non-empty");
+                arrivals.push(last + g);
+            }
+            let waits = waiting_times_from_arrivals(&arrivals, &services);
+            let out = finite_queue(&arrivals, &services, 1_000_000);
+            for (w, o) in waits.iter().zip(&out) {
+                match o {
+                    Outcome::Served { wait } => prop_assert!((wait - w).abs() < 1e-9),
+                    Outcome::Blocked => prop_assert!(false, "blocked"),
+                }
+            }
+        }
+    }
+}

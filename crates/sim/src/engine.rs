@@ -1,0 +1,898 @@
+//! The discrete-event engine: packets traversing a linear path out to an
+//! echo host and back, through per-direction FIFO ports, with cross traffic
+//! sharing any subset of the queues.
+//!
+//! The engine reproduces the measurement setup of the paper's Section 2:
+//! the source (node 0) injects fixed-size probe packets; the echo host (last
+//! node) immediately turns them around; deliveries back at the source yield
+//! the round-trip series `rtt_n`. Probes that overflow a finite buffer, are
+//! randomly lost on a link, or exceed their TTL never come back — exactly
+//! the `rtt_n = 0` convention of the paper's Section 3.
+
+use std::collections::HashMap;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::event::EventQueue;
+use crate::packet::{
+    Delivery, Direction, DropReason, DropRecord, FlowClass, Packet, PacketId, TtlExceeded,
+    DEFAULT_TTL,
+};
+use crate::path::Path;
+use crate::queue::{Admission, Port};
+use crate::time::{SimDuration, SimTime};
+use crate::trace::{TraceEvent, TraceKind};
+
+/// Size in bytes of the simulated TTL-exceeded reply (an ICMP time-exceeded
+/// message: 20-byte IP header + 8-byte ICMP header + 28 bytes of the
+/// offending datagram).
+pub const TTL_REPLY_SIZE: u32 = 56;
+
+#[derive(Debug)]
+enum Ev {
+    /// A packet reaches a port's queue.
+    Arrive { port: usize, packet: Packet },
+    /// A port's server finishes transmitting its head packet.
+    TxDone { port: usize },
+    /// A packet arrives at a node after crossing a link.
+    NodeArrival { node: usize, packet: Packet },
+    /// A link's propagation delay changes (a route change re-homing this
+    /// hop onto a longer or shorter physical path).
+    SetPropagation { link: usize, value: SimDuration },
+}
+
+/// Discrete-event simulator for one probed path.
+#[derive(Debug)]
+pub struct Engine {
+    path: Path,
+    /// `ports[i]` for `i < L` transmits link `i` outbound (from node `i`);
+    /// `ports[L + i]` transmits link `i` inbound (from node `i + 1`).
+    ports: Vec<Port>,
+    events: EventQueue<Ev>,
+    rng: StdRng,
+    next_id: u64,
+    deliveries: Vec<Delivery>,
+    drops: Vec<DropRecord>,
+    ttl_replies: Vec<TtlExceeded>,
+    /// Origin node of in-flight TTL-exceeded replies, keyed by packet id.
+    pending_ttl: HashMap<PacketId, usize>,
+    /// Echo instants of in-flight probes, keyed by packet id.
+    pending_echo: HashMap<PacketId, SimTime>,
+    /// Closed-loop window flows; `Packet::flow` is an index + 1 here.
+    flows: Vec<FlowState>,
+    trace: Option<Vec<TraceEvent>>,
+}
+
+/// A closed-loop, ack-clocked window flow — a fixed-window TCP-like
+/// transfer: `window` data packets outstanding; each acknowledgement
+/// arriving back at the sender clocks out the next data packet. This is
+/// the mechanism behind the two-way-traffic dynamics (data/ACK
+/// interaction, ACK compression) of the paper's refs [28, 29], which the
+/// paper's probe compression mirrors.
+#[derive(Debug, Clone)]
+pub struct WindowFlow {
+    /// Data packet size on the wire, bytes.
+    pub data_bytes: u32,
+    /// Acknowledgement size on the wire, bytes (40 for a bare TCP ACK).
+    pub ack_bytes: u32,
+    /// Window of data packets kept outstanding. For adaptive flows this is
+    /// the **maximum** window (e.g. the receiver's advertised window); the
+    /// congestion window moves below it.
+    pub window: usize,
+    /// `false`: the sender sits at node 0 (data travels outbound, ACKs
+    /// inbound). `true`: the sender sits at the far end, so its **data**
+    /// shares the inbound queues with returning probe/ACK traffic — the
+    /// configuration that produces ACK compression.
+    pub reverse: bool,
+    /// `false`: fixed window (unresponsive, go-back-N retransmission).
+    /// `true`: AIMD congestion control — additive increase (+1/cwnd per
+    /// ACK) up to `window`, multiplicative decrease (halving, floor 1) on
+    /// every loss — the congestion-avoidance behaviour of the paper's
+    /// ref \[12\] (Jacobson), idealized with instant loss detection.
+    pub adaptive: bool,
+}
+
+impl WindowFlow {
+    /// A fixed-window (unresponsive) flow.
+    pub fn fixed(data_bytes: u32, ack_bytes: u32, window: usize, reverse: bool) -> Self {
+        WindowFlow {
+            data_bytes,
+            ack_bytes,
+            window,
+            reverse,
+            adaptive: false,
+        }
+    }
+
+    /// An AIMD (congestion-responsive) flow capped at `max_window`.
+    pub fn aimd(data_bytes: u32, ack_bytes: u32, max_window: usize, reverse: bool) -> Self {
+        WindowFlow {
+            data_bytes,
+            ack_bytes,
+            window: max_window,
+            reverse,
+            adaptive: true,
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FlowState {
+    spec: WindowFlow,
+    next_seq: u64,
+    /// Congestion window (== `spec.window` for fixed flows).
+    cwnd: f64,
+    /// Data packets currently in the network.
+    in_flight: u64,
+}
+
+impl Engine {
+    /// A fresh engine over `path`, with all randomness derived from `seed`.
+    /// Identical seeds and identical injection sequences produce identical
+    /// traces, bit for bit.
+    pub fn new(path: Path, seed: u64) -> Self {
+        let links = path.links.len();
+        let mut ports = Vec::with_capacity(links * 2);
+        for spec in &path.links {
+            ports.push(Port::new(spec.clone()));
+        }
+        for spec in &path.links {
+            ports.push(Port::new(spec.clone()));
+        }
+        Engine {
+            path,
+            ports,
+            events: EventQueue::new(),
+            rng: StdRng::seed_from_u64(seed),
+            next_id: 0,
+            deliveries: Vec::new(),
+            drops: Vec::new(),
+            ttl_replies: Vec::new(),
+            pending_ttl: HashMap::new(),
+            pending_echo: HashMap::new(),
+            flows: Vec::new(),
+            trace: None,
+        }
+    }
+
+    /// The simulated path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Current simulated time.
+    pub fn now(&self) -> SimTime {
+        self.events.now()
+    }
+
+    /// Index into the port array for (`link`, `direction`).
+    pub fn port_index(&self, link: usize, direction: Direction) -> usize {
+        assert!(link < self.path.links.len(), "link index out of range");
+        match direction {
+            Direction::Outbound => link,
+            Direction::Inbound => self.path.links.len() + link,
+        }
+    }
+
+    /// The port serving (`link`, `direction`).
+    pub fn port(&self, link: usize, direction: Direction) -> &Port {
+        &self.ports[self.port_index(link, direction)]
+    }
+
+    /// Start recording a per-packet event trace (for tests and debugging).
+    pub fn enable_trace(&mut self) {
+        self.trace = Some(Vec::new());
+    }
+
+    /// Take the recorded trace, leaving tracing enabled.
+    pub fn take_trace(&mut self) -> Vec<TraceEvent> {
+        self.trace.as_mut().map(std::mem::take).unwrap_or_default()
+    }
+
+    fn record(&mut self, at: SimTime, port: Option<usize>, packet: &Packet, kind: TraceKind) {
+        if let Some(t) = &mut self.trace {
+            t.push(TraceEvent {
+                at,
+                port,
+                packet: packet.id,
+                class: packet.class,
+                seq: packet.seq,
+                kind,
+            });
+        }
+    }
+
+    fn fresh_id(&mut self) -> PacketId {
+        let id = PacketId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Schedule a probe of `size` bytes with sequence number `seq` to enter
+    /// the network at instant `at` (must not be in the simulated past).
+    pub fn inject_probe(&mut self, at: SimTime, size: u32, seq: u64) {
+        self.inject_probe_with_ttl(at, size, seq, DEFAULT_TTL)
+    }
+
+    /// As [`Engine::inject_probe`] but with an explicit TTL — the primitive
+    /// behind route discovery.
+    pub fn inject_probe_with_ttl(&mut self, at: SimTime, size: u32, seq: u64, ttl: u8) {
+        let packet = Packet {
+            id: self.fresh_id(),
+            class: FlowClass::Probe,
+            flow: 0,
+            size,
+            seq,
+            injected_at: at,
+            ttl,
+            direction: Direction::Outbound,
+        };
+        self.events.schedule(at, Ev::Arrive { port: 0, packet });
+    }
+
+    /// Register a closed-loop window flow and launch its initial window at
+    /// instant `start`. Returns the flow id found in
+    /// [`Delivery::flow`](crate::packet::Delivery) records.
+    ///
+    /// # Panics
+    /// Panics if the window is zero.
+    pub fn add_window_flow(&mut self, spec: WindowFlow, start: SimTime) -> u32 {
+        assert!(spec.window > 0, "window must be positive");
+        let id = (self.flows.len() + 1) as u32;
+        let cwnd = if spec.adaptive {
+            2.0_f64.min(spec.window as f64)
+        } else {
+            spec.window as f64
+        };
+        self.flows.push(FlowState {
+            spec,
+            next_seq: 0,
+            cwnd,
+            in_flight: 0,
+        });
+        self.flow_fill_window(id, start);
+        id
+    }
+
+    /// Current congestion window of a flow (for tests and instrumentation).
+    pub fn flow_cwnd(&self, flow: u32) -> f64 {
+        self.flows[flow as usize - 1].cwnd
+    }
+
+    /// Send new data packets while the (congestion) window allows.
+    fn flow_fill_window(&mut self, flow: u32, at: SimTime) {
+        loop {
+            let state = &self.flows[flow as usize - 1];
+            let allowed = (state.cwnd.floor() as u64).clamp(1, state.spec.window as u64);
+            if state.in_flight >= allowed {
+                return;
+            }
+            self.inject_window_packet(flow, at);
+        }
+    }
+
+    /// A delivered ACK: free a window slot and grow the adaptive window
+    /// (additive increase: +1/cwnd per ACK ≈ +1 per round trip).
+    fn on_window_ack(&mut self, flow: u32, at: SimTime) {
+        let state = &mut self.flows[flow as usize - 1];
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if state.spec.adaptive {
+            state.cwnd = (state.cwnd + 1.0 / state.cwnd).min(state.spec.window as f64);
+        }
+        self.flow_fill_window(flow, at);
+    }
+
+    /// A lost packet (anywhere in the loop): free the slot; adaptive flows
+    /// halve the window (multiplicative decrease, floor 1). The lost data
+    /// is retransmitted as a fresh packet when the window re-opens.
+    fn on_window_loss(&mut self, flow: u32, at: SimTime) {
+        let state = &mut self.flows[flow as usize - 1];
+        state.in_flight = state.in_flight.saturating_sub(1);
+        if state.spec.adaptive {
+            state.cwnd = (state.cwnd / 2.0).max(1.0);
+        }
+        self.flow_fill_window(flow, at);
+    }
+
+    fn inject_window_packet(&mut self, flow: u32, at: SimTime) {
+        let state = &mut self.flows[flow as usize - 1];
+        let seq = state.next_seq;
+        state.next_seq += 1;
+        state.in_flight += 1;
+        let reverse = state.spec.reverse;
+        let size = state.spec.data_bytes;
+        let packet = Packet {
+            id: self.fresh_id(),
+            class: FlowClass::Window,
+            flow,
+            size,
+            seq,
+            injected_at: at,
+            ttl: DEFAULT_TTL,
+            direction: if reverse {
+                Direction::Inbound
+            } else {
+                Direction::Outbound
+            },
+        };
+        let port = if reverse {
+            // Sender at the far end: first hop is the last link, inbound.
+            self.port_index(self.path.links.len() - 1, Direction::Inbound)
+        } else {
+            0
+        };
+        self.events
+            .schedule(at.max(self.events.now()), Ev::Arrive { port, packet });
+    }
+
+    /// Attach a pre-generated cross-traffic arrival sequence to the queue of
+    /// (`link`, `direction`). Each `(time, size)` becomes one Internet
+    /// packet that competes with the probes for that port's server and then
+    /// leaves the system.
+    pub fn attach_cross_traffic<I>(&mut self, link: usize, direction: Direction, arrivals: I)
+    where
+        I: IntoIterator<Item = (SimTime, u32)>,
+    {
+        let port = self.port_index(link, direction);
+        for (i, (at, size)) in arrivals.into_iter().enumerate() {
+            let packet = Packet {
+                id: self.fresh_id(),
+                class: FlowClass::Cross,
+                flow: 0,
+                size,
+                seq: i as u64,
+                injected_at: at,
+                ttl: DEFAULT_TTL,
+                direction,
+            };
+            self.events.schedule(at, Ev::Arrive { port, packet });
+        }
+    }
+
+    /// Schedule a change of link `link`'s one-way propagation delay at
+    /// instant `at` — the paper’s cited companion work (ref \[21\]) observed
+    /// route changes through exactly the RTT baseline shifts this models.
+    /// Packets already in flight on the link keep their old delay; packets
+    /// transmitted after `at` see the new one.
+    ///
+    /// # Panics
+    /// Panics if the link index is out of range.
+    pub fn schedule_propagation_change(&mut self, link: usize, at: SimTime, value: SimDuration) {
+        assert!(link < self.path.links.len(), "link index out of range");
+        self.events.schedule(at, Ev::SetPropagation { link, value });
+    }
+
+    /// Run until no events remain.
+    pub fn run(&mut self) {
+        while let Some((at, ev)) = self.events.pop() {
+            self.handle(at, ev);
+        }
+        self.finalize_ports();
+    }
+
+    /// Run all events scheduled at or before `horizon`; later events stay
+    /// queued. Port statistics are folded up to the last processed event.
+    pub fn run_until(&mut self, horizon: SimTime) {
+        while let Some((at, ev)) = self.events.pop_until(horizon) {
+            self.handle(at, ev);
+        }
+        self.finalize_ports();
+    }
+
+    fn finalize_ports(&mut self) {
+        let now = self.events.now();
+        for p in &mut self.ports {
+            p.finalize(now);
+        }
+    }
+
+    fn handle(&mut self, at: SimTime, ev: Ev) {
+        match ev {
+            Ev::Arrive { port, packet } => self.on_arrive(at, port, packet),
+            Ev::TxDone { port } => self.on_tx_done(at, port),
+            Ev::NodeArrival { node, packet } => self.on_node_arrival(at, node, packet),
+            Ev::SetPropagation { link, value } => {
+                self.path.links[link].propagation = value;
+            }
+        }
+    }
+
+    fn on_arrive(&mut self, at: SimTime, port: usize, packet: Packet) {
+        // Random loss models a faulty interface on the link: the packet is
+        // destroyed before it can be queued (paper ref [17]).
+        let p = self.ports[port].spec.random_loss;
+        if p > 0.0 && self.rng.gen::<f64>() < p {
+            self.record(at, Some(port), &packet, TraceKind::RandomDrop);
+            self.ports[port].note_random_drop();
+            self.note_drop(at, port, &packet, DropReason::RandomLoss);
+            return;
+        }
+        let uniform: f64 = self.rng.gen();
+        match self.ports[port].offer(at, packet.clone(), uniform) {
+            Admission::StartService(d) => {
+                self.record(at, Some(port), &packet, TraceKind::Enqueue);
+                self.record(at, Some(port), &packet, TraceKind::TxStart);
+                self.events.schedule(at + d, Ev::TxDone { port });
+            }
+            Admission::Queued => {
+                self.record(at, Some(port), &packet, TraceKind::Enqueue);
+            }
+            Admission::Overflow => {
+                self.record(at, Some(port), &packet, TraceKind::OverflowDrop);
+                self.note_drop(at, port, &packet, DropReason::BufferOverflow);
+            }
+            Admission::EarlyDrop => {
+                self.record(at, Some(port), &packet, TraceKind::EarlyDrop);
+                self.note_drop(at, port, &packet, DropReason::EarlyDrop);
+            }
+        }
+    }
+
+    fn on_tx_done(&mut self, at: SimTime, port: usize) {
+        let (packet, next) = self.ports[port].complete(at);
+        self.record(at, Some(port), &packet, TraceKind::TxDone);
+        if let Some(d) = next {
+            self.events.schedule(at + d, Ev::TxDone { port });
+        }
+        match packet.class {
+            FlowClass::Cross => {
+                // Cross traffic leaves the system after its attachment queue;
+                // its only role is to compete for the server (Figure 3).
+                self.deliveries.push(Delivery {
+                    id: packet.id,
+                    class: packet.class,
+                    flow: 0,
+                    seq: packet.seq,
+                    injected_at: packet.injected_at,
+                    echoed_at: None,
+                    delivered_at: at + self.ports[port].spec.propagation,
+                });
+            }
+            FlowClass::Probe | FlowClass::Control | FlowClass::Window => {
+                let links = self.path.links.len();
+                let (link, node) = if port < links {
+                    (port, port + 1) // outbound over link `port`
+                } else {
+                    (port - links, port - links) // inbound over link `port-links`
+                };
+                let prop = self.path.links[link].propagation;
+                self.events
+                    .schedule(at + prop, Ev::NodeArrival { node, packet });
+            }
+        }
+    }
+
+    fn on_node_arrival(&mut self, at: SimTime, node: usize, mut packet: Packet) {
+        let last = self.path.nodes.len() - 1;
+        let reverse_flow =
+            packet.class == FlowClass::Window && self.flows[packet.flow as usize - 1].spec.reverse;
+        match packet.direction {
+            Direction::Outbound => {
+                if node == last {
+                    if reverse_flow {
+                        // The far end is this flow's home: ACK received.
+                        self.deliver(at, packet);
+                        return;
+                    }
+                    // Echo host: turn the packet around immediately (§2).
+                    // Window data is acknowledged with an ACK-sized packet.
+                    self.record(at, None, &packet, TraceKind::Echoed);
+                    self.pending_echo.insert(packet.id, at);
+                    packet.direction = Direction::Inbound;
+                    if packet.class == FlowClass::Window {
+                        packet.size = self.flows[packet.flow as usize - 1].spec.ack_bytes;
+                    }
+                    let port = self.port_index(node - 1, Direction::Inbound);
+                    self.events.schedule(at, Ev::Arrive { port, packet });
+                    return;
+                }
+                // Intermediate router: forwarding decrements TTL.
+                packet.ttl = packet.ttl.saturating_sub(1);
+                if packet.ttl == 0 {
+                    self.expire_ttl(at, node, packet);
+                    return;
+                }
+                let port = self.port_index(node, Direction::Outbound);
+                self.events.schedule(at, Ev::Arrive { port, packet });
+            }
+            Direction::Inbound => {
+                if node == 0 {
+                    if reverse_flow {
+                        // Node 0 echoes the reverse flow's data as an ACK.
+                        self.record(at, None, &packet, TraceKind::Echoed);
+                        self.pending_echo.insert(packet.id, at);
+                        packet.direction = Direction::Outbound;
+                        packet.size = self.flows[packet.flow as usize - 1].spec.ack_bytes;
+                        let port = self.port_index(0, Direction::Outbound);
+                        self.events.schedule(at, Ev::Arrive { port, packet });
+                        return;
+                    }
+                    self.deliver(at, packet);
+                    return;
+                }
+                packet.ttl = packet.ttl.saturating_sub(1);
+                if packet.ttl == 0 {
+                    self.expire_ttl(at, node, packet);
+                    return;
+                }
+                let port = self.port_index(node - 1, Direction::Inbound);
+                self.events.schedule(at, Ev::Arrive { port, packet });
+            }
+        }
+    }
+
+    fn expire_ttl(&mut self, at: SimTime, node: usize, packet: Packet) {
+        self.record(at, None, &packet, TraceKind::TtlExpired);
+        // Routers drop the packet; for probes they answer with a
+        // time-exceeded message routed back through the regular queues.
+        self.drops.push(DropRecord {
+            id: packet.id,
+            class: packet.class,
+            seq: packet.seq,
+            at,
+            port: usize::MAX,
+            reason: DropReason::TtlExpired,
+        });
+        if packet.class == FlowClass::Window {
+            self.pending_echo.remove(&packet.id);
+            self.on_window_loss(packet.flow, at);
+            return;
+        }
+        if packet.class != FlowClass::Probe {
+            return;
+        }
+        let reply = Packet {
+            id: self.fresh_id(),
+            class: FlowClass::Control,
+            flow: 0,
+            size: TTL_REPLY_SIZE,
+            seq: packet.seq,
+            injected_at: packet.injected_at,
+            ttl: DEFAULT_TTL,
+            direction: Direction::Inbound,
+        };
+        self.pending_ttl.insert(reply.id, node);
+        let port = self.port_index(node - 1, Direction::Inbound);
+        self.events.schedule(
+            at,
+            Ev::Arrive {
+                port,
+                packet: reply,
+            },
+        );
+    }
+
+    fn deliver(&mut self, at: SimTime, packet: Packet) {
+        self.record(at, None, &packet, TraceKind::Delivered);
+        match packet.class {
+            FlowClass::Control => {
+                let node = self
+                    .pending_ttl
+                    .remove(&packet.id)
+                    .expect("control packet without pending TTL record");
+                self.ttl_replies.push(TtlExceeded {
+                    probe_seq: packet.seq,
+                    node,
+                    received_at: at,
+                });
+            }
+            _ => {
+                let echoed_at = self.pending_echo.remove(&packet.id);
+                self.deliveries.push(Delivery {
+                    id: packet.id,
+                    class: packet.class,
+                    flow: packet.flow,
+                    seq: packet.seq,
+                    injected_at: packet.injected_at,
+                    echoed_at,
+                    delivered_at: at,
+                });
+                // Ack-clocking: a delivered acknowledgement opens the
+                // window for the next data packet, immediately.
+                if packet.class == FlowClass::Window {
+                    self.on_window_ack(packet.flow, at);
+                }
+            }
+        }
+    }
+
+    fn note_drop(&mut self, at: SimTime, port: usize, packet: &Packet, reason: DropReason) {
+        self.drops.push(DropRecord {
+            id: packet.id,
+            class: packet.class,
+            seq: packet.seq,
+            at,
+            port,
+            reason,
+        });
+        // A reliable window flow retransmits what the network loses — the
+        // loss is recorded above, the window slot freed (and halved for
+        // AIMD flows), and fresh data sent when the window allows; the
+        // loss-detection timeout is idealized to zero.
+        if packet.class == FlowClass::Window {
+            self.pending_echo.remove(&packet.id);
+            self.on_window_loss(packet.flow, at);
+        }
+    }
+
+    /// All completed round trips (probes) and cross-traffic departures, in
+    /// completion order.
+    pub fn deliveries(&self) -> &[Delivery] {
+        &self.deliveries
+    }
+
+    /// All packet losses, in drop order.
+    pub fn drops(&self) -> &[DropRecord] {
+        &self.drops
+    }
+
+    /// TTL-exceeded notifications received back at the source.
+    pub fn ttl_replies(&self) -> &[TtlExceeded] {
+        &self.ttl_replies
+    }
+
+    /// Round-trip deliveries of probe packets only.
+    pub fn probe_deliveries(&self) -> impl Iterator<Item = &Delivery> {
+        self.deliveries
+            .iter()
+            .filter(|d| d.class == FlowClass::Probe)
+    }
+}
+
+/// Discover the route of a path exactly as `traceroute` does: send probes
+/// with TTL = 1, 2, … and collect the names of the nodes that answer with
+/// time-exceeded messages, until the echo host itself answers.
+///
+/// Returns the node names in hop order (excluding the source), i.e. the
+/// paper's Tables 1 and 2. `probe_spacing` separates successive probes so
+/// they do not queue behind each other.
+pub fn discover_route(path: &Path, probe_spacing: SimDuration) -> Vec<String> {
+    let hops = path.hop_count();
+    let mut engine = Engine::new(path.clone(), 0);
+    for k in 1..hops as u64 {
+        let at = SimTime::ZERO + probe_spacing * k;
+        engine.inject_probe_with_ttl(at, 32, k, k as u8);
+    }
+    // The final probe must survive the return trip too, so it gets a full
+    // TTL; its echo identifies the last node (real traceroute likewise
+    // relies on a reply from the destination itself).
+    engine.inject_probe_with_ttl(
+        SimTime::ZERO + probe_spacing * hops as u64,
+        32,
+        hops as u64,
+        DEFAULT_TTL,
+    );
+    engine.run();
+    let mut names: Vec<(u64, String)> = engine
+        .ttl_replies()
+        .iter()
+        .map(|r| (r.probe_seq, path.nodes[r.node].clone()))
+        .collect();
+    // The final probe (TTL = hop count) reaches the echo host and returns as
+    // a regular echo; report the echo host for it.
+    for d in engine.probe_deliveries() {
+        names.push((d.seq, path.nodes[hops].clone()));
+    }
+    names.sort();
+    names.into_iter().map(|(_, n)| n).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::path::{BufferLimit, LinkSpec};
+
+    fn simple_path(bw: u64, prop_ms: u64) -> Path {
+        Path::new(
+            vec!["src".into(), "echo".into()],
+            vec![LinkSpec::new(bw, SimDuration::from_millis(prop_ms))],
+        )
+    }
+
+    #[test]
+    fn single_probe_rtt_is_exact() {
+        // 32 B at 128 kb/s = 2 ms tx per direction; 10 ms propagation each
+        // way: RTT = 2*(2 + 10) = 24 ms.
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        e.inject_probe(SimTime::ZERO, 32, 0);
+        e.run();
+        let d: Vec<_> = e.probe_deliveries().collect();
+        assert_eq!(d.len(), 1);
+        assert_eq!(d[0].rtt(), SimDuration::from_millis(24));
+    }
+
+    #[test]
+    fn periodic_probes_unloaded_rtt_constant() {
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        for n in 0..100u64 {
+            e.inject_probe(SimTime::from_millis(50 * n), 32, n);
+        }
+        e.run();
+        let rtts: Vec<_> = e.probe_deliveries().map(|d| d.rtt()).collect();
+        assert_eq!(rtts.len(), 100);
+        assert!(rtts.iter().all(|&r| r == SimDuration::from_millis(24)));
+    }
+
+    #[test]
+    fn probes_faster_than_bottleneck_compress_to_service_rate() {
+        // δ = 1 ms < P/μ = 2 ms: probes pile up and leave the bottleneck
+        // spaced exactly P/μ apart — the probe-compression phenomenon.
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        for n in 0..10u64 {
+            e.inject_probe(SimTime::from_millis(n), 32, n);
+        }
+        e.run();
+        let mut recv: Vec<_> = e.probe_deliveries().map(|d| d.delivered_at).collect();
+        recv.sort();
+        assert_eq!(recv.len(), 10);
+        for w in recv.windows(2) {
+            assert_eq!(w[1] - w[0], SimDuration::from_millis(2));
+        }
+    }
+
+    #[test]
+    fn finite_buffer_overflows_under_saturation() {
+        let path = Path::new(
+            vec!["src".into(), "echo".into()],
+            vec![LinkSpec::new(128_000, SimDuration::ZERO).with_buffer(BufferLimit::Packets(2))],
+        );
+        let mut e = Engine::new(path, 1);
+        // 100 probes injected simultaneously: 1 in service + 2 queued
+        // survive the outbound port; the rest overflow.
+        for n in 0..100u64 {
+            e.inject_probe(SimTime::ZERO, 32, n);
+        }
+        e.run();
+        assert_eq!(e.probe_deliveries().count(), 3);
+        assert_eq!(
+            e.drops()
+                .iter()
+                .filter(|d| d.reason == DropReason::BufferOverflow)
+                .count(),
+            97
+        );
+    }
+
+    #[test]
+    fn cross_traffic_delays_probes() {
+        // A 512-byte Internet packet arrives just before the probe: the
+        // probe waits 32 ms (its service at 128 kb/s) extra.
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        e.attach_cross_traffic(
+            0,
+            Direction::Outbound,
+            vec![(SimTime::from_millis(5), 512u32)],
+        );
+        e.inject_probe(SimTime::from_millis(5), 32, 0);
+        e.run();
+        let d: Vec<_> = e.probe_deliveries().collect();
+        assert_eq!(d.len(), 1);
+        // Base 24 ms + 32 ms behind the FTP-sized packet.
+        assert_eq!(d[0].rtt(), SimDuration::from_millis(56));
+    }
+
+    #[test]
+    fn random_loss_is_applied_per_packet() {
+        let path = Path::new(
+            vec!["src".into(), "echo".into()],
+            vec![LinkSpec::new(10_000_000, SimDuration::ZERO).with_random_loss(0.3)],
+        );
+        let mut e = Engine::new(path, 42);
+        for n in 0..2000u64 {
+            e.inject_probe(SimTime::from_millis(n), 32, n);
+        }
+        e.run();
+        let delivered = e.probe_deliveries().count();
+        let dropped = e
+            .drops()
+            .iter()
+            .filter(|d| d.reason == DropReason::RandomLoss)
+            .count();
+        assert_eq!(delivered + dropped, 2000);
+        // Loss is applied once per port traversal (out + back): the survival
+        // probability is (1-0.3)^2 = 0.49.
+        let survival = delivered as f64 / 2000.0;
+        assert!(
+            (survival - 0.49).abs() < 0.05,
+            "survival {survival} far from 0.49"
+        );
+    }
+
+    #[test]
+    fn identical_seeds_identical_traces() {
+        let run = |seed| {
+            let path = Path::inria_umd_1992();
+            let mut e = Engine::new(path, seed);
+            e.enable_trace();
+            for n in 0..200u64 {
+                e.inject_probe(SimTime::from_millis(20 * n), 32, n);
+            }
+            e.run();
+            let t = e.take_trace();
+            (t.len(), e.probe_deliveries().count(), e.drops().len())
+        };
+        assert_eq!(run(7), run(7));
+    }
+
+    #[test]
+    fn different_seeds_differ_with_random_loss() {
+        let run = |seed| {
+            let path = Path::new(
+                vec!["src".into(), "echo".into()],
+                vec![LinkSpec::new(10_000_000, SimDuration::ZERO).with_random_loss(0.2)],
+            );
+            let mut e = Engine::new(path, seed);
+            for n in 0..500u64 {
+                e.inject_probe(SimTime::from_millis(n), 32, n);
+            }
+            e.run();
+            e.probe_deliveries().map(|d| d.seq).collect::<Vec<_>>()
+        };
+        assert_ne!(run(1), run(2));
+    }
+
+    #[test]
+    fn route_discovery_reproduces_table1() {
+        let path = Path::inria_umd_1992();
+        let route = discover_route(&path, SimDuration::from_millis(500));
+        assert_eq!(route.len(), 10);
+        assert_eq!(route[0], "tom.inria.fr");
+        assert_eq!(route[4], "Ithaca.NY.NSS.NSF.NET");
+        assert_eq!(route[9], "avwhub-gw.umd.edu");
+    }
+
+    #[test]
+    fn route_discovery_reproduces_table2() {
+        let path = Path::umd_pitt_1993();
+        let route = discover_route(&path, SimDuration::from_millis(200));
+        assert_eq!(route.len(), 13);
+        assert_eq!(route[0], "avw1hub-gw.umd.edu");
+        assert_eq!(route[12], "hub-eh.gw.pitt.edu");
+    }
+
+    #[test]
+    fn run_until_stops_at_horizon() {
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        for n in 0..10u64 {
+            e.inject_probe(SimTime::from_millis(100 * n), 32, n);
+        }
+        e.run_until(SimTime::from_millis(450));
+        // Probes 0..4 injected by 400 ms have completed (RTT 24 ms each);
+        // probe 5 at 500 ms has not even been injected.
+        assert_eq!(e.probe_deliveries().count(), 5);
+        e.run();
+        assert_eq!(e.probe_deliveries().count(), 10);
+    }
+
+    #[test]
+    fn conservation_probes_delivered_plus_dropped() {
+        let path = Path::inria_umd_1992();
+        let mut e = Engine::new(path, 3);
+        let n_probes = 500u64;
+        for n in 0..n_probes {
+            e.inject_probe(SimTime::from_millis(8 * n), 32, n);
+        }
+        e.run();
+        let delivered = e.probe_deliveries().count() as u64;
+        let dropped = e
+            .drops()
+            .iter()
+            .filter(|d| d.class == FlowClass::Probe)
+            .count() as u64;
+        assert_eq!(delivered + dropped, n_probes);
+    }
+
+    #[test]
+    fn port_utilization_reflects_load() {
+        let mut e = Engine::new(simple_path(128_000, 0), 1);
+        // Saturate: probes every 2 ms, each taking 2 ms to serve.
+        for n in 0..1000u64 {
+            e.inject_probe(SimTime::from_millis(2 * n), 32, n);
+        }
+        e.run();
+        let now = e.now();
+        let util = e.port(0, Direction::Outbound).stats.utilization(now);
+        assert!(util > 0.95, "outbound utilization {util}");
+    }
+}

@@ -1,0 +1,200 @@
+//! Property tests of simulator invariants under randomized scenarios.
+
+use proptest::prelude::*;
+
+use probenet_sim::{
+    BufferLimit, Direction, DropReason, Engine, FlowClass, LinkSpec, Path, SimDuration, SimTime,
+    TraceKind,
+};
+
+/// Build a random linear path from proptest-chosen hop parameters.
+fn path_from(hops: &[(u64, u64, usize)]) -> Path {
+    let nodes = (0..=hops.len()).map(|i| format!("n{i}")).collect();
+    let links = hops
+        .iter()
+        .map(|&(bw_kbps, prop_us, buf)| {
+            LinkSpec::new(bw_kbps.max(8) * 1000, SimDuration::from_micros(prop_us))
+                .with_buffer(BufferLimit::Packets(buf.max(1)))
+        })
+        .collect();
+    Path::new(nodes, links)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Every probe is either delivered or dropped — never both, never lost
+    /// track of — across random topologies and schedules.
+    #[test]
+    fn prop_probe_conservation(
+        hops in proptest::collection::vec((8u64..2000, 0u64..20_000, 1usize..40), 1..6),
+        n_probes in 1usize..200,
+        spacing_us in 100u64..50_000,
+    ) {
+        let mut engine = Engine::new(path_from(&hops), 42);
+        for n in 0..n_probes as u64 {
+            engine.inject_probe(
+                SimTime::from_micros(spacing_us * n),
+                72,
+                n,
+            );
+        }
+        engine.run();
+        let delivered: Vec<u64> = engine.probe_deliveries().map(|d| d.seq).collect();
+        let dropped: Vec<u64> = engine
+            .drops()
+            .iter()
+            .filter(|d| d.class == FlowClass::Probe)
+            .map(|d| d.seq)
+            .collect();
+        prop_assert_eq!(delivered.len() + dropped.len(), n_probes);
+        let mut all: Vec<u64> = delivered.iter().chain(dropped.iter()).copied().collect();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n_probes, "a probe was double-counted");
+    }
+
+    /// RTTs never undercut the physical floor of the path.
+    #[test]
+    fn prop_rtt_at_least_base(
+        hops in proptest::collection::vec((8u64..2000, 0u64..20_000, 1usize..40), 1..6),
+        n_probes in 1usize..150,
+        spacing_us in 1_000u64..100_000,
+    ) {
+        let path = path_from(&hops);
+        let base = path.base_rtt(72);
+        let mut engine = Engine::new(path, 1);
+        for n in 0..n_probes as u64 {
+            engine.inject_probe(SimTime::from_micros(spacing_us * n), 72, n);
+        }
+        engine.run();
+        for d in engine.probe_deliveries() {
+            prop_assert!(d.rtt() >= base, "rtt {:?} below base {:?}", d.rtt(), base);
+        }
+    }
+
+    /// FIFO paths cannot reorder: probes return in send order.
+    #[test]
+    fn prop_fifo_no_reordering(
+        hops in proptest::collection::vec((8u64..500, 0u64..5_000, 1usize..20), 1..5),
+        n_probes in 2usize..150,
+        spacing_us in 100u64..20_000,
+    ) {
+        let mut engine = Engine::new(path_from(&hops), 7);
+        for n in 0..n_probes as u64 {
+            engine.inject_probe(SimTime::from_micros(spacing_us * n), 72, n);
+        }
+        engine.run();
+        // Deliveries are recorded in completion order.
+        let seqs: Vec<u64> = engine.probe_deliveries().map(|d| d.seq).collect();
+        for w in seqs.windows(2) {
+            prop_assert!(w[0] < w[1], "reordered: {} after {}", w[1], w[0]);
+        }
+    }
+
+    /// One-way components always sum to the round trip.
+    #[test]
+    fn prop_owd_sums_to_rtt(
+        hops in proptest::collection::vec((8u64..2000, 0u64..20_000, 2usize..40), 1..5),
+        n_probes in 1usize..100,
+    ) {
+        let mut engine = Engine::new(path_from(&hops), 3);
+        for n in 0..n_probes as u64 {
+            engine.inject_probe(SimTime::from_millis(20 * n), 72, n);
+        }
+        engine.run();
+        for d in engine.probe_deliveries() {
+            let out = d.outbound_delay().expect("probes are echoed");
+            let back = d.inbound_delay().expect("probes are echoed");
+            prop_assert_eq!(out + back, d.rtt());
+        }
+    }
+
+    /// Determinism: identical seeds and schedules give identical traces,
+    /// even with random loss in play.
+    #[test]
+    fn prop_seeded_determinism(
+        seed in 0u64..1000,
+        loss_pct in 0u32..40,
+        n_probes in 1usize..120,
+    ) {
+        let build = || {
+            let path = Path::new(
+                vec!["a".into(), "b".into(), "c".into()],
+                vec![
+                    LinkSpec::new(500_000, SimDuration::from_millis(1))
+                        .with_random_loss(loss_pct as f64 / 100.0),
+                    LinkSpec::new(300_000, SimDuration::from_millis(2))
+                        .with_buffer(BufferLimit::Packets(4)),
+                ],
+            );
+            let mut e = Engine::new(path, seed);
+            e.enable_trace();
+            for n in 0..n_probes as u64 {
+                e.inject_probe(SimTime::from_millis(3 * n), 72, n);
+            }
+            e.run();
+            let trace: Vec<(u64, u64)> = e
+                .take_trace()
+                .iter()
+                .map(|t| (t.at.as_nanos(), t.seq))
+                .collect();
+            (trace, e.probe_deliveries().count(), e.drops().len())
+        };
+        prop_assert_eq!(build(), build());
+    }
+
+    /// The trace is self-consistent: every delivered probe was echoed
+    /// exactly once, and every enqueue at a port is eventually matched by a
+    /// TxDone or nothing (never two TxDone for one packet at one port).
+    #[test]
+    fn prop_trace_echo_consistency(
+        n_probes in 1usize..100,
+        spacing_us in 500u64..20_000,
+    ) {
+        let path = Path::new(
+            vec!["a".into(), "b".into()],
+            vec![LinkSpec::new(128_000, SimDuration::from_millis(5))
+                .with_buffer(BufferLimit::Packets(8))],
+        );
+        let mut e = Engine::new(path, 5);
+        e.enable_trace();
+        for n in 0..n_probes as u64 {
+            e.inject_probe(SimTime::from_micros(spacing_us * n), 72, n);
+        }
+        e.run();
+        let trace = e.take_trace();
+        let delivered: std::collections::HashSet<u64> =
+            e.probe_deliveries().map(|d| d.seq).collect();
+        for &seq in &delivered {
+            let echoes = trace
+                .iter()
+                .filter(|t| t.seq == seq && t.kind == TraceKind::Echoed)
+                .count();
+            prop_assert_eq!(echoes, 1, "probe {} echoed {} times", seq, echoes);
+        }
+    }
+}
+
+/// Non-proptest regression: drops carry the right reason at the right port.
+#[test]
+fn drop_records_identify_the_bottleneck() {
+    let path = Path::new(
+        vec!["a".into(), "b".into(), "c".into()],
+        vec![
+            LinkSpec::new(10_000_000, SimDuration::ZERO),
+            LinkSpec::new(64_000, SimDuration::ZERO).with_buffer(BufferLimit::Packets(2)),
+        ],
+    );
+    let mut e = Engine::new(path, 1);
+    for n in 0..50u64 {
+        e.inject_probe(SimTime::from_micros(100 * n), 72, n);
+    }
+    e.run();
+    assert!(!e.drops().is_empty());
+    let out_port = e.port_index(1, Direction::Outbound);
+    for d in e.drops() {
+        assert_eq!(d.reason, DropReason::BufferOverflow);
+        assert_eq!(d.port, out_port, "drop at unexpected port {}", d.port);
+    }
+}

@@ -1,0 +1,322 @@
+//! Closed-loop window flows: ack-clocking, self-limitation, and the
+//! ACK-compression dynamics of two-way traffic (the paper's refs [28, 29]).
+
+use probenet_sim::{
+    BufferLimit, Direction, Engine, FlowClass, LinkSpec, Path, SimDuration, SimTime, WindowFlow,
+};
+
+/// A two-hop path with a clear interior bottleneck.
+fn bottleneck_path(mu: u64, prop_ms: u64) -> Path {
+    Path::new(
+        vec!["src".into(), "router".into(), "dst".into()],
+        vec![
+            LinkSpec::new(10_000_000, SimDuration::from_micros(100)),
+            LinkSpec::new(mu, SimDuration::from_millis(prop_ms))
+                .with_buffer(BufferLimit::Packets(64)),
+        ],
+    )
+}
+
+fn flow(data: u32, ack: u32, window: usize, reverse: bool) -> WindowFlow {
+    WindowFlow::fixed(data, ack, window, reverse)
+}
+
+#[test]
+fn window_limited_throughput_matches_w_over_rtt() {
+    // Small window, fast bottleneck: no queueing, so goodput = W / RTT.
+    let path = bottleneck_path(10_000_000, 20); // base RTT ≈ 40 ms
+    let base_rtt = path.base_rtt(512).as_secs_f64();
+    let mut e = Engine::new(path, 1);
+    e.add_window_flow(flow(512, 40, 4, false), SimTime::ZERO);
+    e.run_until(SimTime::from_secs(30));
+    let delivered = e
+        .deliveries()
+        .iter()
+        .filter(|d| d.class == FlowClass::Window)
+        .count();
+    let rate = delivered as f64 / 30.0;
+    // RTT of the data+ack cycle is slightly below base_rtt(512) because the
+    // return leg carries a 40-byte ACK; the bound is loose enough for that.
+    let want = 4.0 / base_rtt;
+    assert!(
+        (rate - want).abs() / want < 0.1,
+        "rate {rate:.1}/s vs W/RTT {want:.1}/s"
+    );
+}
+
+#[test]
+fn large_window_saturates_the_bottleneck() {
+    // Window >> bandwidth-delay product: deliveries clock at the bottleneck
+    // service rate of the data packets.
+    let mu = 128_000u64;
+    let mut e = Engine::new(bottleneck_path(mu, 10), 2);
+    e.add_window_flow(flow(512, 40, 30, false), SimTime::ZERO);
+    e.run_until(SimTime::from_secs(60));
+    let times: Vec<SimTime> = e
+        .deliveries()
+        .iter()
+        .filter(|d| d.class == FlowClass::Window)
+        .map(|d| d.delivered_at)
+        .collect();
+    assert!(times.len() > 100);
+    // Steady-state delivery spacing = data service time = 32 ms.
+    let service = SimDuration::transmission(512, mu);
+    let tail = &times[times.len() / 2..];
+    for w in tail.windows(2) {
+        assert_eq!(w[1] - w[0], service, "ack-clocked spacing broke");
+    }
+    // Utilization of the bottleneck approaches 1.
+    let util = e.port(1, Direction::Outbound).stats.utilization(e.now());
+    assert!(util > 0.95, "bottleneck utilization {util}");
+}
+
+#[test]
+fn window_flow_is_self_limiting() {
+    // However large the window, the flow keeps at most `window` packets in
+    // the network: the bottleneck queue occupancy is bounded by it.
+    let mut e = Engine::new(bottleneck_path(64_000, 5), 3);
+    let w = 12usize;
+    e.add_window_flow(flow(512, 40, w, false), SimTime::ZERO);
+    e.run_until(SimTime::from_secs(120));
+    let max_occ = e.port(1, Direction::Outbound).stats.max_occupancy;
+    assert!(max_occ <= w, "occupancy {max_occ} exceeds the window {w}");
+    // And nothing is ever dropped: closed loops cannot overflow a buffer
+    // larger than the window.
+    assert!(e.drops().is_empty());
+}
+
+#[test]
+fn reverse_flow_delivers_at_the_far_end() {
+    let mut e = Engine::new(bottleneck_path(1_000_000, 10), 4);
+    let id = e.add_window_flow(flow(512, 40, 3, true), SimTime::ZERO);
+    e.run_until(SimTime::from_secs(10));
+    let count = e
+        .deliveries()
+        .iter()
+        .filter(|d| d.class == FlowClass::Window && d.flow == id)
+        .count();
+    assert!(count > 100, "reverse flow delivered {count}");
+    // The reverse flow's data loads the *inbound* bottleneck queue.
+    let inbound_served = e.port(1, Direction::Inbound).stats.bytes_served;
+    let outbound_served = e.port(1, Direction::Outbound).stats.bytes_served;
+    assert!(
+        inbound_served > 5 * outbound_served,
+        "inbound {inbound_served} vs outbound {outbound_served}"
+    );
+}
+
+#[test]
+fn two_way_traffic_compresses_acks() {
+    // The [29] experiment: a forward transfer's ACKs share the inbound
+    // bottleneck queue with a reverse transfer's data packets. ACKs queue
+    // behind 512-byte data packets and drain back-to-back — ACK
+    // compression — so the forward sender receives them in bursts.
+    let measure_ack_gaps = |with_reverse: bool| {
+        let mut e = Engine::new(bottleneck_path(128_000, 10), 5);
+        let fwd = e.add_window_flow(flow(512, 40, 6, false), SimTime::ZERO);
+        if with_reverse {
+            e.add_window_flow(flow(512, 40, 6, true), SimTime::ZERO);
+        }
+        e.run_until(SimTime::from_secs(120));
+        let times: Vec<SimTime> = e
+            .deliveries()
+            .iter()
+            .filter(|d| d.class == FlowClass::Window && d.flow == fwd)
+            .map(|d| d.delivered_at)
+            .collect();
+        assert!(times.len() > 50, "too few forward deliveries");
+        // Fraction of consecutive ACK arrivals spaced at (nearly) the ACK
+        // service time — i.e. compressed back-to-back.
+        let ack_service = SimDuration::transmission(40, 128_000);
+        let compressed = times
+            .windows(2)
+            .filter(|w| w[1] - w[0] <= ack_service * 2)
+            .count();
+        compressed as f64 / (times.len() - 1) as f64
+    };
+    let without = measure_ack_gaps(false);
+    let with = measure_ack_gaps(true);
+    assert!(
+        with > without + 0.2,
+        "ACK compression missing: {with:.3} with reverse traffic vs {without:.3} without"
+    );
+}
+
+#[test]
+fn probes_see_the_window_flows_as_cross_traffic() {
+    // Probing through a path carrying a bulk transfer: the probe RTTs
+    // inflate and fluctuate, and everything stays conserved.
+    let mut e = Engine::new(bottleneck_path(128_000, 10), 6);
+    e.add_window_flow(flow(512, 40, 8, false), SimTime::ZERO);
+    let n = 500u64;
+    for k in 0..n {
+        e.inject_probe(SimTime::from_millis(100 * k), 72, k);
+    }
+    e.run_until(SimTime::from_secs(70));
+    let probe_rtts: Vec<f64> = e
+        .probe_deliveries()
+        .map(|d| d.rtt().as_millis_f64())
+        .collect();
+    let dropped = e
+        .drops()
+        .iter()
+        .filter(|d| d.class == FlowClass::Probe)
+        .count();
+    assert_eq!(probe_rtts.len() + dropped, n as usize);
+    let base = bottleneck_path(128_000, 10).base_rtt(72).as_millis_f64();
+    let mean = probe_rtts.iter().sum::<f64>() / probe_rtts.len() as f64;
+    assert!(
+        mean > base + 50.0,
+        "probes unaffected by the transfer: mean {mean} vs base {base}"
+    );
+}
+
+#[test]
+fn flow_sequences_are_contiguous() {
+    let mut e = Engine::new(bottleneck_path(1_000_000, 5), 7);
+    let id = e.add_window_flow(flow(512, 40, 4, false), SimTime::ZERO);
+    e.run_until(SimTime::from_secs(20));
+    let mut seqs: Vec<u64> = e
+        .deliveries()
+        .iter()
+        .filter(|d| d.flow == id)
+        .map(|d| d.seq)
+        .collect();
+    seqs.sort_unstable();
+    for (i, &s) in seqs.iter().enumerate() {
+        assert_eq!(s, i as u64, "sequence gap in a lossless closed loop");
+    }
+}
+
+#[test]
+fn aimd_grows_to_the_cap_on_a_clean_path() {
+    // No losses: additive increase carries cwnd from 2 to the cap.
+    let mut e = Engine::new(bottleneck_path(10_000_000, 10), 8);
+    let id = e.add_window_flow(WindowFlow::aimd(512, 40, 20, false), SimTime::ZERO);
+    assert!(e.flow_cwnd(id) <= 2.0);
+    e.run_until(SimTime::from_secs(120));
+    assert!(
+        (e.flow_cwnd(id) - 20.0).abs() < 1.0,
+        "cwnd {} should reach the 20-packet cap",
+        e.flow_cwnd(id)
+    );
+    assert!(e.drops().is_empty());
+}
+
+#[test]
+fn aimd_halves_on_loss_and_oscillates() {
+    // A tight bottleneck buffer forces periodic losses: the window saws
+    // between ~max/2 and max instead of camping at the cap.
+    let path = Path::new(
+        vec!["src".into(), "router".into(), "dst".into()],
+        vec![
+            LinkSpec::new(10_000_000, SimDuration::from_micros(100)),
+            LinkSpec::new(500_000, SimDuration::from_millis(20))
+                .with_buffer(BufferLimit::Packets(6)),
+        ],
+    );
+    let mut e = Engine::new(path, 9);
+    let id = e.add_window_flow(WindowFlow::aimd(512, 40, 64, false), SimTime::ZERO);
+    // Sample the window over time.
+    let mut samples = Vec::new();
+    for step in 1..=600u64 {
+        e.run_until(SimTime::from_millis(100 * step));
+        samples.push(e.flow_cwnd(id));
+    }
+    let max = samples.iter().copied().fold(0.0f64, f64::max);
+    let min_after_warmup = samples[100..].iter().copied().fold(f64::INFINITY, f64::min);
+    assert!(
+        !e.drops().is_empty(),
+        "the 6-slot buffer must overflow under a 64-cap AIMD flow"
+    );
+    assert!(
+        max > 2.0 * min_after_warmup,
+        "no sawtooth: max {max} vs min {min_after_warmup}"
+    );
+    assert!(max < 64.0, "losses must stop the window before the cap");
+}
+
+#[test]
+fn aimd_loses_far_less_than_fixed_at_the_same_cap() {
+    // The point of congestion control: same max window, same bottleneck —
+    // the responsive flow backs off instead of hammering the full buffer.
+    let run = |spec: WindowFlow| {
+        let path = Path::new(
+            vec!["src".into(), "router".into(), "dst".into()],
+            vec![
+                LinkSpec::new(10_000_000, SimDuration::from_micros(100)),
+                LinkSpec::new(500_000, SimDuration::from_millis(20))
+                    .with_buffer(BufferLimit::Packets(8)),
+            ],
+        );
+        let mut e = Engine::new(path, 10);
+        e.add_window_flow(spec, SimTime::ZERO);
+        e.run_until(SimTime::from_secs(60));
+        let delivered = e
+            .deliveries()
+            .iter()
+            .filter(|d| d.class == FlowClass::Window)
+            .count();
+        (e.drops().len(), delivered)
+    };
+    let (drops_fixed, done_fixed) = run(WindowFlow::fixed(512, 40, 40, false));
+    let (drops_aimd, done_aimd) = run(WindowFlow::aimd(512, 40, 40, false));
+    assert!(
+        drops_aimd * 5 < drops_fixed,
+        "AIMD drops {drops_aimd} vs fixed {drops_fixed}"
+    );
+    // Throughput is bottleneck-limited either way: within 20%.
+    assert!(
+        (done_aimd as f64) > 0.8 * done_fixed as f64,
+        "AIMD throughput {done_aimd} vs fixed {done_fixed}"
+    );
+}
+
+#[test]
+fn aimd_in_flight_never_exceeds_the_cap() {
+    let path = bottleneck_path(128_000, 10);
+    let mut e = Engine::new(path.clone(), 11);
+    e.add_window_flow(WindowFlow::aimd(512, 40, 12, false), SimTime::ZERO);
+    e.run_until(SimTime::from_secs(60));
+    // The bottleneck queue can never hold more than the cap.
+    let max_occ = e.port(1, Direction::Outbound).stats.max_occupancy;
+    assert!(max_occ <= 12, "occupancy {max_occ} above the 12-packet cap");
+}
+
+#[test]
+fn red_early_drops_flow_through_the_engine() {
+    use probenet_sim::{DropReason, QueuePolicy};
+    // Saturate a RED bottleneck with probes: early drops must appear in the
+    // engine's drop records with their own reason, before overflow.
+    let path = Path::new(
+        vec!["src".into(), "dst".into()],
+        vec![LinkSpec::new(128_000, SimDuration::from_millis(5))
+            .with_buffer(BufferLimit::Packets(40))
+            .with_policy(QueuePolicy::Red {
+                min_threshold: 4.0,
+                max_threshold: 12.0,
+                max_probability: 0.1,
+                weight: 0.1,
+            })],
+    );
+    let mut e = Engine::new(path, 3);
+    for n in 0..2000u64 {
+        // Twice the service rate: sustained overload.
+        e.inject_probe(SimTime::from_micros(2250 * n), 72, n);
+    }
+    e.run();
+    let early = e
+        .drops()
+        .iter()
+        .filter(|d| d.reason == DropReason::EarlyDrop)
+        .count();
+    assert!(early > 50, "RED produced only {early} early drops");
+    // The port's own counter agrees.
+    assert_eq!(
+        e.port(0, Direction::Outbound).stats.early_drops as usize,
+        early
+    );
+    // Conservation still holds.
+    let delivered = e.probe_deliveries().count();
+    assert_eq!(delivered + e.drops().len(), 2000);
+}

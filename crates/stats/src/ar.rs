@@ -1,0 +1,242 @@
+//! Autoregressive (AR) models via Yule–Walker / Levinson–Durbin.
+//!
+//! The paper notes (§3) parallel work "examining whether ARMA models are
+//! adequate to model queueing delays", since predictive congestion-control
+//! mechanisms rely on such models. This module supplies the AR half: fit an
+//! AR(p) to a delay series, predict one step ahead, and measure how much
+//! the model actually explains.
+
+use crate::acf::autocovariance;
+
+/// A fitted AR(p) model: `x_t = c + Σ φ_i (x_{t-i} - mean) + e_t` written in
+/// mean-deviation form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ArModel {
+    /// Series mean (the model operates on deviations from it).
+    pub mean: f64,
+    /// AR coefficients φ₁..φ_p.
+    pub coeffs: Vec<f64>,
+    /// Innovation (one-step prediction error) variance from the recursion.
+    pub noise_variance: f64,
+}
+
+/// Levinson–Durbin recursion: from autocovariances `acov[0..=p]`, compute
+/// AR(p) coefficients and the innovation variance.
+///
+/// Returns `(coeffs, noise_variance)`.
+///
+/// # Panics
+/// Panics if `acov` is shorter than `p + 1` or `acov[0] <= 0`.
+pub fn levinson_durbin(acov: &[f64], p: usize) -> (Vec<f64>, f64) {
+    assert!(acov.len() > p, "need autocovariances up to lag p");
+    assert!(acov[0] > 0.0, "zero-variance series cannot be fit");
+    let mut a = vec![0.0f64; p + 1]; // a[1..=k] current coefficients
+    let mut e = acov[0];
+    for k in 1..=p {
+        let mut acc = acov[k];
+        for j in 1..k {
+            acc -= a[j] * acov[k - j];
+        }
+        let kappa = acc / e;
+        let mut new_a = a.clone();
+        new_a[k] = kappa;
+        for j in 1..k {
+            new_a[j] = a[j] - kappa * a[k - j];
+        }
+        a = new_a;
+        e *= 1.0 - kappa * kappa;
+        if e <= 0.0 {
+            // Perfectly predictable series; stop with a floor.
+            e = f64::EPSILON * acov[0];
+            break;
+        }
+    }
+    (a[1..=p].to_vec(), e)
+}
+
+impl ArModel {
+    /// Fit an AR(p) to `xs` by Yule–Walker.
+    ///
+    /// # Panics
+    /// Panics if `p == 0`, the series is shorter than `p + 1`, or it has
+    /// zero variance.
+    pub fn fit(xs: &[f64], p: usize) -> Self {
+        assert!(p > 0, "AR order must be positive");
+        assert!(xs.len() > p, "series too short for AR({p})");
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let acov = autocovariance(xs, p);
+        let (coeffs, noise_variance) = levinson_durbin(&acov, p);
+        ArModel {
+            mean,
+            coeffs,
+            noise_variance,
+        }
+    }
+
+    /// Model order p.
+    pub fn order(&self) -> usize {
+        self.coeffs.len()
+    }
+
+    /// One-step-ahead prediction given the most recent `history`
+    /// (`history[history.len()-1]` is the latest observation).
+    ///
+    /// # Panics
+    /// Panics if fewer than `p` observations are supplied.
+    pub fn predict_next(&self, history: &[f64]) -> f64 {
+        let p = self.order();
+        assert!(history.len() >= p, "need at least p history points");
+        let mut acc = self.mean;
+        for (i, phi) in self.coeffs.iter().enumerate() {
+            acc += phi * (history[history.len() - 1 - i] - self.mean);
+        }
+        acc
+    }
+
+    /// Mean squared one-step prediction error over a series (predicting
+    /// `xs[t]` from `xs[..t]` for `t >= p`).
+    pub fn one_step_mse(&self, xs: &[f64]) -> f64 {
+        let p = self.order();
+        if xs.len() <= p {
+            return 0.0;
+        }
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for t in p..xs.len() {
+            let pred = self.predict_next(&xs[..t]);
+            let err = xs[t] - pred;
+            sum += err * err;
+            count += 1;
+        }
+        sum / count as f64
+    }
+
+    /// Akaike information criterion (Gaussian innovations):
+    /// `n ln(σ²) + 2p`, lower is better.
+    pub fn aic(&self, n: usize) -> f64 {
+        n as f64 * self.noise_variance.max(f64::MIN_POSITIVE).ln() + 2.0 * self.order() as f64
+    }
+}
+
+/// Fit AR models of order `1..=max_p` and return the one minimizing AIC.
+///
+/// # Panics
+/// Panics if the series is too short for order 1.
+pub fn fit_best_order(xs: &[f64], max_p: usize) -> ArModel {
+    assert!(max_p >= 1, "need max order >= 1");
+    let mut best: Option<ArModel> = None;
+    for p in 1..=max_p.min(xs.len().saturating_sub(1)) {
+        let m = ArModel::fit(xs, p);
+        let better = match &best {
+            None => true,
+            Some(b) => m.aic(xs.len()) < b.aic(xs.len()),
+        };
+        if better {
+            best = Some(m);
+        }
+    }
+    best.expect("at least order 1 fit")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Deterministic AR(1) generator with LCG noise.
+    fn ar1_series(phi: f64, n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        let mut x = 0.0;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                x = phi * x + e;
+                x
+            })
+            .collect()
+    }
+
+    #[test]
+    fn recovers_ar1_coefficient() {
+        let xs = ar1_series(0.7, 50_000, 42);
+        let m = ArModel::fit(&xs, 1);
+        assert!(
+            (m.coeffs[0] - 0.7).abs() < 0.02,
+            "phi {} want 0.7",
+            m.coeffs[0]
+        );
+        // Innovation variance should approach Var(e) = 1/12.
+        assert!(
+            (m.noise_variance - 1.0 / 12.0).abs() < 0.01,
+            "noise var {}",
+            m.noise_variance
+        );
+    }
+
+    #[test]
+    fn ar2_on_ar1_data_has_tiny_second_coefficient() {
+        let xs = ar1_series(0.6, 50_000, 7);
+        let m = ArModel::fit(&xs, 2);
+        assert!((m.coeffs[0] - 0.6).abs() < 0.03);
+        assert!(m.coeffs[1].abs() < 0.03, "phi2 {}", m.coeffs[1]);
+    }
+
+    #[test]
+    fn prediction_reduces_error_versus_mean() {
+        let xs = ar1_series(0.9, 20_000, 3);
+        let m = ArModel::fit(&xs, 1);
+        let mse = m.one_step_mse(&xs);
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        // Strong AR(1): prediction should explain most of the variance.
+        assert!(mse < 0.3 * var, "mse {mse} var {var}");
+    }
+
+    #[test]
+    fn predict_next_formula() {
+        let m = ArModel {
+            mean: 10.0,
+            coeffs: vec![0.5, 0.25],
+            noise_variance: 1.0,
+        };
+        // x̂ = 10 + 0.5 (12-10) + 0.25 (8-10) = 10.5
+        let pred = m.predict_next(&[8.0, 12.0]);
+        assert!((pred - 10.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn aic_selects_parsimonious_order() {
+        let xs = ar1_series(0.8, 30_000, 11);
+        let best = fit_best_order(&xs, 6);
+        assert!(best.order() <= 3, "selected order {}", best.order());
+        assert!((best.coeffs[0] - 0.8).abs() < 0.05);
+    }
+
+    #[test]
+    fn levinson_durbin_white_noise_gives_zero_coeffs() {
+        // For white noise the true autocovariance is (v, 0, 0, ...).
+        let (coeffs, noise) = levinson_durbin(&[2.0, 0.0, 0.0, 0.0], 3);
+        assert!(coeffs.iter().all(|c| c.abs() < 1e-12));
+        assert!((noise - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn levinson_durbin_exact_ar1_autocovariance() {
+        // AR(1) with phi=0.5, sigma²=1: acov[k] = phi^k / (1 - phi²).
+        let v = 1.0 / (1.0 - 0.25);
+        let acov = [v, 0.5 * v, 0.25 * v, 0.125 * v];
+        let (coeffs, noise) = levinson_durbin(&acov, 3);
+        assert!((coeffs[0] - 0.5).abs() < 1e-12);
+        assert!(coeffs[1].abs() < 1e-12);
+        assert!(coeffs[2].abs() < 1e-12);
+        assert!((noise - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "too short")]
+    fn short_series_panics() {
+        ArModel::fit(&[1.0, 2.0], 5);
+    }
+}

@@ -1,0 +1,249 @@
+//! Radix-2 FFT and periodogram, from scratch.
+//!
+//! The paper's ref \[19\] used spectral analysis of average delays to expose a
+//! diurnal congestion cycle; [`periodogram`] provides the same capability on
+//! probe delay series.
+
+use std::f64::consts::PI;
+
+/// A complex number as `(re, im)`; deliberately minimal.
+pub type Complex = (f64, f64);
+
+fn cmul(a: Complex, b: Complex) -> Complex {
+    (a.0 * b.0 - a.1 * b.1, a.0 * b.1 + a.1 * b.0)
+}
+
+fn cadd(a: Complex, b: Complex) -> Complex {
+    (a.0 + b.0, a.1 + b.1)
+}
+
+fn csub(a: Complex, b: Complex) -> Complex {
+    (a.0 - b.0, a.1 - b.1)
+}
+
+/// Smallest power of two ≥ `n` (and ≥ 1).
+pub fn next_pow2(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// In-place iterative radix-2 Cooley–Tukey FFT.
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+pub fn fft(data: &mut [Complex]) {
+    fft_dir(data, false)
+}
+
+/// Inverse FFT (normalized by 1/n).
+///
+/// # Panics
+/// Panics unless the length is a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    fft_dir(data, true);
+    let n = data.len() as f64;
+    for x in data.iter_mut() {
+        x.0 /= n;
+        x.1 /= n;
+    }
+}
+
+fn fft_dir(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let mut j = 0usize;
+    for i in 1..n {
+        let mut bit = n >> 1;
+        while j & bit != 0 {
+            j ^= bit;
+            bit >>= 1;
+        }
+        j |= bit;
+        if i < j {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * PI / len as f64;
+        let wlen = (ang.cos(), ang.sin());
+        let mut i = 0;
+        while i < n {
+            let mut w = (1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[i + k];
+                let v = cmul(data[i + k + len / 2], w);
+                data[i + k] = cadd(u, v);
+                data[i + k + len / 2] = csub(u, v);
+                w = cmul(w, wlen);
+            }
+            i += len;
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(n²) DFT, used as the oracle in tests.
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = (0.0, 0.0);
+            for (t, &x) in data.iter().enumerate() {
+                let ang = -2.0 * PI * (k * t) as f64 / n as f64;
+                acc = cadd(acc, cmul(x, (ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// One spectral line of a periodogram.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpectralLine {
+    /// Frequency in cycles per sample.
+    pub frequency: f64,
+    /// Power at that frequency.
+    pub power: f64,
+}
+
+/// Periodogram of a real series: the series is mean-removed, zero-padded to
+/// a power of two, and transformed; returns power at the positive
+/// frequencies `k / n_padded` for `k = 1..n_padded/2`.
+///
+/// Returns an empty vector for series shorter than 2 samples.
+///
+/// ```
+/// use probenet_stats::dominant_frequency;
+/// // A pure 8-cycles-per-256-samples sine.
+/// let xs: Vec<f64> = (0..256)
+///     .map(|i| (std::f64::consts::TAU * 8.0 * i as f64 / 256.0).sin())
+///     .collect();
+/// assert_eq!(dominant_frequency(&xs), Some(8.0 / 256.0));
+/// ```
+pub fn periodogram(xs: &[f64]) -> Vec<SpectralLine> {
+    if xs.len() < 2 {
+        return Vec::new();
+    }
+    let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+    let n = next_pow2(xs.len());
+    let mut data: Vec<Complex> = xs.iter().map(|&x| (x - mean, 0.0)).collect();
+    data.resize(n, (0.0, 0.0));
+    fft(&mut data);
+    (1..n / 2)
+        .map(|k| {
+            let (re, im) = data[k];
+            SpectralLine {
+                frequency: k as f64 / n as f64,
+                power: (re * re + im * im) / xs.len() as f64,
+            }
+        })
+        .collect()
+}
+
+/// The frequency (cycles/sample) with the most power, if any.
+pub fn dominant_frequency(xs: &[f64]) -> Option<f64> {
+    periodogram(xs)
+        .into_iter()
+        .max_by(|a, b| a.power.partial_cmp(&b.power).expect("finite powers"))
+        .map(|l| l.frequency)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex, tol: f64) -> bool {
+        (a.0 - b.0).abs() < tol && (a.1 - b.1).abs() < tol
+    }
+
+    #[test]
+    fn fft_matches_naive_dft() {
+        let data: Vec<Complex> = (0..64)
+            .map(|i| ((i as f64 * 0.37).sin(), (i as f64 * 0.11).cos()))
+            .collect();
+        let want = dft_naive(&data);
+        let mut got = data.clone();
+        fft(&mut got);
+        for (g, w) in got.iter().zip(&want) {
+            assert!(close(*g, *w, 1e-9), "{g:?} vs {w:?}");
+        }
+    }
+
+    #[test]
+    fn ifft_inverts_fft() {
+        let data: Vec<Complex> = (0..128).map(|i| (i as f64, -(i as f64) / 2.0)).collect();
+        let mut x = data.clone();
+        fft(&mut x);
+        ifft(&mut x);
+        for (g, w) in x.iter().zip(&data) {
+            assert!(close(*g, *w, 1e-9));
+        }
+    }
+
+    #[test]
+    fn fft_of_impulse_is_flat() {
+        let mut x = vec![(0.0, 0.0); 16];
+        x[0] = (1.0, 0.0);
+        fft(&mut x);
+        for v in x {
+            assert!(close(v, (1.0, 0.0), 1e-12));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_panics() {
+        let mut x = vec![(0.0, 0.0); 12];
+        fft(&mut x);
+    }
+
+    #[test]
+    fn periodogram_finds_sine_frequency() {
+        // 8 cycles over 256 samples -> frequency 1/32 = 0.03125.
+        let xs: Vec<f64> = (0..256)
+            .map(|i| (2.0 * PI * 8.0 * i as f64 / 256.0).sin())
+            .collect();
+        let f = dominant_frequency(&xs).unwrap();
+        assert!((f - 8.0 / 256.0).abs() < 1e-12, "dominant {f}");
+    }
+
+    #[test]
+    fn periodogram_with_dc_offset_ignores_mean() {
+        let xs: Vec<f64> = (0..128)
+            .map(|i| 100.0 + (2.0 * PI * 4.0 * i as f64 / 128.0).sin())
+            .collect();
+        let f = dominant_frequency(&xs).unwrap();
+        assert!((f - 4.0 / 128.0).abs() < 1e-12, "dominant {f}");
+    }
+
+    #[test]
+    fn periodogram_handles_non_pow2_lengths() {
+        let xs: Vec<f64> = (0..300)
+            .map(|i| (2.0 * PI * 10.0 * i as f64 / 300.0).sin())
+            .collect();
+        // Padded to 512; the sine at 10/300 Hz lands near 17/512.
+        let f = dominant_frequency(&xs).unwrap();
+        assert!((f - 10.0 / 300.0).abs() < 0.005, "dominant {f}");
+    }
+
+    #[test]
+    fn short_series_yield_empty() {
+        assert!(periodogram(&[1.0]).is_empty());
+        assert_eq!(dominant_frequency(&[]), None);
+    }
+
+    #[test]
+    fn next_pow2_values() {
+        assert_eq!(next_pow2(0), 1);
+        assert_eq!(next_pow2(1), 1);
+        assert_eq!(next_pow2(2), 2);
+        assert_eq!(next_pow2(3), 4);
+        assert_eq!(next_pow2(1000), 1024);
+    }
+}

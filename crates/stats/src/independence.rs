@@ -1,0 +1,335 @@
+//! Randomness and independence tests for binary sequences.
+//!
+//! The paper's headline loss finding is that probe losses "are essentially
+//! random unless the probe traffic uses a large fraction of the available
+//! bandwidth". These tests make that claim checkable: the Wald–Wolfowitz
+//! runs test and a χ² test of lag-1 independence on the loss indicator
+//! sequence.
+
+use crate::special::reg_lower_gamma;
+
+/// Result of the Wald–Wolfowitz runs test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RunsTest {
+    /// Observed number of runs.
+    pub runs: usize,
+    /// Expected runs under independence.
+    pub expected: f64,
+    /// Normal z-score of the observed count.
+    pub z: f64,
+    /// Two-sided p-value (normal approximation).
+    pub p_value: f64,
+}
+
+/// Wald–Wolfowitz runs test on a binary sequence. Returns `None` when the
+/// sequence is degenerate (all one value, or fewer than 2 samples), where
+/// the test is undefined.
+pub fn runs_test(xs: &[bool]) -> Option<RunsTest> {
+    let n1 = xs.iter().filter(|&&b| b).count();
+    let n2 = xs.len() - n1;
+    if n1 == 0 || n2 == 0 || xs.len() < 2 {
+        return None;
+    }
+    let runs = 1 + xs.windows(2).filter(|w| w[0] != w[1]).count();
+    let n1 = n1 as f64;
+    let n2 = n2 as f64;
+    let n = n1 + n2;
+    let expected = 2.0 * n1 * n2 / n + 1.0;
+    let var = 2.0 * n1 * n2 * (2.0 * n1 * n2 - n) / (n * n * (n - 1.0));
+    if var <= 0.0 {
+        return None;
+    }
+    let z = (runs as f64 - expected) / var.sqrt();
+    Some(RunsTest {
+        runs,
+        expected,
+        z,
+        p_value: two_sided_normal_p(z),
+    })
+}
+
+/// Two-sided normal p-value via the complementary error function
+/// (Abramowitz–Stegun 7.1.26 rational approximation, |error| < 1.5e-7).
+pub fn two_sided_normal_p(z: f64) -> f64 {
+    let x = z.abs() / std::f64::consts::SQRT_2;
+    // erfc(x) by A&S 7.1.26 on erf.
+    let t = 1.0 / (1.0 + 0.3275911 * x);
+    let poly = t
+        * (0.254829592
+            + t * (-0.284496736 + t * (1.421413741 + t * (-1.453152027 + t * 1.061405429))));
+    let erfc = poly * (-x * x).exp();
+    erfc.clamp(0.0, 1.0)
+}
+
+/// Result of a χ² independence test on a 2×2 contingency table.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Chi2Test {
+    /// The χ² statistic (1 degree of freedom).
+    pub statistic: f64,
+    /// p-value from the χ²(1) distribution.
+    pub p_value: f64,
+}
+
+/// χ² test of independence for the 2×2 table
+/// `[[a, b], [c, d]]` (row = first variable, column = second).
+/// Returns `None` if any marginal is zero (test undefined).
+pub fn chi2_2x2(a: u64, b: u64, c: u64, d: u64) -> Option<Chi2Test> {
+    let (af, bf, cf, df) = (a as f64, b as f64, c as f64, d as f64);
+    let n = af + bf + cf + df;
+    let r1 = af + bf;
+    let r2 = cf + df;
+    let c1 = af + cf;
+    let c2 = bf + df;
+    if r1 == 0.0 || r2 == 0.0 || c1 == 0.0 || c2 == 0.0 {
+        return None;
+    }
+    let statistic = n * (af * df - bf * cf).powi(2) / (r1 * r2 * c1 * c2);
+    // P(χ²(1) > x) = 1 - P(1/2, x/2).
+    let p_value = 1.0 - reg_lower_gamma(0.5, statistic / 2.0);
+    Some(Chi2Test { statistic, p_value })
+}
+
+/// Result of a Ljung–Box portmanteau test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LjungBoxTest {
+    /// The Q statistic.
+    pub statistic: f64,
+    /// Degrees of freedom used (`lags − fitted_params`).
+    pub dof: usize,
+    /// p-value from the χ²(dof) distribution.
+    pub p_value: f64,
+}
+
+/// Ljung–Box test for autocorrelation up to `lags`, with `fitted_params`
+/// subtracted from the degrees of freedom when testing model residuals
+/// (e.g. the order of a fitted AR model). Small p-values reject whiteness.
+///
+/// Returns `None` for degenerate inputs (too short, zero variance, or
+/// `lags <= fitted_params`).
+pub fn ljung_box(xs: &[f64], lags: usize, fitted_params: usize) -> Option<LjungBoxTest> {
+    if lags == 0 || lags <= fitted_params || xs.len() <= lags + 1 {
+        return None;
+    }
+    let acf = crate::acf::autocorrelation(xs, lags);
+    if acf[1..].iter().all(|&c| c == 0.0) && acf[0] == 1.0 {
+        // Constant series convention from autocorrelation(): no variance.
+        let has_var = xs.windows(2).any(|w| w[0] != w[1]);
+        if !has_var {
+            return None;
+        }
+    }
+    let n = xs.len() as f64;
+    let q = n
+        * (n + 2.0)
+        * acf[1..=lags]
+            .iter()
+            .enumerate()
+            .map(|(i, &r)| r * r / (n - (i + 1) as f64))
+            .sum::<f64>();
+    let dof = lags - fitted_params;
+    let p_value = 1.0 - crate::special::reg_lower_gamma(dof as f64 / 2.0, q / 2.0);
+    Some(LjungBoxTest {
+        statistic: q,
+        dof,
+        p_value,
+    })
+}
+
+/// Build the lag-1 contingency table of a binary sequence and test whether
+/// `xs[n+1]` is independent of `xs[n]` — exactly the dependence the paper's
+/// conditional loss probability `clp` measures.
+pub fn lag1_independence(xs: &[bool]) -> Option<Chi2Test> {
+    if xs.len() < 2 {
+        return None;
+    }
+    let mut table = [[0u64; 2]; 2];
+    for w in xs.windows(2) {
+        table[w[0] as usize][w[1] as usize] += 1;
+    }
+    chi2_2x2(table[0][0], table[0][1], table[1][0], table[1][1])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_bools(n: usize, p: f64, seed: u64) -> Vec<bool> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) < p
+            })
+            .collect()
+    }
+
+    #[test]
+    fn runs_test_counts_runs() {
+        // T T F F F T -> 3 runs.
+        let xs = [true, true, false, false, false, true];
+        let r = runs_test(&xs).unwrap();
+        assert_eq!(r.runs, 3);
+    }
+
+    #[test]
+    fn runs_test_accepts_random_sequence() {
+        let xs = lcg_bools(5000, 0.5, 1);
+        let r = runs_test(&xs).unwrap();
+        assert!(r.z.abs() < 3.0, "z {}", r.z);
+        assert!(r.p_value > 0.001, "p {}", r.p_value);
+    }
+
+    #[test]
+    fn runs_test_rejects_clustered_sequence() {
+        // Long alternating blocks: far fewer runs than expected.
+        let xs: Vec<bool> = (0..5000).map(|i| (i / 100) % 2 == 0).collect();
+        let r = runs_test(&xs).unwrap();
+        assert!(r.z < -10.0, "z {}", r.z);
+        assert!(r.p_value < 1e-6);
+    }
+
+    #[test]
+    fn runs_test_rejects_alternating_sequence() {
+        // Strict alternation: far more runs than expected (z > 0).
+        let xs: Vec<bool> = (0..1000).map(|i| i % 2 == 0).collect();
+        let r = runs_test(&xs).unwrap();
+        assert_eq!(r.runs, 1000);
+        assert!(r.z > 10.0);
+    }
+
+    #[test]
+    fn runs_test_degenerate_is_none() {
+        assert!(runs_test(&[true, true, true]).is_none());
+        assert!(runs_test(&[false]).is_none());
+        assert!(runs_test(&[]).is_none());
+    }
+
+    #[test]
+    fn normal_p_reference_values() {
+        assert!((two_sided_normal_p(0.0) - 1.0).abs() < 1e-6);
+        // P(|Z| > 1.96) ≈ 0.05.
+        assert!((two_sided_normal_p(1.96) - 0.05).abs() < 0.001);
+        assert!(two_sided_normal_p(5.0) < 1e-5);
+    }
+
+    #[test]
+    fn chi2_independent_table() {
+        // Perfectly proportional table: statistic 0, p-value 1.
+        let t = chi2_2x2(50, 50, 50, 50).unwrap();
+        assert!(t.statistic < 1e-12);
+        assert!(t.p_value > 0.999);
+    }
+
+    #[test]
+    fn chi2_dependent_table() {
+        // Strong diagonal: highly dependent.
+        let t = chi2_2x2(90, 10, 10, 90).unwrap();
+        assert!(t.statistic > 100.0);
+        assert!(t.p_value < 1e-6);
+    }
+
+    #[test]
+    fn chi2_zero_marginal_is_none() {
+        assert!(chi2_2x2(0, 0, 5, 5).is_none());
+        assert!(chi2_2x2(5, 0, 5, 0).is_none());
+    }
+
+    #[test]
+    fn ljung_box_accepts_white_noise() {
+        let mut state = 4u64;
+        let xs: Vec<f64> = (0..20_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect();
+        let t = ljung_box(&xs, 20, 0).expect("valid input");
+        assert!(t.p_value > 0.001, "p {}", t.p_value);
+        assert_eq!(t.dof, 20);
+    }
+
+    #[test]
+    fn ljung_box_rejects_ar1_series() {
+        let mut state = 8u64;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..5_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                x = 0.7 * x + e;
+                x
+            })
+            .collect();
+        let t = ljung_box(&xs, 10, 0).expect("valid input");
+        assert!(t.p_value < 1e-10, "p {}", t.p_value);
+        assert!(t.statistic > 100.0);
+    }
+
+    #[test]
+    fn ljung_box_residual_whiteness_after_ar_fit() {
+        // Fit AR(1) to an AR(1) series: residuals must be white.
+        let mut state = 16u64;
+        let mut x = 0.0;
+        let xs: Vec<f64> = (0..30_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let e = (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5;
+                x = 0.6 * x + e;
+                x
+            })
+            .collect();
+        let model = crate::ar::ArModel::fit(&xs, 1);
+        let residuals: Vec<f64> = (1..xs.len())
+            .map(|t| xs[t] - model.predict_next(&xs[..t]))
+            .collect();
+        let t = ljung_box(&residuals, 15, 1).expect("valid input");
+        assert!(
+            t.p_value > 0.001,
+            "AR(1) residuals should be white: p {}",
+            t.p_value
+        );
+        assert_eq!(t.dof, 14);
+    }
+
+    #[test]
+    fn ljung_box_degenerate_inputs() {
+        assert!(ljung_box(&[1.0, 2.0], 5, 0).is_none());
+        assert!(ljung_box(&[5.0; 100], 5, 0).is_none());
+        assert!(ljung_box(&(0..100).map(|i| i as f64).collect::<Vec<_>>(), 3, 3).is_none());
+    }
+
+    #[test]
+    fn lag1_accepts_iid_losses() {
+        let xs = lcg_bools(20_000, 0.1, 9);
+        let t = lag1_independence(&xs).unwrap();
+        assert!(t.p_value > 0.001, "p {}", t.p_value);
+    }
+
+    #[test]
+    fn lag1_rejects_bursty_losses() {
+        // Markov chain with sticky loss state: P(loss | loss) = 0.6,
+        // P(loss | ok) = 0.05.
+        let mut state = 77u64;
+        let mut cur = false;
+        let xs: Vec<bool> = (0..20_000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                let u = (state >> 11) as f64 / (1u64 << 53) as f64;
+                cur = if cur { u < 0.6 } else { u < 0.05 };
+                cur
+            })
+            .collect();
+        let t = lag1_independence(&xs).unwrap();
+        assert!(t.p_value < 1e-6, "p {}", t.p_value);
+    }
+}

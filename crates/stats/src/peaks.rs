@@ -1,0 +1,174 @@
+//! Peak detection in (histogram) densities.
+//!
+//! The paper reads the Internet workload off the **multimodal** distribution
+//! of `w_{n+1} − w_n + δ` (its Figures 8–9): the leftmost peak sits at
+//! `P/μ`, the next at δ, and further peaks at δ plus multiples of the FTP
+//! packet service time. [`find_peaks`] locates those modes automatically.
+
+/// One detected peak.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Peak {
+    /// Index into the input series.
+    pub index: usize,
+    /// Height at the peak (after smoothing, if any was applied by caller).
+    pub height: f64,
+}
+
+/// Moving-average smoothing with a centered window of `2*half + 1` points
+/// (shrunk at the edges). `half == 0` returns the input unchanged.
+pub fn smooth(xs: &[f64], half: usize) -> Vec<f64> {
+    if half == 0 || xs.is_empty() {
+        return xs.to_vec();
+    }
+    (0..xs.len())
+        .map(|i| {
+            let lo = i.saturating_sub(half);
+            let hi = (i + half + 1).min(xs.len());
+            xs[lo..hi].iter().sum::<f64>() / (hi - lo) as f64
+        })
+        .collect()
+}
+
+/// Find local maxima of `xs` that are at least `min_height` tall and at
+/// least `min_separation` indices apart. When two candidate peaks are too
+/// close, the taller one wins.
+///
+/// Plateau handling: the first index of a flat top is reported.
+pub fn find_peaks(xs: &[f64], min_height: f64, min_separation: usize) -> Vec<Peak> {
+    let n = xs.len();
+    let mut candidates: Vec<Peak> = Vec::new();
+    for i in 0..n {
+        let h = xs[i];
+        if h < min_height {
+            continue;
+        }
+        let left_ok = i == 0 || xs[i - 1] < h;
+        // Skip forward over any plateau to find the next distinct value.
+        let mut j = i + 1;
+        while j < n && xs[j] == h {
+            j += 1;
+        }
+        let right_ok = j == n || xs[j] < h;
+        if left_ok && right_ok {
+            candidates.push(Peak {
+                index: i,
+                height: h,
+            });
+        }
+    }
+    // Enforce separation, preferring taller peaks.
+    candidates.sort_by(|a, b| b.height.partial_cmp(&a.height).expect("finite heights"));
+    let mut kept: Vec<Peak> = Vec::new();
+    for c in candidates {
+        if kept
+            .iter()
+            .all(|k| k.index.abs_diff(c.index) >= min_separation.max(1))
+        {
+            kept.push(c);
+        }
+    }
+    kept.sort_by_key(|p| p.index);
+    kept
+}
+
+/// Convenience: peaks of a histogram-like density with heights relative to
+/// the global maximum (`min_rel` in `[0,1]`), pre-smoothed with `smooth_half`.
+pub fn find_relative_peaks(
+    xs: &[f64],
+    min_rel: f64,
+    min_separation: usize,
+    smooth_half: usize,
+) -> Vec<Peak> {
+    let sm = smooth(xs, smooth_half);
+    let max = sm.iter().copied().fold(0.0f64, f64::max);
+    if max <= 0.0 {
+        return Vec::new();
+    }
+    find_peaks(&sm, min_rel * max, min_separation)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_isolated_peaks() {
+        //                    0    1    2    3    4    5    6    7    8
+        let xs = [0.0, 1.0, 0.0, 0.0, 3.0, 0.0, 0.0, 2.0, 0.0];
+        let peaks = find_peaks(&xs, 0.5, 1);
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![1, 4, 7]);
+    }
+
+    #[test]
+    fn min_height_filters() {
+        let xs = [0.0, 1.0, 0.0, 3.0, 0.0];
+        let peaks = find_peaks(&xs, 2.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 3);
+        assert_eq!(peaks[0].height, 3.0);
+    }
+
+    #[test]
+    fn separation_keeps_taller() {
+        let xs = [0.0, 2.0, 0.5, 3.0, 0.0];
+        // Peaks at 1 and 3 are 2 apart; with min separation 3 only the
+        // taller (index 3) survives.
+        let peaks = find_peaks(&xs, 0.1, 3);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 3);
+    }
+
+    #[test]
+    fn plateau_reports_first_index() {
+        let xs = [0.0, 5.0, 5.0, 5.0, 0.0];
+        let peaks = find_peaks(&xs, 1.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 1);
+    }
+
+    #[test]
+    fn endpoint_peaks_are_detected() {
+        let xs = [4.0, 1.0, 0.0, 1.0, 4.0];
+        let peaks = find_peaks(&xs, 0.5, 1);
+        let idx: Vec<usize> = peaks.iter().map(|p| p.index).collect();
+        assert_eq!(idx, vec![0, 4]);
+    }
+
+    #[test]
+    fn monotone_series_has_one_endpoint_peak() {
+        let xs = [0.0, 1.0, 2.0, 3.0];
+        let peaks = find_peaks(&xs, 0.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 3);
+    }
+
+    #[test]
+    fn smoothing_window_math() {
+        let xs = [0.0, 0.0, 9.0, 0.0, 0.0];
+        let sm = smooth(&xs, 1);
+        assert_eq!(sm, vec![0.0, 3.0, 3.0, 3.0, 0.0]);
+        assert_eq!(smooth(&xs, 0), xs.to_vec());
+    }
+
+    #[test]
+    fn smoothing_suppresses_noise_peaks() {
+        // A jittery shoulder around one true mode.
+        let xs = [0.0, 0.2, 0.1, 0.3, 5.0, 4.9, 5.1, 0.2, 0.1, 0.0];
+        let peaks = find_relative_peaks(&xs, 0.5, 2, 1);
+        assert_eq!(peaks.len(), 1, "peaks: {peaks:?}");
+        assert!((4..=6).contains(&peaks[0].index));
+    }
+
+    #[test]
+    fn empty_and_flat_inputs() {
+        assert!(find_peaks(&[], 0.0, 1).is_empty());
+        assert!(find_relative_peaks(&[0.0, 0.0], 0.1, 1, 0).is_empty());
+        // A constant series is one big plateau with no strict neighbours:
+        // its first index is reported (height above threshold).
+        let flat = [2.0, 2.0, 2.0];
+        let peaks = find_peaks(&flat, 1.0, 1);
+        assert_eq!(peaks.len(), 1);
+        assert_eq!(peaks[0].index, 0);
+    }
+}

@@ -1,0 +1,238 @@
+//! Streaming quantile estimation (the P² algorithm).
+//!
+//! Long probing campaigns produce delay streams too large to keep sorted;
+//! P² (Jain & Chlamtac, 1985 — contemporary with the paper's
+//! instrumentation constraints) tracks any single quantile with five
+//! markers and O(1) work per observation.
+
+/// A P² estimator for the `q`-quantile of a stream.
+#[derive(Debug, Clone)]
+pub struct P2Quantile {
+    q: f64,
+    /// Marker heights (estimated values at the marker positions).
+    heights: [f64; 5],
+    /// Actual marker positions (1-based observation counts).
+    positions: [f64; 5],
+    /// Desired marker positions.
+    desired: [f64; 5],
+    /// Desired position increments per observation.
+    increments: [f64; 5],
+    count: usize,
+    /// First five observations, used for initialization.
+    initial: Vec<f64>,
+}
+
+impl P2Quantile {
+    /// Track the `q`-quantile, `0 < q < 1`.
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `(0, 1)`.
+    pub fn new(q: f64) -> Self {
+        assert!(q > 0.0 && q < 1.0, "quantile must be in (0,1)");
+        P2Quantile {
+            q,
+            heights: [0.0; 5],
+            positions: [1.0, 2.0, 3.0, 4.0, 5.0],
+            desired: [1.0, 1.0 + 2.0 * q, 1.0 + 4.0 * q, 3.0 + 2.0 * q, 5.0],
+            increments: [0.0, q / 2.0, q, (1.0 + q) / 2.0, 1.0],
+            count: 0,
+            initial: Vec::with_capacity(5),
+        }
+    }
+
+    /// Observations seen so far.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Add one observation.
+    pub fn push(&mut self, x: f64) {
+        self.count += 1;
+        if self.initial.len() < 5 {
+            self.initial.push(x);
+            if self.initial.len() == 5 {
+                self.initial
+                    .sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+                for i in 0..5 {
+                    self.heights[i] = self.initial[i];
+                }
+            }
+            return;
+        }
+
+        // Find the cell k containing x and update extreme markers.
+        let k = if x < self.heights[0] {
+            self.heights[0] = x;
+            0
+        } else if x >= self.heights[4] {
+            self.heights[4] = x;
+            3
+        } else {
+            let mut k = 0;
+            for i in 0..4 {
+                if self.heights[i] <= x && x < self.heights[i + 1] {
+                    k = i;
+                    break;
+                }
+            }
+            k
+        };
+        for p in self.positions.iter_mut().skip(k + 1) {
+            *p += 1.0;
+        }
+        for i in 0..5 {
+            self.desired[i] += self.increments[i];
+        }
+
+        // Adjust the interior markers toward their desired positions.
+        for i in 1..4 {
+            let d = self.desired[i] - self.positions[i];
+            let can_up = self.positions[i + 1] - self.positions[i] > 1.0;
+            let can_down = self.positions[i - 1] - self.positions[i] < -1.0;
+            if (d >= 1.0 && can_up) || (d <= -1.0 && can_down) {
+                let d = d.signum();
+                let parabolic = self.parabolic(i, d);
+                if self.heights[i - 1] < parabolic && parabolic < self.heights[i + 1] {
+                    self.heights[i] = parabolic;
+                } else {
+                    self.heights[i] = self.linear(i, d);
+                }
+                self.positions[i] += d;
+            }
+        }
+    }
+
+    fn parabolic(&self, i: usize, d: f64) -> f64 {
+        let (qm, q0, qp) = (self.heights[i - 1], self.heights[i], self.heights[i + 1]);
+        let (nm, n0, np) = (
+            self.positions[i - 1],
+            self.positions[i],
+            self.positions[i + 1],
+        );
+        q0 + d / (np - nm)
+            * ((n0 - nm + d) * (qp - q0) / (np - n0) + (np - n0 - d) * (q0 - qm) / (n0 - nm))
+    }
+
+    fn linear(&self, i: usize, d: f64) -> f64 {
+        let j = (i as f64 + d) as usize;
+        self.heights[i]
+            + d * (self.heights[j] - self.heights[i]) / (self.positions[j] - self.positions[i])
+    }
+
+    /// Current quantile estimate. With fewer than 5 observations, the exact
+    /// sample quantile of what has been seen (`None` if empty).
+    pub fn estimate(&self) -> Option<f64> {
+        if self.count == 0 {
+            return None;
+        }
+        if self.initial.len() < 5 {
+            let mut v = self.initial.clone();
+            v.sort_by(|a, b| a.partial_cmp(b).expect("finite observations"));
+            let rank = ((self.q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+            return Some(v[rank - 1]);
+        }
+        Some(self.heights[2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_stream(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64
+            })
+            .collect()
+    }
+
+    fn exact_quantile(xs: &[f64], q: f64) -> f64 {
+        let mut v = xs.to_vec();
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite"));
+        let rank = ((q * v.len() as f64).ceil() as usize).clamp(1, v.len());
+        v[rank - 1]
+    }
+
+    #[test]
+    fn median_of_uniform_stream() {
+        let xs = lcg_stream(100_000, 1);
+        let mut p2 = P2Quantile::new(0.5);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 0.5).abs() < 0.01, "median estimate {est}");
+    }
+
+    #[test]
+    fn tail_quantiles_track_exact_values() {
+        let xs = lcg_stream(200_000, 2);
+        for &q in &[0.9, 0.95, 0.99] {
+            let mut p2 = P2Quantile::new(q);
+            for &x in &xs {
+                p2.push(x);
+            }
+            let est = p2.estimate().unwrap();
+            let exact = exact_quantile(&xs, q);
+            assert!(
+                (est - exact).abs() < 0.01,
+                "q {q}: estimate {est} exact {exact}"
+            );
+        }
+    }
+
+    #[test]
+    fn skewed_stream() {
+        // Squaring a uniform sharply skews the distribution; P² must still
+        // track the upper tail. Exact p90 of U² is 0.81.
+        let xs: Vec<f64> = lcg_stream(100_000, 3).iter().map(|x| x * x).collect();
+        let mut p2 = P2Quantile::new(0.9);
+        for &x in &xs {
+            p2.push(x);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 0.81).abs() < 0.02, "p90 {est}");
+    }
+
+    #[test]
+    fn small_samples_are_exact() {
+        let mut p2 = P2Quantile::new(0.5);
+        assert!(p2.estimate().is_none());
+        for (i, &x) in [5.0, 1.0, 3.0].iter().enumerate() {
+            p2.push(x);
+            assert_eq!(p2.count(), i + 1);
+        }
+        // Exact median of {1, 3, 5} with nearest-rank: 3.
+        assert_eq!(p2.estimate(), Some(3.0));
+    }
+
+    #[test]
+    fn monotone_stream() {
+        let mut p2 = P2Quantile::new(0.25);
+        for i in 0..10_000 {
+            p2.push(i as f64);
+        }
+        let est = p2.estimate().unwrap();
+        assert!((est - 2500.0).abs() < 120.0, "p25 {est}");
+    }
+
+    #[test]
+    fn constant_stream() {
+        let mut p2 = P2Quantile::new(0.9);
+        for _ in 0..1000 {
+            p2.push(7.0);
+        }
+        assert_eq!(p2.estimate(), Some(7.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in (0,1)")]
+    fn bad_quantile_panics() {
+        P2Quantile::new(1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Multi-time-scale structure: variance-time analysis and the
+//! aggregate-variance Hurst estimator.
+//!
+//! The paper's stated goal is "to study the structure of the Internet load
+//! over different time scales" by sweeping the probe interval δ. The
+//! variance-time plot examines the same question on one series: aggregate
+//! the series over blocks of size `m` and watch how the variance of the
+//! block means decays. For short-range-dependent processes it decays like
+//! `m^{-1}`; slower decay (`m^{-(2-2H)}`, `H > 0.5`) signals long-range
+//! dependence — the self-similarity that later measurement work (Leland et
+//! al., 1994) made famous.
+
+use crate::moments::ols;
+
+/// One point of a variance-time plot.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VariancePoint {
+    /// Aggregation level `m` (block size, in samples).
+    pub m: usize,
+    /// Variance of the means of non-overlapping blocks of size `m`.
+    pub variance: f64,
+}
+
+/// Variance of non-overlapping block means at one aggregation level.
+///
+/// Returns `None` when fewer than 2 full blocks exist.
+pub fn aggregate_variance(xs: &[f64], m: usize) -> Option<f64> {
+    assert!(m > 0, "aggregation level must be positive");
+    let blocks = xs.len() / m;
+    if blocks < 2 {
+        return None;
+    }
+    let means: Vec<f64> = (0..blocks)
+        .map(|b| xs[b * m..(b + 1) * m].iter().sum::<f64>() / m as f64)
+        .collect();
+    let grand = means.iter().sum::<f64>() / blocks as f64;
+    Some(means.iter().map(|x| (x - grand) * (x - grand)).sum::<f64>() / (blocks - 1) as f64)
+}
+
+/// The variance-time plot over dyadic aggregation levels `1, 2, 4, …` up to
+/// `xs.len() / 4` (so every point has at least 4 blocks).
+pub fn variance_time_plot(xs: &[f64]) -> Vec<VariancePoint> {
+    let mut out = Vec::new();
+    let mut m = 1usize;
+    while m <= xs.len() / 4 {
+        if let Some(v) = aggregate_variance(xs, m) {
+            if v > 0.0 {
+                out.push(VariancePoint { m, variance: v });
+            }
+        }
+        m *= 2;
+    }
+    out
+}
+
+/// Aggregate-variance Hurst estimate: fit `log var(m) = c + β log m` and
+/// return `H = 1 + β/2`, clamped to `[0, 1]`.
+///
+/// Returns `None` with fewer than 3 usable aggregation levels.
+pub fn hurst_aggregate_variance(xs: &[f64]) -> Option<f64> {
+    let pts = variance_time_plot(xs);
+    if pts.len() < 3 {
+        return None;
+    }
+    let logm: Vec<f64> = pts.iter().map(|p| (p.m as f64).ln()).collect();
+    let logv: Vec<f64> = pts.iter().map(|p| p.variance.ln()).collect();
+    let (_, beta) = ols(&logm, &logv);
+    Some((1.0 + beta / 2.0).clamp(0.0, 1.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lcg_series(n: usize, seed: u64) -> Vec<f64> {
+        let mut state = seed;
+        (0..n)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+            })
+            .collect()
+    }
+
+    #[test]
+    fn aggregate_variance_basics() {
+        let xs = [1.0, 1.0, 3.0, 3.0];
+        // m = 2: block means 1 and 3, variance (sample) = 2.
+        assert!((aggregate_variance(&xs, 2).unwrap() - 2.0).abs() < 1e-12);
+        // m = 4: one block only.
+        assert!(aggregate_variance(&xs, 4).is_none());
+    }
+
+    #[test]
+    fn iid_variance_decays_like_one_over_m() {
+        let xs = lcg_series(1 << 16, 3);
+        let pts = variance_time_plot(&xs);
+        // var(m) ≈ var(1)/m: check the ratio across 3 octaves.
+        let v1 = pts[0].variance;
+        for p in &pts {
+            let want = v1 / p.m as f64;
+            let ratio = p.variance / want;
+            if p.m <= 256 {
+                assert!((0.5..2.0).contains(&ratio), "m {}: ratio {ratio}", p.m);
+            }
+        }
+    }
+
+    #[test]
+    fn iid_series_has_hurst_half() {
+        let xs = lcg_series(1 << 16, 7);
+        let h = hurst_aggregate_variance(&xs).unwrap();
+        assert!((h - 0.5).abs() < 0.1, "H {h}");
+    }
+
+    #[test]
+    fn random_walk_has_high_hurst() {
+        // Cumulative sum of iid noise: strongly persistent increments when
+        // viewed as a level series (H -> 1 for the level process).
+        let noise = lcg_series(1 << 14, 9);
+        let mut acc = 0.0;
+        let walk: Vec<f64> = noise
+            .iter()
+            .map(|&e| {
+                acc += e;
+                acc
+            })
+            .collect();
+        let h = hurst_aggregate_variance(&walk).unwrap();
+        assert!(h > 0.85, "H {h}");
+    }
+
+    #[test]
+    fn alternating_series_has_low_hurst() {
+        // Strict alternation: block means cancel — anti-persistent.
+        let xs: Vec<f64> = (0..4096)
+            .map(|i| if i % 2 == 0 { 1.0 } else { -1.0 })
+            .collect();
+        let h = hurst_aggregate_variance(&xs);
+        // Variance collapses to zero at m >= 2, so few usable points; either
+        // no estimate or a very low one is acceptable.
+        if let Some(h) = h {
+            assert!(h < 0.3, "H {h}");
+        }
+    }
+
+    #[test]
+    fn short_series_yield_none() {
+        assert!(hurst_aggregate_variance(&[1.0, 2.0, 3.0]).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "aggregation level")]
+    fn zero_m_panics() {
+        aggregate_variance(&[1.0], 0);
+    }
+}

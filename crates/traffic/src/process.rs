@@ -1,0 +1,506 @@
+//! Arrival-process generators.
+//!
+//! Each generator produces a time-sorted [`Arrival`] stream over a finite
+//! horizon from a caller-supplied RNG, so experiments stay reproducible end
+//! to end. The processes cover what the paper's traffic hypothesis needs:
+//! Poisson interactive traffic, periodic streams (the probes themselves are
+//! periodic), compound/batch arrivals ("one or more FTP packets arriving
+//! together", §4), and on/off bulk transfers.
+
+use probenet_sim::{SimDuration, SimTime};
+use rand::Rng;
+
+use crate::stream::{Arrival, PacketSize};
+
+/// Draw an exponential variate with the given mean.
+///
+/// # Panics
+/// Panics if `mean` is not positive and finite.
+pub fn exponential<R: Rng + ?Sized>(rng: &mut R, mean: SimDuration) -> SimDuration {
+    let m = mean.as_secs_f64();
+    assert!(
+        m > 0.0 && m.is_finite(),
+        "exponential mean must be positive"
+    );
+    // Inverse CDF; 1 - u is in (0, 1] so ln() is finite.
+    let u: f64 = rng.gen();
+    SimDuration::from_secs_f64(-m * (1.0 - u).ln())
+}
+
+/// Draw a geometric variate on {1, 2, …} with the given mean (≥ 1).
+///
+/// # Panics
+/// Panics if `mean < 1`.
+pub fn geometric<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> u64 {
+    assert!(mean >= 1.0, "geometric mean must be >= 1");
+    if mean == 1.0 {
+        return 1;
+    }
+    let p = 1.0 / mean; // success probability
+    let u: f64 = rng.gen();
+    let k = ((1.0 - u).ln() / (1.0 - p).ln()).floor() as u64 + 1;
+    k.max(1)
+}
+
+/// Poisson arrivals: i.i.d. exponential interarrival times at `rate_hz`
+/// packets per second, sizes from `sizes`.
+#[derive(Debug, Clone)]
+pub struct PoissonStream {
+    /// Mean arrival rate, packets per second.
+    pub rate_hz: f64,
+    /// Packet-size distribution.
+    pub sizes: PacketSize,
+}
+
+impl PoissonStream {
+    /// Generate arrivals over `[0, horizon)`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: SimDuration) -> Vec<Arrival> {
+        assert!(self.rate_hz > 0.0, "Poisson rate must be positive");
+        let mean = SimDuration::from_secs_f64(1.0 / self.rate_hz);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + exponential(rng, mean);
+        let end = SimTime::ZERO + horizon;
+        while t < end {
+            out.push(Arrival {
+                at: t,
+                size: self.sizes.sample(rng),
+            });
+            t += exponential(rng, mean);
+        }
+        out
+    }
+}
+
+/// Periodic arrivals every `interval`, optionally jittered by a uniform
+/// offset in `[0, jitter)`, starting at `phase`.
+#[derive(Debug, Clone)]
+pub struct PeriodicStream {
+    /// Spacing between arrivals.
+    pub interval: SimDuration,
+    /// Uniform jitter bound added to each nominal arrival time.
+    pub jitter: SimDuration,
+    /// Offset of the first arrival.
+    pub phase: SimDuration,
+    /// Packet-size distribution.
+    pub sizes: PacketSize,
+}
+
+impl PeriodicStream {
+    /// A plain periodic stream with no jitter and zero phase.
+    pub fn every(interval: SimDuration, sizes: PacketSize) -> Self {
+        PeriodicStream {
+            interval,
+            jitter: SimDuration::ZERO,
+            phase: SimDuration::ZERO,
+            sizes,
+        }
+    }
+
+    /// Generate arrivals over `[0, horizon)` (nominal times; jitter may push
+    /// the last arrival slightly past the horizon).
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: SimDuration) -> Vec<Arrival> {
+        assert!(
+            !self.interval.is_zero(),
+            "periodic interval must be positive"
+        );
+        let mut out = Vec::new();
+        let mut nominal = SimTime::ZERO + self.phase;
+        let end = SimTime::ZERO + horizon;
+        while nominal < end {
+            let j = if self.jitter.is_zero() {
+                SimDuration::ZERO
+            } else {
+                SimDuration::from_nanos(rng.gen_range(0..self.jitter.as_nanos()))
+            };
+            out.push(Arrival {
+                at: nominal + j,
+                size: self.sizes.sample(rng),
+            });
+            nominal += self.interval;
+        }
+        // Jitter can locally reorder; restore sortedness.
+        out.sort_by_key(|a| a.at);
+        out
+    }
+}
+
+/// Compound-Poisson (batch) arrivals: batch epochs form a Poisson process at
+/// `batch_rate_hz`; each epoch delivers a geometric number of packets with
+/// mean `mean_batch` back-to-back (same arrival instant).
+///
+/// This realizes the paper's §6 model, where "the Internet arrival process
+/// is batch deterministic and the batch size distribution is general": the
+/// large `b_n` the probes see are whole batches arriving between probe
+/// arrivals.
+#[derive(Debug, Clone)]
+pub struct BatchPoissonStream {
+    /// Batch-epoch rate, batches per second.
+    pub batch_rate_hz: f64,
+    /// Mean packets per batch (geometric, support {1, 2, …}).
+    pub mean_batch: f64,
+    /// Packet-size distribution within a batch.
+    pub sizes: PacketSize,
+}
+
+impl BatchPoissonStream {
+    /// Generate arrivals over `[0, horizon)`.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: SimDuration) -> Vec<Arrival> {
+        assert!(self.batch_rate_hz > 0.0, "batch rate must be positive");
+        let mean = SimDuration::from_secs_f64(1.0 / self.batch_rate_hz);
+        let mut out = Vec::new();
+        let mut t = SimTime::ZERO + exponential(rng, mean);
+        let end = SimTime::ZERO + horizon;
+        while t < end {
+            let k = geometric(rng, self.mean_batch);
+            for _ in 0..k {
+                out.push(Arrival {
+                    at: t,
+                    size: self.sizes.sample(rng),
+                });
+            }
+            t += exponential(rng, mean);
+        }
+        out
+    }
+}
+
+/// Draw a Pareto variate with the given minimum and shape α.
+///
+/// Heavy-tailed (infinite variance for α ≤ 2): the ON/OFF-period
+/// distribution that makes aggregate traffic long-range dependent — the
+/// time-scale structure later measurement work found in exactly the kind
+/// of traces the paper's probes sample.
+///
+/// # Panics
+/// Panics unless `min > 0` and `alpha > 0`.
+pub fn pareto<R: Rng + ?Sized>(rng: &mut R, min: SimDuration, alpha: f64) -> SimDuration {
+    assert!(!min.is_zero(), "pareto minimum must be positive");
+    assert!(
+        alpha > 0.0 && alpha.is_finite(),
+        "pareto shape must be positive"
+    );
+    let u: f64 = rng.gen();
+    // Inverse CDF: min * (1-u)^(-1/alpha); clamp the astronomically rare
+    // overflow tail rather than panic.
+    let factor = (1.0 - u).powf(-1.0 / alpha).min(1e6);
+    SimDuration::from_secs_f64(min.as_secs_f64() * factor)
+}
+
+/// Markov-modulated on/off source: exponentially distributed ON and OFF
+/// periods; while ON, packets are emitted every `spacing`. Models a bulk
+/// (FTP-like) transfer alternating with silences.
+#[derive(Debug, Clone)]
+pub struct OnOffStream {
+    /// Mean ON-period length.
+    pub mean_on: SimDuration,
+    /// Mean OFF-period length.
+    pub mean_off: SimDuration,
+    /// Packet spacing while ON.
+    pub spacing: SimDuration,
+    /// Packet-size distribution.
+    pub sizes: PacketSize,
+}
+
+impl OnOffStream {
+    /// Generate arrivals over `[0, horizon)`, starting in the OFF state.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: SimDuration) -> Vec<Arrival> {
+        assert!(
+            !self.spacing.is_zero(),
+            "on/off packet spacing must be positive"
+        );
+        let mut out = Vec::new();
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        loop {
+            // OFF period.
+            t += exponential(rng, self.mean_off);
+            if t >= end {
+                break;
+            }
+            // ON period.
+            let on_end_d = exponential(rng, self.mean_on);
+            let on_end = t + on_end_d;
+            while t < on_end && t < end {
+                out.push(Arrival {
+                    at: t,
+                    size: self.sizes.sample(rng),
+                });
+                t += self.spacing;
+            }
+            if t >= end {
+                break;
+            }
+            t = on_end;
+        }
+        out
+    }
+
+    /// Long-run offered load in bits per second.
+    pub fn mean_bps(&self) -> f64 {
+        let duty =
+            self.mean_on.as_secs_f64() / (self.mean_on.as_secs_f64() + self.mean_off.as_secs_f64());
+        duty * self.sizes.mean() * 8.0 / self.spacing.as_secs_f64()
+    }
+}
+
+/// On/off source with **Pareto-distributed** ON and OFF periods: the
+/// heavy-tailed burst structure whose superposition is long-range
+/// dependent. While ON, packets are emitted every `spacing`.
+#[derive(Debug, Clone)]
+pub struct ParetoOnOffStream {
+    /// Minimum ON-period length.
+    pub min_on: SimDuration,
+    /// Minimum OFF-period length.
+    pub min_off: SimDuration,
+    /// Pareto shape α for both periods (1 < α < 2 gives finite mean,
+    /// infinite variance — the LRD regime).
+    pub alpha: f64,
+    /// Packet spacing while ON.
+    pub spacing: SimDuration,
+    /// Packet-size distribution.
+    pub sizes: PacketSize,
+}
+
+impl ParetoOnOffStream {
+    /// Generate arrivals over `[0, horizon)`, starting OFF.
+    pub fn generate<R: Rng + ?Sized>(&self, rng: &mut R, horizon: SimDuration) -> Vec<Arrival> {
+        assert!(!self.spacing.is_zero(), "packet spacing must be positive");
+        let mut out = Vec::new();
+        let end = SimTime::ZERO + horizon;
+        let mut t = SimTime::ZERO;
+        loop {
+            t += pareto(rng, self.min_off, self.alpha);
+            if t >= end {
+                break;
+            }
+            let on_end = t + pareto(rng, self.min_on, self.alpha);
+            while t < on_end && t < end {
+                out.push(Arrival {
+                    at: t,
+                    size: self.sizes.sample(rng),
+                });
+                t += self.spacing;
+            }
+            if t >= end {
+                break;
+            }
+            t = on_end;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> StdRng {
+        StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn exponential_mean_is_right() {
+        let mut r = rng(1);
+        let mean = SimDuration::from_millis(10);
+        let n = 50_000;
+        let total: f64 = (0..n)
+            .map(|_| exponential(&mut r, mean).as_secs_f64())
+            .sum();
+        let m = total / n as f64;
+        assert!((m - 0.010).abs() < 0.0005, "mean {m}");
+    }
+
+    #[test]
+    fn geometric_mean_and_support() {
+        let mut r = rng(2);
+        let n = 50_000;
+        let mut total = 0u64;
+        for _ in 0..n {
+            let k = geometric(&mut r, 3.0);
+            assert!(k >= 1);
+            total += k;
+        }
+        let m = total as f64 / n as f64;
+        assert!((m - 3.0).abs() < 0.1, "mean {m}");
+        assert_eq!(geometric(&mut r, 1.0), 1);
+    }
+
+    #[test]
+    fn poisson_rate_is_right() {
+        let s = PoissonStream {
+            rate_hz: 200.0,
+            sizes: PacketSize::Constant(100),
+        };
+        let arr = s.generate(&mut rng(3), SimDuration::from_secs(50));
+        let rate = arr.len() as f64 / 50.0;
+        assert!((rate - 200.0).abs() < 10.0, "rate {rate}");
+        assert!(arr.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn periodic_is_exactly_periodic_without_jitter() {
+        let s = PeriodicStream::every(SimDuration::from_millis(20), PacketSize::Constant(32));
+        let arr = s.generate(&mut rng(4), SimDuration::from_secs(1));
+        assert_eq!(arr.len(), 50);
+        for (i, a) in arr.iter().enumerate() {
+            assert_eq!(a.at, SimTime::from_millis(20 * i as u64));
+        }
+    }
+
+    #[test]
+    fn periodic_jitter_stays_bounded_and_sorted() {
+        let s = PeriodicStream {
+            interval: SimDuration::from_millis(10),
+            jitter: SimDuration::from_millis(3),
+            phase: SimDuration::from_millis(5),
+            sizes: PacketSize::Constant(32),
+        };
+        let arr = s.generate(&mut rng(5), SimDuration::from_secs(1));
+        assert!(arr.windows(2).all(|w| w[0].at <= w[1].at));
+        for (i, a) in arr.iter().enumerate() {
+            let nominal = 5 + 10 * i as u64;
+            let dt = a.at.as_millis_f64() - nominal as f64;
+            assert!((0.0..3.0).contains(&dt), "jitter {dt} out of bounds");
+        }
+    }
+
+    #[test]
+    fn batch_stream_batches_share_instants() {
+        let s = BatchPoissonStream {
+            batch_rate_hz: 50.0,
+            mean_batch: 4.0,
+            sizes: PacketSize::Constant(512),
+        };
+        let arr = s.generate(&mut rng(6), SimDuration::from_secs(20));
+        // Mean packets/s should be about 200.
+        let rate = arr.len() as f64 / 20.0;
+        assert!((rate - 200.0).abs() < 25.0, "rate {rate}");
+        // There must exist instants shared by several packets (batches).
+        let same_instant_pairs = arr.windows(2).filter(|w| w[0].at == w[1].at).count();
+        assert!(same_instant_pairs > arr.len() / 4);
+    }
+
+    #[test]
+    fn onoff_duty_cycle_load() {
+        let s = OnOffStream {
+            mean_on: SimDuration::from_millis(500),
+            mean_off: SimDuration::from_millis(500),
+            spacing: SimDuration::from_millis(40),
+            sizes: PacketSize::Constant(512),
+        };
+        let horizon = SimDuration::from_secs(200);
+        let arr = s.generate(&mut rng(7), horizon);
+        let measured = crate::stream::offered_bps(&arr, horizon);
+        let expected = s.mean_bps();
+        assert!(
+            (measured - expected).abs() / expected < 0.15,
+            "measured {measured} expected {expected}"
+        );
+        assert!(arr.windows(2).all(|w| w[0].at <= w[1].at));
+    }
+
+    #[test]
+    fn pareto_respects_minimum_and_mean() {
+        let mut r = rng(12);
+        let min = SimDuration::from_millis(10);
+        let alpha = 2.5; // finite mean: alpha*min/(alpha-1) ≈ 16.67 ms
+        let n = 100_000;
+        let mut total = 0.0;
+        for _ in 0..n {
+            let d = pareto(&mut r, min, alpha);
+            assert!(d >= min);
+            total += d.as_secs_f64();
+        }
+        let mean_ms = total / n as f64 * 1e3;
+        let want = 2.5 * 10.0 / 1.5;
+        assert!((mean_ms - want).abs() < 0.5, "mean {mean_ms} want {want}");
+    }
+
+    #[test]
+    fn pareto_heavy_tail_exceeds_exponential_extremes() {
+        // With alpha = 1.2 the tail is far heavier than an exponential of
+        // the same mean: the max over many draws dwarfs the mean.
+        let mut r = rng(13);
+        let min = SimDuration::from_millis(1);
+        let draws: Vec<f64> = (0..50_000)
+            .map(|_| pareto(&mut r, min, 1.2).as_secs_f64())
+            .collect();
+        let mean = draws.iter().sum::<f64>() / draws.len() as f64;
+        let max = draws.iter().copied().fold(0.0f64, f64::max);
+        assert!(max > 50.0 * mean, "max {max} vs mean {mean}");
+    }
+
+    #[test]
+    fn pareto_onoff_is_burstier_than_exponential_onoff() {
+        // Same mean periods, heavy vs light tails: the Pareto source's
+        // arrival counts have a higher aggregate-level variance ratio.
+        let horizon = SimDuration::from_secs(400);
+        let spacing = SimDuration::from_millis(20);
+        let pareto_stream = ParetoOnOffStream {
+            min_on: SimDuration::from_millis(60),
+            min_off: SimDuration::from_millis(60),
+            alpha: 1.3,
+            spacing,
+            sizes: PacketSize::Constant(512),
+        };
+        // Matching mean period for alpha=1.3: 1.3/0.3*60 = 260 ms.
+        let exp_stream = OnOffStream {
+            mean_on: SimDuration::from_millis(260),
+            mean_off: SimDuration::from_millis(260),
+            spacing,
+            sizes: PacketSize::Constant(512),
+        };
+        let count_var_ratio = |arr: &[Arrival]| {
+            // Bin arrivals per second; variance of counts at aggregation 1
+            // vs 16 (normalized): slower decay = burstier across scales.
+            let mut counts = vec![0.0f64; 400];
+            for a in arr {
+                let b = (a.at.as_secs_f64() as usize).min(399);
+                counts[b] += 1.0;
+            }
+            let v1 = probenet_sim_var(&counts);
+            let m16: Vec<f64> = counts
+                .chunks(16)
+                .map(|c| c.iter().sum::<f64>() / 16.0)
+                .collect();
+            let v16 = probenet_sim_var(&m16);
+            v16 / (v1 / 16.0) // 1.0 for iid-like, > 1 under LRD
+        };
+        let mut r1 = rng(14);
+        let mut r2 = rng(14);
+        let ratio_pareto = count_var_ratio(&pareto_stream.generate(&mut r1, horizon));
+        let ratio_exp = count_var_ratio(&exp_stream.generate(&mut r2, horizon));
+        assert!(
+            ratio_pareto > 1.5 * ratio_exp,
+            "pareto ratio {ratio_pareto:.2} vs exponential {ratio_exp:.2}"
+        );
+    }
+
+    fn probenet_sim_var(xs: &[f64]) -> f64 {
+        let m = xs.iter().sum::<f64>() / xs.len() as f64;
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    }
+
+    #[test]
+    fn generators_are_deterministic_per_seed() {
+        let s = PoissonStream {
+            rate_hz: 100.0,
+            sizes: PacketSize::Uniform { min: 40, max: 1500 },
+        };
+        let a = s.generate(&mut rng(8), SimDuration::from_secs(5));
+        let b = s.generate(&mut rng(8), SimDuration::from_secs(5));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn zero_rate_panics() {
+        PoissonStream {
+            rate_hz: 0.0,
+            sizes: PacketSize::Constant(1),
+        }
+        .generate(&mut rng(9), SimDuration::from_secs(1));
+    }
+}

@@ -1,0 +1,71 @@
+//! Wire-format error type.
+
+use core::fmt;
+
+/// Errors raised while parsing or building packets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer is shorter than the fixed header requires.
+    Truncated {
+        /// Bytes required.
+        needed: usize,
+        /// Bytes available.
+        got: usize,
+    },
+    /// A magic/version field did not match.
+    BadMagic {
+        /// Value found on the wire.
+        found: u32,
+    },
+    /// An unsupported protocol version.
+    BadVersion {
+        /// Version found on the wire.
+        found: u8,
+    },
+    /// A checksum did not verify.
+    BadChecksum,
+    /// A length field disagrees with the buffer.
+    BadLength {
+        /// Length claimed by the header.
+        claimed: usize,
+        /// Actual bytes available.
+        actual: usize,
+    },
+    /// A field held an invalid value.
+    BadField(&'static str),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated packet: need {needed} bytes, got {got}")
+            }
+            WireError::BadMagic { found } => write!(f, "bad magic: {found:#x}"),
+            WireError::BadVersion { found } => write!(f, "unsupported version {found}"),
+            WireError::BadChecksum => write!(f, "checksum mismatch"),
+            WireError::BadLength { claimed, actual } => {
+                write!(f, "bad length field: claims {claimed}, buffer has {actual}")
+            }
+            WireError::BadField(name) => write!(f, "invalid field: {name}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = WireError::Truncated { needed: 32, got: 4 };
+        assert!(e.to_string().contains("32"));
+        assert!(e.to_string().contains("4"));
+        assert!(WireError::BadChecksum.to_string().contains("checksum"));
+        assert!(WireError::BadMagic { found: 0xdead }
+            .to_string()
+            .contains("0xdead"));
+    }
+}

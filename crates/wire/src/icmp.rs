@@ -1,0 +1,218 @@
+//! ICMP codec: echo request/reply (ping) and time-exceeded (traceroute).
+//!
+//! The paper obtains its routes "either with the route record option of
+//! ping, or with traceroute" (§2); these two message types are what those
+//! tools exchange.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+use crate::ipv4::internet_checksum;
+
+/// ICMP message types handled here.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IcmpMessage {
+    /// Echo request (type 8): id, sequence, payload.
+    EchoRequest {
+        /// Identifier (usually the sender's pid).
+        id: u16,
+        /// Sequence number.
+        seq: u16,
+        /// Echoed payload.
+        payload: Vec<u8>,
+    },
+    /// Echo reply (type 0).
+    EchoReply {
+        /// Identifier copied from the request.
+        id: u16,
+        /// Sequence copied from the request.
+        seq: u16,
+        /// Payload copied from the request.
+        payload: Vec<u8>,
+    },
+    /// Time exceeded in transit (type 11, code 0): carries the leading
+    /// bytes of the expired datagram.
+    TimeExceeded {
+        /// IP header + first 8 payload bytes of the datagram that died.
+        original: Vec<u8>,
+    },
+}
+
+const TYPE_ECHO_REPLY: u8 = 0;
+const TYPE_ECHO_REQUEST: u8 = 8;
+const TYPE_TIME_EXCEEDED: u8 = 11;
+
+impl IcmpMessage {
+    /// Encode with a valid ICMP checksum.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut body = Vec::new();
+        match self {
+            IcmpMessage::EchoRequest { id, seq, payload } => {
+                body.push(TYPE_ECHO_REQUEST);
+                body.push(0);
+                body.extend_from_slice(&[0, 0]); // checksum placeholder
+                body.extend_from_slice(&id.to_be_bytes());
+                body.extend_from_slice(&seq.to_be_bytes());
+                body.extend_from_slice(payload);
+            }
+            IcmpMessage::EchoReply { id, seq, payload } => {
+                body.push(TYPE_ECHO_REPLY);
+                body.push(0);
+                body.extend_from_slice(&[0, 0]);
+                body.extend_from_slice(&id.to_be_bytes());
+                body.extend_from_slice(&seq.to_be_bytes());
+                body.extend_from_slice(payload);
+            }
+            IcmpMessage::TimeExceeded { original } => {
+                body.push(TYPE_TIME_EXCEEDED);
+                body.push(0);
+                body.extend_from_slice(&[0, 0]);
+                body.extend_from_slice(&[0, 0, 0, 0]); // unused field
+                body.extend_from_slice(original);
+            }
+        }
+        let csum = internet_checksum(&body);
+        body[2..4].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&body);
+    }
+
+    /// Encode into a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::new();
+        self.encode(&mut v);
+        v
+    }
+
+    /// Decode and verify the checksum.
+    pub fn decode(data: &[u8]) -> Result<IcmpMessage, WireError> {
+        if data.len() < 8 {
+            return Err(WireError::Truncated {
+                needed: 8,
+                got: data.len(),
+            });
+        }
+        if internet_checksum(data) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        let mut r = data;
+        let ty = r.get_u8();
+        let code = r.get_u8();
+        r.get_u16(); // checksum (verified)
+        match ty {
+            TYPE_ECHO_REQUEST | TYPE_ECHO_REPLY => {
+                let id = r.get_u16();
+                let seq = r.get_u16();
+                let payload = r.to_vec();
+                Ok(if ty == TYPE_ECHO_REQUEST {
+                    IcmpMessage::EchoRequest { id, seq, payload }
+                } else {
+                    IcmpMessage::EchoReply { id, seq, payload }
+                })
+            }
+            TYPE_TIME_EXCEEDED => {
+                if code != 0 {
+                    return Err(WireError::BadField("time-exceeded code"));
+                }
+                r.get_u32(); // unused
+                Ok(IcmpMessage::TimeExceeded {
+                    original: r.to_vec(),
+                })
+            }
+            _ => Err(WireError::BadField("icmp type")),
+        }
+    }
+
+    /// Build the reply to an echo request; `None` for other messages.
+    pub fn reply_to(&self) -> Option<IcmpMessage> {
+        match self {
+            IcmpMessage::EchoRequest { id, seq, payload } => Some(IcmpMessage::EchoReply {
+                id: *id,
+                seq: *seq,
+                payload: payload.clone(),
+            }),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn echo_round_trip() {
+        let m = IcmpMessage::EchoRequest {
+            id: 0x1234,
+            seq: 7,
+            payload: b"ping!".to_vec(),
+        };
+        assert_eq!(IcmpMessage::decode(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn time_exceeded_round_trip() {
+        let m = IcmpMessage::TimeExceeded {
+            original: vec![0x45, 0, 0, 28, 1, 2, 3, 4],
+        };
+        assert_eq!(IcmpMessage::decode(&m.to_bytes()).unwrap(), m);
+    }
+
+    #[test]
+    fn reply_mirrors_request() {
+        let req = IcmpMessage::EchoRequest {
+            id: 9,
+            seq: 1,
+            payload: vec![1, 2, 3],
+        };
+        match req.reply_to().unwrap() {
+            IcmpMessage::EchoReply { id, seq, payload } => {
+                assert_eq!((id, seq), (9, 1));
+                assert_eq!(payload, vec![1, 2, 3]);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert!(IcmpMessage::TimeExceeded { original: vec![] }
+            .reply_to()
+            .is_none());
+    }
+
+    #[test]
+    fn corrupted_message_rejected() {
+        let mut b = IcmpMessage::EchoRequest {
+            id: 1,
+            seq: 2,
+            payload: vec![0; 8],
+        }
+        .to_bytes();
+        b[6] ^= 0xff;
+        assert_eq!(IcmpMessage::decode(&b), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn unknown_type_rejected() {
+        // Build a syntactically valid message of type 3 (dest unreachable,
+        // unsupported here).
+        let mut body = vec![3u8, 0, 0, 0, 0, 0, 0, 0];
+        let csum = internet_checksum(&body);
+        body[2..4].copy_from_slice(&csum.to_be_bytes());
+        assert_eq!(
+            IcmpMessage::decode(&body),
+            Err(WireError::BadField("icmp type"))
+        );
+    }
+
+    proptest! {
+        #[test]
+        fn prop_echo_round_trip(id: u16, seq: u16,
+                                payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let m = IcmpMessage::EchoRequest { id, seq, payload };
+            prop_assert_eq!(IcmpMessage::decode(&m.to_bytes()).unwrap(), m);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = IcmpMessage::decode(&data);
+        }
+    }
+}

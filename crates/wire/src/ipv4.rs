@@ -1,0 +1,264 @@
+//! Minimal IPv4 header codec.
+//!
+//! Enough of IPv4 to frame probe datagrams and implement ping/traceroute
+//! semantics: fixed 20-byte headers (no options), internet checksum, TTL.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+
+/// Length of an IPv4 header without options.
+pub const IPV4_HEADER_BYTES: usize = 20;
+
+/// IP protocol numbers used by this workspace.
+pub mod protocol {
+    /// ICMP.
+    pub const ICMP: u8 = 1;
+    /// UDP.
+    pub const UDP: u8 = 17;
+}
+
+/// The RFC 1071 internet checksum over `data` (16-bit one's-complement sum).
+pub fn internet_checksum(data: &[u8]) -> u16 {
+    let mut sum = 0u32;
+    let mut chunks = data.chunks_exact(2);
+    for c in &mut chunks {
+        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+    }
+    if let [last] = chunks.remainder() {
+        sum += (*last as u32) << 8;
+    }
+    while sum > 0xffff {
+        sum = (sum & 0xffff) + (sum >> 16);
+    }
+    !(sum as u16)
+}
+
+/// A decoded IPv4 header (options unsupported).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Ipv4Header {
+    /// Differentiated services / type of service byte.
+    pub tos: u8,
+    /// Total datagram length (header + payload), bytes.
+    pub total_length: u16,
+    /// Identification field.
+    pub identification: u16,
+    /// Don't-fragment flag.
+    pub dont_fragment: bool,
+    /// Time to live.
+    pub ttl: u8,
+    /// Payload protocol number.
+    pub protocol: u8,
+    /// Source address.
+    pub source: [u8; 4],
+    /// Destination address.
+    pub destination: [u8; 4],
+}
+
+impl Ipv4Header {
+    /// A header for a datagram carrying `payload_len` bytes of `protocol`.
+    ///
+    /// # Panics
+    /// Panics if the total length would exceed 65 535 bytes.
+    pub fn new(
+        protocol: u8,
+        source: [u8; 4],
+        destination: [u8; 4],
+        ttl: u8,
+        payload_len: usize,
+    ) -> Self {
+        let total = IPV4_HEADER_BYTES + payload_len;
+        assert!(total <= u16::MAX as usize, "IPv4 datagram too large");
+        Ipv4Header {
+            tos: 0,
+            total_length: total as u16,
+            identification: 0,
+            dont_fragment: true,
+            ttl,
+            protocol,
+            source,
+            destination,
+        }
+    }
+
+    /// Encode with a freshly computed header checksum.
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        let mut hdr = [0u8; IPV4_HEADER_BYTES];
+        hdr[0] = 0x45; // version 4, IHL 5
+        hdr[1] = self.tos;
+        hdr[2..4].copy_from_slice(&self.total_length.to_be_bytes());
+        hdr[4..6].copy_from_slice(&self.identification.to_be_bytes());
+        let flags: u16 = if self.dont_fragment { 0x4000 } else { 0 };
+        hdr[6..8].copy_from_slice(&flags.to_be_bytes());
+        hdr[8] = self.ttl;
+        hdr[9] = self.protocol;
+        // hdr[10..12] checksum, zero for computation
+        hdr[12..16].copy_from_slice(&self.source);
+        hdr[16..20].copy_from_slice(&self.destination);
+        let csum = internet_checksum(&hdr);
+        hdr[10..12].copy_from_slice(&csum.to_be_bytes());
+        buf.put_slice(&hdr);
+    }
+
+    /// Decode just the header, verifying version, IHL and checksum but
+    /// **not** requiring the buffer to contain the full datagram — the
+    /// situation when parsing the truncated quote inside an ICMP
+    /// time-exceeded message, which carries only the offending header plus
+    /// eight payload bytes.
+    pub fn decode_header_only(data: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
+        let (header, _) = Self::decode_inner(data, false)?;
+        Ok((header, &data[IPV4_HEADER_BYTES..]))
+    }
+
+    /// Decode and verify checksum and basic fields; returns the header and
+    /// the payload slice.
+    pub fn decode(data: &[u8]) -> Result<(Ipv4Header, &[u8]), WireError> {
+        Self::decode_inner(data, true)
+    }
+
+    fn decode_inner(data: &[u8], check_length: bool) -> Result<(Ipv4Header, &[u8]), WireError> {
+        if data.len() < IPV4_HEADER_BYTES {
+            return Err(WireError::Truncated {
+                needed: IPV4_HEADER_BYTES,
+                got: data.len(),
+            });
+        }
+        let vihl = data[0];
+        if vihl >> 4 != 4 {
+            return Err(WireError::BadVersion { found: vihl >> 4 });
+        }
+        if vihl & 0x0f != 5 {
+            return Err(WireError::BadField("ihl: options unsupported"));
+        }
+        if internet_checksum(&data[..IPV4_HEADER_BYTES]) != 0 {
+            return Err(WireError::BadChecksum);
+        }
+        let mut r = &data[..IPV4_HEADER_BYTES];
+        r.get_u8(); // vihl
+        let tos = r.get_u8();
+        let total_length = r.get_u16();
+        let identification = r.get_u16();
+        let flags = r.get_u16();
+        let ttl = r.get_u8();
+        let protocol = r.get_u8();
+        r.get_u16(); // checksum (verified above)
+        let mut source = [0u8; 4];
+        let mut destination = [0u8; 4];
+        source.copy_from_slice(&data[12..16]);
+        destination.copy_from_slice(&data[16..20]);
+        let total = total_length as usize;
+        if total < IPV4_HEADER_BYTES || (check_length && total > data.len()) {
+            return Err(WireError::BadLength {
+                claimed: total,
+                actual: data.len(),
+            });
+        }
+        let header = Ipv4Header {
+            tos,
+            total_length,
+            identification,
+            dont_fragment: flags & 0x4000 != 0,
+            ttl,
+            protocol,
+            source,
+            destination,
+        };
+        Ok((header, &data[IPV4_HEADER_BYTES..total.min(data.len())]))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn checksum_of_rfc1071_example() {
+        // Classic example: the checksum of a buffer including its own
+        // correct checksum folds to zero.
+        let h = Ipv4Header::new(protocol::UDP, [10, 0, 0, 1], [10, 0, 0, 2], 64, 8);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        assert_eq!(internet_checksum(&buf), 0);
+    }
+
+    #[test]
+    fn checksum_odd_length() {
+        // Odd-length buffers are padded with a zero byte per RFC 1071.
+        let a = internet_checksum(&[0x12, 0x34, 0x56]);
+        let b = internet_checksum(&[0x12, 0x34, 0x56, 0x00]);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn round_trip() {
+        let h = Ipv4Header::new(protocol::ICMP, [192, 168, 1, 1], [8, 8, 8, 8], 3, 40);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[0u8; 40]);
+        let (decoded, payload) = Ipv4Header::decode(&buf).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(payload.len(), 40);
+    }
+
+    #[test]
+    fn corrupted_header_fails_checksum() {
+        let h = Ipv4Header::new(protocol::UDP, [1, 2, 3, 4], [5, 6, 7, 8], 64, 0);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf[8] ^= 0x01; // flip a TTL bit
+        assert_eq!(Ipv4Header::decode(&buf), Err(WireError::BadChecksum));
+    }
+
+    #[test]
+    fn header_only_decode_accepts_truncated_quotes() {
+        let h = Ipv4Header::new(protocol::UDP, [1, 2, 3, 4], [5, 6, 7, 8], 64, 100);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        buf.extend_from_slice(&[9u8; 8]); // only 8 of the 100 payload bytes
+                                          // Full decode refuses; header-only parses and hands back the quote.
+        assert!(Ipv4Header::decode(&buf).is_err());
+        let (decoded, rest) = Ipv4Header::decode_header_only(&buf).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(rest, &[9u8; 8]);
+    }
+
+    #[test]
+    fn short_buffer_rejected() {
+        assert!(matches!(
+            Ipv4Header::decode(&[0x45, 0]),
+            Err(WireError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn length_beyond_buffer_rejected() {
+        let h = Ipv4Header::new(protocol::UDP, [1, 2, 3, 4], [5, 6, 7, 8], 64, 100);
+        let mut buf = Vec::new();
+        h.encode(&mut buf);
+        // Claims 120 bytes total but we only hand it the header.
+        assert!(matches!(
+            Ipv4Header::decode(&buf),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(ttl: u8, proto: u8, src: [u8; 4], dst: [u8; 4],
+                           payload in proptest::collection::vec(any::<u8>(), 0..128)) {
+            let h = Ipv4Header::new(proto, src, dst, ttl, payload.len());
+            let mut buf = Vec::new();
+            h.encode(&mut buf);
+            buf.extend_from_slice(&payload);
+            let (decoded, body) = Ipv4Header::decode(&buf).unwrap();
+            prop_assert_eq!(decoded, h);
+            prop_assert_eq!(body, &payload[..]);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = Ipv4Header::decode(&data);
+        }
+    }
+}

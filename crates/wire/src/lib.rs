@@ -1,0 +1,40 @@
+//! # probenet-wire
+//!
+//! Wire formats for the probenet measurement tools:
+//!
+//! * [`probe`] — the NetDyn probe packet of Bolot's SIGCOMM '93 study: a
+//!   32-byte payload carrying a sequence number and three 6-byte timestamps
+//!   (source, echo, destination).
+//! * [`ipv4`] / [`udp`] — minimal IPv4 and UDP codecs with real checksums,
+//!   enough to frame probe datagrams.
+//! * [`icmp`] — echo request/reply and time-exceeded messages (ping and
+//!   traceroute semantics).
+//!
+//! All decoders are total: arbitrary input bytes produce `Ok` or a
+//! [`WireError`], never a panic (property-tested).
+//!
+//! ```
+//! use probenet_wire::{ProbePacket, Timestamp48};
+//!
+//! let probe = ProbePacket::outgoing(42, Timestamp48::from_micros(1_000_000));
+//! let bytes = probe.to_bytes();
+//! assert_eq!(bytes.len(), probenet_wire::PROBE_PAYLOAD_BYTES);
+//! assert_eq!(ProbePacket::decode(&bytes).unwrap(), probe);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod icmp;
+pub mod ipv4;
+pub mod probe;
+pub mod udp;
+
+pub use error::WireError;
+pub use icmp::IcmpMessage;
+pub use ipv4::{internet_checksum, Ipv4Header, IPV4_HEADER_BYTES};
+pub use probe::{
+    ProbePacket, Timestamp48, PROBE_MAGIC, PROBE_PAYLOAD_BYTES, PROBE_VERSION, PROBE_WIRE_BYTES,
+};
+pub use udp::{UdpHeader, UDP_HEADER_BYTES};

@@ -1,0 +1,280 @@
+//! The NetDyn probe packet.
+//!
+//! The paper's measurement tool (NetDyn, §2) sends UDP packets that carry a
+//! unique sequence number and **three 6-byte timestamp fields**: written by
+//! the source when the packet is sent, by the echo host when it bounces it,
+//! and by the destination when it returns. The whole payload is 32 bytes —
+//! the probe size used in every experiment.
+//!
+//! Layout (big-endian, 32 bytes total):
+//!
+//! ```text
+//!  0      2   3   4        8              14             20             26    32
+//!  +------+---+---+--------+--------------+--------------+--------------+-----+
+//!  | magic|ver|flg|  seq   |  source ts   |   echo ts    |   dest ts    | pad |
+//!  | u16  |u8 |u8 |  u32   |   48 bits    |   48 bits    |   48 bits    |  6B |
+//!  +------+---+---+--------+--------------+--------------+--------------+-----+
+//! ```
+//!
+//! Timestamps are microseconds modulo 2^48 (~8.9 years), enough for RTT
+//! arithmetic with wrap-around handled by [`Timestamp48::delta`].
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+
+/// Identifies probenet probe packets on the wire.
+pub const PROBE_MAGIC: u16 = 0x4e44; // "ND" for NetDyn
+/// Current probe format version.
+pub const PROBE_VERSION: u8 = 1;
+/// Payload size of a probe packet: 32 bytes, the paper's probe size.
+pub const PROBE_PAYLOAD_BYTES: usize = 32;
+/// Wire size the paper uses for the probe in its workload arithmetic
+/// (its eq. 6 evaluates `P = 72 * 8` bits): 32 bytes of UDP payload plus
+/// UDP (8), IP (20) and link-level (12) overhead.
+pub const PROBE_WIRE_BYTES: u32 = 72;
+
+/// A 48-bit microsecond timestamp with wrap-around arithmetic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Timestamp48(u64);
+
+const TS_MASK: u64 = (1 << 48) - 1;
+
+impl Timestamp48 {
+    /// The zero timestamp, also used for "not stamped yet".
+    pub const ZERO: Timestamp48 = Timestamp48(0);
+
+    /// Construct from microseconds (truncated to 48 bits).
+    pub const fn from_micros(us: u64) -> Self {
+        Timestamp48(us & TS_MASK)
+    }
+
+    /// The stored microsecond value.
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Elapsed microseconds from `earlier` to `self`, modulo 2^48 — correct
+    /// across a single wrap, as classic timestamp arithmetic requires.
+    pub const fn delta(self, earlier: Timestamp48) -> u64 {
+        (self.0.wrapping_sub(earlier.0)) & TS_MASK
+    }
+}
+
+/// A decoded (or to-be-encoded) probe packet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProbePacket {
+    /// Unique packet number, used to detect losses and reorderings.
+    pub seq: u32,
+    /// Reserved flag bits (zero in version 1).
+    pub flags: u8,
+    /// Stamped by the source on transmission.
+    pub source_ts: Timestamp48,
+    /// Stamped by the echo host when it forwards the packet back.
+    pub echo_ts: Timestamp48,
+    /// Stamped by the destination (== source in the paper's setup) on
+    /// receipt.
+    pub dest_ts: Timestamp48,
+}
+
+impl ProbePacket {
+    /// A fresh probe carrying only a sequence number and source timestamp.
+    pub fn outgoing(seq: u32, source_ts: Timestamp48) -> Self {
+        ProbePacket {
+            seq,
+            flags: 0,
+            source_ts,
+            echo_ts: Timestamp48::ZERO,
+            dest_ts: Timestamp48::ZERO,
+        }
+    }
+
+    /// Round-trip time in microseconds (destination minus source stamp,
+    /// wrap-safe). Meaningful once `dest_ts` is stamped.
+    pub fn rtt_micros(&self) -> u64 {
+        self.dest_ts.delta(self.source_ts)
+    }
+
+    /// Encode into `buf` (exactly [`PROBE_PAYLOAD_BYTES`] bytes appended).
+    pub fn encode<B: BufMut>(&self, buf: &mut B) {
+        buf.put_u16(PROBE_MAGIC);
+        buf.put_u8(PROBE_VERSION);
+        buf.put_u8(self.flags);
+        buf.put_u32(self.seq);
+        put_u48(buf, self.source_ts);
+        put_u48(buf, self.echo_ts);
+        put_u48(buf, self.dest_ts);
+        buf.put_slice(&[0u8; 6]); // pad to 32 bytes
+    }
+
+    /// Encode into a fresh vector.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut v = Vec::with_capacity(PROBE_PAYLOAD_BYTES);
+        self.encode(&mut v);
+        debug_assert_eq!(v.len(), PROBE_PAYLOAD_BYTES);
+        v
+    }
+
+    /// Decode from `data`, validating magic and version. Trailing bytes
+    /// beyond the 32-byte payload are ignored (a future version may extend
+    /// the packet).
+    pub fn decode(mut data: &[u8]) -> Result<Self, WireError> {
+        if data.len() < PROBE_PAYLOAD_BYTES {
+            return Err(WireError::Truncated {
+                needed: PROBE_PAYLOAD_BYTES,
+                got: data.len(),
+            });
+        }
+        let magic = data.get_u16();
+        if magic != PROBE_MAGIC {
+            return Err(WireError::BadMagic {
+                found: magic as u32,
+            });
+        }
+        let version = data.get_u8();
+        if version != PROBE_VERSION {
+            return Err(WireError::BadVersion { found: version });
+        }
+        let flags = data.get_u8();
+        let seq = data.get_u32();
+        let source_ts = get_u48(&mut data);
+        let echo_ts = get_u48(&mut data);
+        let dest_ts = get_u48(&mut data);
+        Ok(ProbePacket {
+            seq,
+            flags,
+            source_ts,
+            echo_ts,
+            dest_ts,
+        })
+    }
+}
+
+fn put_u48<B: BufMut>(buf: &mut B, ts: Timestamp48) {
+    let v = ts.as_micros();
+    buf.put_u16((v >> 32) as u16);
+    buf.put_u32(v as u32);
+}
+
+fn get_u48(data: &mut &[u8]) -> Timestamp48 {
+    let hi = data.get_u16() as u64;
+    let lo = data.get_u32() as u64;
+    Timestamp48::from_micros((hi << 32) | lo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn payload_is_exactly_32_bytes() {
+        let p = ProbePacket::outgoing(7, Timestamp48::from_micros(123_456));
+        assert_eq!(p.to_bytes().len(), PROBE_PAYLOAD_BYTES);
+    }
+
+    #[test]
+    fn round_trip_preserves_fields() {
+        let p = ProbePacket {
+            seq: 0xdead_beef,
+            flags: 0x5a,
+            source_ts: Timestamp48::from_micros(1),
+            echo_ts: Timestamp48::from_micros((1 << 48) - 1),
+            dest_ts: Timestamp48::from_micros(999_999_999),
+        };
+        let decoded = ProbePacket::decode(&p.to_bytes()).unwrap();
+        assert_eq!(decoded, p);
+    }
+
+    #[test]
+    fn truncated_rejected() {
+        let p = ProbePacket::outgoing(1, Timestamp48::ZERO).to_bytes();
+        assert_eq!(
+            ProbePacket::decode(&p[..31]),
+            Err(WireError::Truncated {
+                needed: 32,
+                got: 31
+            })
+        );
+    }
+
+    #[test]
+    fn bad_magic_rejected() {
+        let mut b = ProbePacket::outgoing(1, Timestamp48::ZERO).to_bytes();
+        b[0] ^= 0xff;
+        assert!(matches!(
+            ProbePacket::decode(&b),
+            Err(WireError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let mut b = ProbePacket::outgoing(1, Timestamp48::ZERO).to_bytes();
+        b[2] = 99;
+        assert_eq!(
+            ProbePacket::decode(&b),
+            Err(WireError::BadVersion { found: 99 })
+        );
+    }
+
+    #[test]
+    fn trailing_bytes_are_ignored() {
+        let p = ProbePacket::outgoing(3, Timestamp48::from_micros(42));
+        let mut b = p.to_bytes();
+        b.extend_from_slice(&[1, 2, 3, 4]);
+        assert_eq!(ProbePacket::decode(&b).unwrap(), p);
+    }
+
+    #[test]
+    fn rtt_wraps_correctly() {
+        // Source stamped just before the 48-bit wrap, destination just after.
+        let src = Timestamp48::from_micros(TS_MASK - 100);
+        let dst = Timestamp48::from_micros(50);
+        let p = ProbePacket {
+            seq: 0,
+            flags: 0,
+            source_ts: src,
+            echo_ts: Timestamp48::ZERO,
+            dest_ts: dst,
+        };
+        assert_eq!(p.rtt_micros(), 151);
+    }
+
+    #[test]
+    fn timestamp_truncates_to_48_bits() {
+        let t = Timestamp48::from_micros(u64::MAX);
+        assert_eq!(t.as_micros(), TS_MASK);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(seq: u32, flags: u8,
+                           s in 0u64..(1 << 48),
+                           e in 0u64..(1 << 48),
+                           d in 0u64..(1 << 48)) {
+            let p = ProbePacket {
+                seq,
+                flags,
+                source_ts: Timestamp48::from_micros(s),
+                echo_ts: Timestamp48::from_micros(e),
+                dest_ts: Timestamp48::from_micros(d),
+            };
+            let decoded = ProbePacket::decode(&p.to_bytes()).unwrap();
+            prop_assert_eq!(decoded, p);
+        }
+
+        #[test]
+        fn prop_delta_inverts_addition(base in 0u64..(1 << 48),
+                                       step in 0u64..1_000_000_000u64) {
+            let a = Timestamp48::from_micros(base);
+            let b = Timestamp48::from_micros(base.wrapping_add(step));
+            prop_assert_eq!(b.delta(a), step);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = ProbePacket::decode(&data);
+        }
+    }
+}

@@ -1,0 +1,195 @@
+//! UDP header codec with pseudo-header checksum.
+
+use bytes::{Buf, BufMut};
+
+use crate::error::WireError;
+use crate::ipv4::{internet_checksum, protocol};
+
+/// Length of a UDP header.
+pub const UDP_HEADER_BYTES: usize = 8;
+
+/// A UDP header (ports and length; the checksum is computed on encode and
+/// verified on decode when non-zero).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UdpHeader {
+    /// Source port.
+    pub source_port: u16,
+    /// Destination port.
+    pub destination_port: u16,
+    /// Header + payload length in bytes.
+    pub length: u16,
+}
+
+impl UdpHeader {
+    /// Header for a datagram with `payload_len` bytes of payload.
+    ///
+    /// # Panics
+    /// Panics if the datagram would exceed 65 535 bytes.
+    pub fn new(source_port: u16, destination_port: u16, payload_len: usize) -> Self {
+        let length = UDP_HEADER_BYTES + payload_len;
+        assert!(length <= u16::MAX as usize, "UDP datagram too large");
+        UdpHeader {
+            source_port,
+            destination_port,
+            length: length as u16,
+        }
+    }
+
+    /// Encode header + payload with the RFC 768 checksum over the
+    /// IPv4 pseudo-header, header and payload.
+    pub fn encode<B: BufMut>(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8], buf: &mut B) {
+        let csum = self.checksum(src, dst, payload);
+        buf.put_u16(self.source_port);
+        buf.put_u16(self.destination_port);
+        buf.put_u16(self.length);
+        buf.put_u16(csum);
+        buf.put_slice(payload);
+    }
+
+    fn checksum(&self, src: [u8; 4], dst: [u8; 4], payload: &[u8]) -> u16 {
+        let mut pseudo = Vec::with_capacity(12 + UDP_HEADER_BYTES + payload.len());
+        pseudo.extend_from_slice(&src);
+        pseudo.extend_from_slice(&dst);
+        pseudo.push(0);
+        pseudo.push(protocol::UDP);
+        pseudo.extend_from_slice(&self.length.to_be_bytes());
+        pseudo.extend_from_slice(&self.source_port.to_be_bytes());
+        pseudo.extend_from_slice(&self.destination_port.to_be_bytes());
+        pseudo.extend_from_slice(&self.length.to_be_bytes());
+        pseudo.extend_from_slice(&[0, 0]); // checksum field as zero
+        pseudo.extend_from_slice(payload);
+        match internet_checksum(&pseudo) {
+            // An all-zero checksum is transmitted as 0xffff (RFC 768).
+            0 => 0xffff,
+            c => c,
+        }
+    }
+
+    /// Decode a UDP datagram; verifies the checksum (unless the wire value
+    /// is zero, meaning "no checksum") and the length field. Returns the
+    /// header and payload.
+    pub fn decode(
+        src: [u8; 4],
+        dst: [u8; 4],
+        data: &[u8],
+    ) -> Result<(UdpHeader, &[u8]), WireError> {
+        if data.len() < UDP_HEADER_BYTES {
+            return Err(WireError::Truncated {
+                needed: UDP_HEADER_BYTES,
+                got: data.len(),
+            });
+        }
+        let mut r = data;
+        let source_port = r.get_u16();
+        let destination_port = r.get_u16();
+        let length = r.get_u16();
+        let wire_csum = r.get_u16();
+        let len = length as usize;
+        if len < UDP_HEADER_BYTES || len > data.len() {
+            return Err(WireError::BadLength {
+                claimed: len,
+                actual: data.len(),
+            });
+        }
+        let header = UdpHeader {
+            source_port,
+            destination_port,
+            length,
+        };
+        let payload = &data[UDP_HEADER_BYTES..len];
+        if wire_csum != 0 {
+            let expect = header.checksum(src, dst, payload);
+            if expect != wire_csum {
+                return Err(WireError::BadChecksum);
+            }
+        }
+        Ok((header, payload))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    const SRC: [u8; 4] = [10, 0, 0, 1];
+    const DST: [u8; 4] = [10, 0, 0, 2];
+
+    #[test]
+    fn round_trip() {
+        let h = UdpHeader::new(5000, 7, b"probe".len());
+        let mut buf = Vec::new();
+        h.encode(SRC, DST, b"probe", &mut buf);
+        let (decoded, payload) = UdpHeader::decode(SRC, DST, &buf).unwrap();
+        assert_eq!(decoded, h);
+        assert_eq!(payload, b"probe");
+    }
+
+    #[test]
+    fn corrupted_payload_fails_checksum() {
+        let h = UdpHeader::new(1, 2, 4);
+        let mut buf = Vec::new();
+        h.encode(SRC, DST, &[1, 2, 3, 4], &mut buf);
+        let last = buf.len() - 1;
+        buf[last] ^= 0x80;
+        assert_eq!(
+            UdpHeader::decode(SRC, DST, &buf),
+            Err(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn checksum_binds_addresses() {
+        // The pseudo-header makes the checksum depend on the IP addresses:
+        // the same bytes decoded under different addresses must fail.
+        let h = UdpHeader::new(1, 2, 4);
+        let mut buf = Vec::new();
+        h.encode(SRC, DST, &[9, 9, 9, 9], &mut buf);
+        assert!(UdpHeader::decode(SRC, DST, &buf).is_ok());
+        assert_eq!(
+            UdpHeader::decode([1, 1, 1, 1], DST, &buf),
+            Err(WireError::BadChecksum)
+        );
+    }
+
+    #[test]
+    fn zero_checksum_means_unchecked() {
+        let h = UdpHeader::new(1, 2, 2);
+        let mut buf = Vec::new();
+        h.encode(SRC, DST, &[7, 7], &mut buf);
+        buf[6] = 0;
+        buf[7] = 0; // checksum disabled
+        let (decoded, payload) = UdpHeader::decode(SRC, DST, &buf).unwrap();
+        assert_eq!(decoded.length, 10);
+        assert_eq!(payload, &[7, 7]);
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        let h = UdpHeader::new(1, 2, 100);
+        let mut buf = Vec::new();
+        h.encode(SRC, DST, &[0u8; 100], &mut buf);
+        assert!(matches!(
+            UdpHeader::decode(SRC, DST, &buf[..20]),
+            Err(WireError::BadLength { .. })
+        ));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_round_trip(sp: u16, dp: u16, src: [u8; 4], dst: [u8; 4],
+                           payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let h = UdpHeader::new(sp, dp, payload.len());
+            let mut buf = Vec::new();
+            h.encode(src, dst, &payload, &mut buf);
+            let (decoded, body) = UdpHeader::decode(src, dst, &buf).unwrap();
+            prop_assert_eq!(decoded, h);
+            prop_assert_eq!(body, &payload[..]);
+        }
+
+        #[test]
+        fn prop_decode_never_panics(data in proptest::collection::vec(any::<u8>(), 0..64)) {
+            let _ = UdpHeader::decode(SRC, DST, &data);
+        }
+    }
+}

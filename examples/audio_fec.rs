@@ -1,0 +1,71 @@
+//! Audio over the measured Internet: is open-loop recovery enough?
+//!
+//! The paper's §5 argues that because the probe loss gap stays near 1,
+//! audio applications (which send packets at regular intervals, 22.5 ms to
+//! 125 ms apart) can recover losses open-loop: with FEC, or by simply
+//! repeating the previous packet. This example plays an "audio stream"
+//! through the calibrated path at typical audio packetization intervals
+//! and quantifies both schemes.
+//!
+//! ```sh
+//! cargo run --release --example audio_fec
+//! ```
+
+use probenet::core::{
+    analyze_losses, fec_overhead, fec_recovery, repetition_recovery, PaperScenario,
+};
+use probenet::netdyn::ExperimentConfig;
+use probenet::sim::SimDuration;
+
+fn main() {
+    let span = SimDuration::from_secs(180);
+    // Audio packetization intervals from the paper's §5: 22.5 ms (NeVoT)
+    // to 125 ms; 64 kb/s PCM in 180-byte packets ≈ 22.5 ms.
+    let intervals_ms = [22u64, 50, 125];
+
+    println!("audio packet streams over the INRIA-UMd path ({span} each)\n");
+    for delta_ms in intervals_ms {
+        let scenario = PaperScenario::inria_umd(11);
+        let delta = SimDuration::from_millis(delta_ms);
+        let count = (span.as_nanos() / delta.as_nanos()) as usize;
+        let config = ExperimentConfig::paper(delta).with_count(count);
+        let out = scenario.run(&config);
+        let loss_flags = out.series.loss_flags();
+        let loss = analyze_losses(&out.series);
+
+        println!(
+            "packet interval {delta_ms} ms: loss rate {:.1}%, loss gap {:.2}",
+            loss.ulp * 100.0,
+            loss.plg_measured.unwrap_or(1.0),
+        );
+
+        // Repetition: replay the previous packet (zero overhead).
+        let rep = repetition_recovery(&loss_flags);
+        println!(
+            "  repetition      : residual loss {:.2}% (recovered {}/{}), overhead 0%",
+            rep.residual_loss_rate * 100.0,
+            rep.recovered,
+            rep.lost
+        );
+
+        // FEC(4, 1): one parity packet per 4 media packets (ref [23]).
+        for (data, parity) in [(4usize, 1usize), (8, 2)] {
+            let fec = fec_recovery(&loss_flags, data, parity);
+            println!(
+                "  FEC({data},{parity})        : residual loss {:.2}% (recovered {}/{}), overhead {:.0}%",
+                fec.residual_loss_rate * 100.0,
+                fec.recovered,
+                fec.lost,
+                fec_overhead(data, parity) * 100.0
+            );
+        }
+        println!();
+    }
+
+    println!(
+        "reading: with the measured loss gap near 1 (losses essentially\n\
+         random), both schemes eliminate most audio gaps, exactly the\n\
+         paper's conclusion; burstier losses (small delta) favor longer\n\
+         FEC blocks."
+    );
+}

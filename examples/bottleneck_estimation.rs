@@ -1,0 +1,65 @@
+//! Bottleneck-bandwidth estimation across the paper's δ sweep.
+//!
+//! For each probe interval, runs the calibrated INRIA–UMd experiment,
+//! builds the phase plot, and — where probe compression occurs — inverts
+//! the compression line into a bandwidth estimate. Shows how the estimate
+//! degrades as δ grows (less compression) and how clock resolution bounds
+//! the reading. Ground truth is the configured 128 kb/s transatlantic link.
+//!
+//! ```sh
+//! cargo run --release --example bottleneck_estimation
+//! ```
+
+use probenet::core::{PaperScenario, PhasePlot};
+use probenet::netdyn::{paper_intervals, ExperimentConfig};
+use probenet::sim::SimDuration;
+
+fn main() {
+    let span = SimDuration::from_secs(120);
+    println!("ground truth: 128 kb/s bottleneck | span {span} per experiment\n");
+    println!(
+        "{:>9} | {:>8} | {:>12} | {:>22} | {:>6}",
+        "delta", "clock", "mu estimate", "clock bounds (kb/s)", "pairs"
+    );
+
+    for clock_label in ["ideal", "DECstation 3.906 ms"] {
+        println!("--- {clock_label} clock ---");
+        for delta in paper_intervals() {
+            let scenario = PaperScenario::inria_umd(7);
+            let count = (span.as_nanos() / delta.as_nanos()) as usize;
+            let mut config = ExperimentConfig::paper(delta).with_count(count);
+            if clock_label == "ideal" {
+                config = config.with_clock(SimDuration::ZERO);
+            }
+            let out = scenario.run(&config);
+            let plot = PhasePlot::from_series(&out.series);
+            match plot.bottleneck_estimate(10) {
+                Some(est) => println!(
+                    "{:>7.0}ms | {:>8} | {:>9.1} kb/s | [{:>8.1}, {:>8.1}] | {:>6}",
+                    delta.as_millis_f64(),
+                    clock_label.split_whitespace().next().expect("label"),
+                    est.mu_bps / 1e3,
+                    est.mu_lo_bps / 1e3,
+                    est.mu_hi_bps / 1e3,
+                    est.compression_points,
+                ),
+                None => println!(
+                    "{:>7.0}ms | {:>8} | {:>12} | {:>22} | {:>6}",
+                    delta.as_millis_f64(),
+                    clock_label.split_whitespace().next().expect("label"),
+                    "no line",
+                    "-",
+                    "-"
+                ),
+            }
+        }
+    }
+
+    println!(
+        "\nreading: compression requires the probe+cross load to keep the\n\
+         bottleneck buffer busy across probes; at large delta consecutive\n\
+         probes rarely queue behind one another (the paper's Figure 4) and\n\
+         no line exists to invert. The DECstation clock quantizes the\n\
+         intercept, which the bounds make explicit."
+    );
+}

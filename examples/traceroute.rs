@@ -1,0 +1,40 @@
+//! Route discovery over the simulated paths — the paper's Tables 1 and 2.
+//!
+//! Sends probes with increasing TTL; routers answer expired probes with
+//! time-exceeded messages, identifying themselves hop by hop, exactly as
+//! `traceroute` does on the real Internet.
+//!
+//! ```sh
+//! cargo run --release --example traceroute
+//! ```
+
+use probenet::sim::{discover_route, Path, SimDuration};
+
+fn print_route(title: &str, path: &Path) {
+    println!("{title}");
+    let route = discover_route(path, SimDuration::from_millis(500));
+    let (bidx, bspec) = path.bottleneck();
+    for (i, name) in route.iter().enumerate() {
+        let marker = if i == bidx {
+            format!("   <-- bottleneck ({} kb/s)", bspec.bandwidth_bps / 1000)
+        } else {
+            String::new()
+        };
+        println!("{:>3}  {name}{marker}", i + 1);
+    }
+    println!(
+        "base rtt of a 72-byte probe: {:.1} ms\n",
+        path.base_rtt(72).as_millis_f64()
+    );
+}
+
+fn main() {
+    print_route(
+        "traceroute to avwhub-gw.umd.edu (Table 1, July 1992):",
+        &Path::inria_umd_1992(),
+    );
+    print_route(
+        "traceroute to hub-eh.gw.pitt.edu (Table 2, May 1993):",
+        &Path::umd_pitt_1993(),
+    );
+}

@@ -1,0 +1,116 @@
+//! Two-way traffic dynamics: ACK compression meets probe compression.
+//!
+//! The paper links its probe-compression phenomenon to the ACK compression
+//! observed in simulations of two-way TCP traffic (refs [29], [18]): both
+//! are small packets queuing behind bulk packets and draining back-to-back
+//! at the bottleneck rate. This example runs closed-loop window transfers
+//! in both directions, probes through them, and shows the two phenomena
+//! side by side.
+//!
+//! ```sh
+//! cargo run --release --example two_way
+//! ```
+
+use probenet::core::{render_phase_plot, PhasePlot};
+use probenet::netdyn::{RttRecord, RttSeries};
+use probenet::sim::{
+    BufferLimit, Engine, FlowClass, LinkSpec, Path, SimDuration, SimTime, WindowFlow,
+};
+
+fn main() {
+    let mu = 128_000u64;
+    let path = Path::new(
+        vec!["src".into(), "router".into(), "dst".into()],
+        vec![
+            LinkSpec::new(10_000_000, SimDuration::from_micros(100)),
+            LinkSpec::new(mu, SimDuration::from_millis(30)).with_buffer(BufferLimit::Packets(40)),
+        ],
+    );
+    let mut engine = Engine::new(path.clone(), 3);
+
+    // A forward bulk transfer (data out, ACKs back) and a reverse one
+    // (data back, ACKs out): classic two-way traffic.
+    let fwd = engine.add_window_flow(WindowFlow::fixed(512, 40, 6, false), SimTime::ZERO);
+    engine.add_window_flow(WindowFlow::fixed(512, 40, 6, true), SimTime::ZERO);
+
+    // Probe through it at delta = 50 ms.
+    let delta = SimDuration::from_millis(50);
+    let count = 2400u64;
+    for n in 0..count {
+        engine.inject_probe(SimTime::from_millis(50 * n), 72, n);
+    }
+    engine.run_until(SimTime::from_secs(125));
+
+    // --- ACK compression on the forward flow ---
+    let ack_times: Vec<SimTime> = engine
+        .deliveries()
+        .iter()
+        .filter(|d| d.class == FlowClass::Window && d.flow == fwd)
+        .map(|d| d.delivered_at)
+        .collect();
+    let ack_service = SimDuration::transmission(40, mu);
+    let data_service = SimDuration::transmission(512, mu);
+    let compressed = ack_times
+        .windows(2)
+        .filter(|w| w[1] - w[0] <= ack_service * 2)
+        .count();
+    println!(
+        "forward transfer: {} ACKs; {:.0}% arrived back-to-back (<= 2 ACK service times)\n\
+         -> ACK compression: ACKs queued behind the reverse transfer's 512-B data\n",
+        ack_times.len(),
+        100.0 * compressed as f64 / (ack_times.len() - 1) as f64
+    );
+
+    // --- probe compression in the same run ---
+    let mut records: Vec<RttRecord> = (0..count)
+        .map(|n| RttRecord {
+            seq: n,
+            sent_at: n * 50_000_000,
+            echoed_at: None,
+            rtt: None,
+        })
+        .collect();
+    for d in engine.probe_deliveries() {
+        records[d.seq as usize].rtt = Some(d.rtt().as_nanos());
+    }
+    let series = RttSeries::new(delta, 72, SimDuration::ZERO, records);
+    let plot = PhasePlot::from_series(&series);
+    print!("{}", render_phase_plot(&plot, 72, 22));
+
+    // Under a *saturating* closed-loop transfer probes rarely sit adjacent
+    // in the bottleneck queue: the ack-clock slots one data packet between
+    // them, so RTT differences quantize to
+    //   (P + k·data)/mu − delta,  k = 0, 1, 2, …
+    // The strongest sub-diagonal line is usually k = 1, one data service
+    // time above the pure (k = 0) compression line.
+    let p_service = SimDuration::transmission(72, mu).as_millis_f64();
+    let delta_ms = 50.0;
+    let diffs: Vec<f64> = plot.diffs();
+    for k in 0..3 {
+        let offset = p_service + k as f64 * data_service.as_millis_f64() - delta_ms;
+        if offset >= 0.0 {
+            break;
+        }
+        let on_line = diffs.iter().filter(|&&d| (d - offset).abs() < 1.0).count();
+        println!(
+            "probe pairs on y = x {:+.1} ms (k = {k} data packets between them): {on_line}",
+            offset
+        );
+    }
+    println!(
+        "\nsame mechanism, two faces: probes and ACKs alike queue behind the\n\
+         transfers' 512-B data and drain in lockstep with it — the paper's §4\n\
+         probe compression is the ACK compression of two-way TCP traffic\n\
+         (refs [29], [18]) seen through a measurement stream.\n\
+         NOTE for estimator users: with saturating periodic cross traffic the\n\
+         dominant line is k = 1, so the naive intercept inversion would\n\
+         misread mu — the open-loop Internet mix of the paper's path does not\n\
+         have this failure mode (k = 0 dominates there)."
+    );
+    println!(
+        "probe stats: {} sent, {} delivered, data spacing at bottleneck {:.1} ms",
+        count,
+        series.received(),
+        data_service.as_millis_f64()
+    );
+}

@@ -1,0 +1,108 @@
+//! Reproducibility guarantees across the whole stack: identical seeds give
+//! bit-identical experiments; different seeds genuinely differ; and the
+//! serialized forms are stable round-trips. These properties are what make
+//! every number in EXPERIMENTS.md regenerable.
+
+use probenet::core::{delta_sweep, PaperScenario};
+use probenet::netdyn::{to_csv, ExperimentConfig};
+use probenet::sim::{Direction, Engine, Path, SimDuration, SimTime, WindowFlow};
+
+fn run_scenario(seed: u64) -> probenet::netdyn::RttSeries {
+    let sc = PaperScenario::inria_umd(seed);
+    let cfg = ExperimentConfig::paper(SimDuration::from_millis(20)).with_count(2000);
+    sc.run(&cfg).series
+}
+
+#[test]
+fn identical_seeds_give_identical_series() {
+    let a = run_scenario(77);
+    let b = run_scenario(77);
+    assert_eq!(a.records, b.records);
+    // Byte-identical serializations too.
+    assert_eq!(to_csv(&a), to_csv(&b));
+    assert_eq!(
+        serde_json::to_string(&a).unwrap(),
+        serde_json::to_string(&b).unwrap()
+    );
+}
+
+#[test]
+fn different_seeds_give_different_series() {
+    let a = run_scenario(1);
+    let b = run_scenario(2);
+    assert_ne!(a.records, b.records, "seeds must drive real randomness");
+    // But the calibration invariants hold for both.
+    for s in [&a, &b] {
+        let min = s.min_rtt_ms().expect("deliveries");
+        assert!((138.0..146.0).contains(&min), "min {min}");
+    }
+}
+
+#[test]
+fn sweep_is_reproducible_despite_parallelism() {
+    // delta_sweep runs its six experiments on six threads; the result must
+    // not depend on scheduling.
+    let sc = PaperScenario::inria_umd(5);
+    let span = SimDuration::from_secs(15);
+    let rows_a: Vec<_> = delta_sweep(&sc, span)
+        .into_iter()
+        .map(|(r, _)| (r.delta_ms as u64, r.ulp.to_bits(), r.clp.to_bits()))
+        .collect();
+    let rows_b: Vec<_> = delta_sweep(&sc, span)
+        .into_iter()
+        .map(|(r, _)| (r.delta_ms as u64, r.ulp.to_bits(), r.clp.to_bits()))
+        .collect();
+    assert_eq!(rows_a, rows_b);
+}
+
+#[test]
+fn window_flows_are_deterministic() {
+    let run = || {
+        let mut e = Engine::new(Path::inria_umd_1992(), 3);
+        e.add_window_flow(WindowFlow::aimd(512, 40, 32, false), SimTime::ZERO);
+        e.add_window_flow(WindowFlow::fixed(512, 40, 4, true), SimTime::ZERO);
+        for n in 0..500u64 {
+            e.inject_probe(SimTime::from_millis(40 * n), 72, n);
+        }
+        e.run_until(SimTime::from_secs(25));
+        let deliveries: Vec<(u32, u64, u64)> = e
+            .deliveries()
+            .iter()
+            .map(|d| (d.flow, d.seq, d.delivered_at.as_nanos()))
+            .collect();
+        (deliveries, e.drops().len())
+    };
+    assert_eq!(run(), run());
+}
+
+#[test]
+fn run_until_then_continue_equals_run_straight_through() {
+    // Pausing the engine at horizons must not change physics.
+    let build = || {
+        let mut e = Engine::new(Path::inria_umd_1992(), 9);
+        e.attach_cross_traffic(
+            4,
+            Direction::Outbound,
+            (0..500u64).map(|i| (SimTime::from_millis(37 * i), 512u32)),
+        );
+        for n in 0..400u64 {
+            e.inject_probe(SimTime::from_millis(50 * n), 72, n);
+        }
+        e
+    };
+    let mut straight = build();
+    straight.run();
+    let mut stepped = build();
+    for step in 1..=50u64 {
+        stepped.run_until(SimTime::from_millis(step * 500));
+    }
+    stepped.run();
+    let key = |e: &Engine| {
+        e.deliveries()
+            .iter()
+            .map(|d| (d.flow, d.seq, d.delivered_at.as_nanos()))
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(key(&straight), key(&stepped));
+    assert_eq!(straight.drops().len(), stepped.drops().len());
+}

@@ -1,0 +1,259 @@
+//! Cross-validation: the discrete-event simulator against the analytic
+//! queueing layer.
+//!
+//! These tests degenerate the simulator to configurations with exact or
+//! closed-form expectations — the paper's Figure-3 model, Lindley's
+//! recurrence, Pollaczek–Khinchine — and require agreement.
+
+use probenet::queueing::{finite_queue, md1_mean_wait, Batch, BolotModel, Outcome};
+use probenet::sim::{
+    figure3_model, BufferLimit, Direction, Engine, FlowClass, LinkSpec, Path, SimDuration, SimTime,
+};
+use probenet::traffic::PoissonStream;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A one-hop path with no propagation delay and an unbounded buffer: the
+/// pure single-server queue.
+fn bare_queue(mu_bps: u64) -> Path {
+    Path::new(
+        vec!["src".into(), "sink".into()],
+        vec![LinkSpec::new(mu_bps, SimDuration::ZERO).with_buffer(BufferLimit::Unbounded)],
+    )
+}
+
+#[test]
+fn engine_reproduces_bolot_model_exactly() {
+    // The paper's Figure-3 model: fixed delay + one bottleneck. Feed the
+    // same probe schedule and batch sequence to both the event simulator
+    // and the closed two-stage Lindley recurrence; RTTs must agree to the
+    // nanosecond-rounding level.
+    let mu = 128_000u64;
+    let delta_s = 0.020;
+    let fixed_rtt = 0.100;
+    let probe_bytes = 72u32;
+    let model = BolotModel::new(mu as f64, probe_bytes as f64 * 8.0, delta_s, fixed_rtt);
+
+    // Batch sequence: k FTP packets (4096 bits each) per interval, with a
+    // deterministic pattern, arriving 5 ms into the interval. Use a
+    // *single arrival instant* per batch, as the model assumes.
+    let pattern = [0u32, 1, 0, 0, 2, 0, 1, 0, 0, 0, 3, 0, 0, 1, 0];
+    let n_probes = 200usize;
+    let batches: Vec<Batch> = (0..n_probes - 1)
+        .map(|i| Batch {
+            bits: pattern[i % pattern.len()] as f64 * 4096.0,
+            offset: 0.005,
+        })
+        .collect();
+    let want_rtts = model.rtts(&model.waiting_times(&batches));
+
+    // Simulator: same single queue; the return path must be free of
+    // queueing, so give the return direction nothing to contend with.
+    // figure3_model splits the fixed RTT over the one link's propagation
+    // (both directions); the probe is served once per direction, but the
+    // model counts one P/mu only — so make the return service free by
+    // using... instead, build the path by hand: outbound bottleneck link,
+    // then an infinitely fast return. A 2-node path shares the link both
+    // ways, so use the fact that with no return cross traffic and probe
+    // spacing >= P/mu the return queue adds exactly P/mu per probe: fold
+    // that into the comparison.
+    let path = figure3_model(
+        mu,
+        SimDuration::from_secs_f64(fixed_rtt),
+        BufferLimit::Unbounded,
+    );
+    let mut engine = Engine::new(path, 0);
+    for n in 0..n_probes as u64 {
+        engine.inject_probe(
+            SimTime::from_secs_f64(delta_s * (n + 1) as f64),
+            probe_bytes,
+            n,
+        );
+    }
+    for (i, b) in batches.iter().enumerate() {
+        if b.bits > 0.0 {
+            let k = (b.bits / 4096.0) as u32;
+            let at = SimTime::from_secs_f64(delta_s * (i + 1) as f64 + b.offset);
+            engine.attach_cross_traffic(0, Direction::Outbound, (0..k).map(move |_| (at, 512u32)));
+        }
+    }
+    engine.run();
+
+    let mut got: Vec<(u64, f64)> = engine
+        .probe_deliveries()
+        .map(|d| (d.seq, d.rtt().as_secs_f64()))
+        .collect();
+    got.sort_by_key(|&(seq, _)| seq);
+    assert_eq!(got.len(), n_probes, "no probe may be lost here");
+
+    // The simulator's RTT = model RTT + one extra P/mu (the return-link
+    // service, which the analytic model folds into D but the simulator
+    // pays explicitly).
+    let extra = probe_bytes as f64 * 8.0 / mu as f64;
+    for (n, rtt) in got {
+        let want = want_rtts[n as usize] + extra;
+        assert!(
+            (rtt - want).abs() < 1e-6,
+            "probe {n}: sim {rtt:.6} s vs model {want:.6} s"
+        );
+    }
+}
+
+#[test]
+fn engine_matches_lindley_finite_queue() {
+    // Drive a finite-buffer queue with a deterministic cross-traffic
+    // pattern and compare packet-by-packet outcomes with the exact Lindley
+    // bookkeeping from the queueing crate.
+    let mu = 100_000u64; // 12.5 kB/s: a 500-byte packet takes 40 ms
+    let capacity_queued = 3usize;
+    let path = Path::new(
+        vec!["a".into(), "b".into()],
+        vec![
+            LinkSpec::new(mu, SimDuration::ZERO).with_buffer(BufferLimit::Packets(capacity_queued))
+        ],
+    );
+    let mut engine = Engine::new(path, 0);
+    // A bursty deterministic schedule (ms): clusters that overflow.
+    let arrivals_ms: Vec<u64> = vec![0, 1, 2, 3, 4, 5, 200, 201, 202, 203, 204, 500];
+    let size = 500u32;
+    engine.attach_cross_traffic(
+        0,
+        Direction::Outbound,
+        arrivals_ms
+            .iter()
+            .map(|&ms| (SimTime::from_millis(ms), size)),
+    );
+    engine.run();
+
+    let service = size as f64 * 8.0 / mu as f64;
+    let arr_s: Vec<f64> = arrivals_ms.iter().map(|&ms| ms as f64 / 1e3).collect();
+    let services = vec![service; arr_s.len()];
+    // Engine admits into buffer + 1 in service.
+    let outcomes = finite_queue(&arr_s, &services, capacity_queued + 1);
+
+    let delivered: std::collections::HashMap<u64, f64> = engine
+        .deliveries()
+        .iter()
+        .filter(|d| d.class == FlowClass::Cross)
+        .map(|d| (d.seq, d.rtt().as_secs_f64()))
+        .collect();
+    let dropped: std::collections::HashSet<u64> = engine.drops().iter().map(|d| d.seq).collect();
+
+    for (i, o) in outcomes.iter().enumerate() {
+        match o {
+            Outcome::Served { wait } => {
+                let rtt = delivered
+                    .get(&(i as u64))
+                    .unwrap_or_else(|| panic!("packet {i} should be served"));
+                let want = wait + service; // sojourn = wait + service
+                assert!(
+                    (rtt - want).abs() < 1e-9,
+                    "packet {i}: sim sojourn {rtt} vs lindley {want}"
+                );
+            }
+            Outcome::Blocked => {
+                assert!(
+                    dropped.contains(&(i as u64)),
+                    "packet {i} should be blocked"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn md1_queue_matches_pollaczek_khinchine() {
+    // Poisson arrivals + deterministic service at rho = 0.7: the measured
+    // mean waiting time must approach the PK formula.
+    let mu = 1_000_000u64; // 1 Mb/s
+    let size = 1000u32; // 8 ms service
+    let service = size as f64 * 8.0 / mu as f64;
+    let rho: f64 = 0.7;
+    let lambda = rho / service; // 87.5 packets/s
+
+    let stream = PoissonStream {
+        rate_hz: lambda,
+        sizes: probenet::traffic::PacketSize::Constant(size),
+    };
+    let horizon = SimDuration::from_secs(2000);
+    let arrivals = stream.generate(&mut StdRng::seed_from_u64(42), horizon);
+    let n = arrivals.len();
+
+    let mut engine = Engine::new(bare_queue(mu), 1);
+    engine.attach_cross_traffic(
+        0,
+        Direction::Outbound,
+        arrivals.iter().map(|a| a.into_pair()),
+    );
+    engine.run();
+
+    let total_wait: f64 = engine
+        .deliveries()
+        .iter()
+        .map(|d| d.rtt().as_secs_f64() - service)
+        .sum();
+    let measured = total_wait / n as f64;
+    let want = md1_mean_wait(lambda, service);
+    let rel = (measured - want).abs() / want;
+    assert!(
+        rel < 0.08,
+        "M/D/1 mean wait: measured {measured:.6} vs PK {want:.6} (rel err {rel:.3})"
+    );
+}
+
+#[test]
+fn probe_saturation_yields_exact_compression_spacing() {
+    // delta < P/mu: the probe stream saturates the bottleneck; every
+    // delivery is spaced exactly P/mu apart (the extreme of eq. 3).
+    let mu = 128_000u64;
+    let probe = 72u32; // 4.5 ms service
+    let path = Path::new(
+        vec!["src".into(), "echo".into()],
+        vec![LinkSpec::new(mu, SimDuration::from_millis(5)).with_buffer(BufferLimit::Unbounded)],
+    );
+    let mut engine = Engine::new(path, 0);
+    for n in 0..200u64 {
+        engine.inject_probe(SimTime::from_millis(2 * n), probe, n);
+    }
+    engine.run();
+    let mut recv: Vec<SimTime> = engine.probe_deliveries().map(|d| d.delivered_at).collect();
+    recv.sort();
+    assert_eq!(recv.len(), 200);
+    for w in recv.windows(2) {
+        assert_eq!(w[1] - w[0], SimDuration::from_micros(4500));
+    }
+}
+
+#[test]
+fn bernoulli_loss_path_has_clp_equal_ulp() {
+    // Pure random loss (no queueing, no overflow): the loss process is
+    // i.i.d., so clp ≈ ulp, the gap ≈ 1/(1−ulp), and independence tests
+    // pass — the baseline against which the paper's small-δ burstiness
+    // stands out.
+    let path = Path::new(
+        vec!["src".into(), "echo".into()],
+        vec![LinkSpec::new(10_000_000, SimDuration::from_millis(1)).with_random_loss(0.1)],
+    );
+    let mut engine = Engine::new(path, 9);
+    let n = 50_000u64;
+    for k in 0..n {
+        engine.inject_probe(SimTime::from_millis(k), 72, k);
+    }
+    engine.run();
+    let mut flags = vec![true; n as usize];
+    for d in engine.probe_deliveries() {
+        flags[d.seq as usize] = false;
+    }
+    let analysis = probenet::core::analyze_loss_flags(&flags);
+    // Two traversals at 10%: ulp = 1 - 0.9^2 = 0.19.
+    assert!((analysis.ulp - 0.19).abs() < 0.01, "ulp {}", analysis.ulp);
+    let clp = analysis.clp.expect("losses occurred");
+    assert!(
+        (clp - analysis.ulp).abs() < 0.02,
+        "clp {clp} should equal ulp {}",
+        analysis.ulp
+    );
+    assert!(analysis.losses_look_random(0.001));
+    let gap = analysis.plg_measured.expect("losses occurred");
+    assert!((gap - 1.0 / (1.0 - clp)).abs() < 0.05, "gap {gap}");
+}

@@ -1,0 +1,65 @@
+//! The real-network driver feeding the same analysis pipeline: a loopback
+//! echo server, actual UDP datagrams, and the full §4/§5 analysis on the
+//! measured series.
+
+use std::time::Duration;
+
+use probenet::core::{analyze_losses, PhasePlot};
+use probenet::netdyn::{run_probes, EchoServer, ExperimentConfig};
+use probenet::sim::SimDuration;
+
+#[test]
+fn loopback_measurements_flow_through_the_pipeline() {
+    let server = EchoServer::spawn("127.0.0.1:0").expect("bind echo server");
+    let config = ExperimentConfig::quick(SimDuration::from_millis(2), 100);
+    let (series, stats) =
+        run_probes(server.local_addr(), &config, Duration::from_millis(300)).expect("probe run");
+
+    assert_eq!(series.len(), 100);
+    assert!(series.received() >= 95, "received {}", series.received());
+    assert_eq!(stats.decode_errors, 0);
+
+    // Loopback: tiny, tightly clustered RTTs; the phase plot hugs the
+    // diagonal and no compression line exists.
+    let plot = PhasePlot::from_series(&series);
+    assert!(plot.min_rtt_ms().expect("deliveries") < 100.0);
+    assert!(plot.bottleneck_estimate(5).is_none());
+
+    let loss = analyze_losses(&series);
+    assert!(loss.ulp < 0.05);
+    server.shutdown();
+}
+
+#[test]
+fn injected_loss_shows_up_as_random_loss() {
+    let server = EchoServer::spawn_with_loss("127.0.0.1:0", 0.2, 5).expect("bind echo server");
+    let config = ExperimentConfig::quick(SimDuration::from_millis(1), 400);
+    let (series, _) =
+        run_probes(server.local_addr(), &config, Duration::from_millis(400)).expect("probe run");
+
+    let loss = analyze_losses(&series);
+    assert!(
+        (0.1..0.35).contains(&loss.ulp),
+        "ulp {} with 20% injection",
+        loss.ulp
+    );
+    // Bernoulli injection: the loss gap stays near 1/(1-p) ≈ 1.25 and the
+    // lag-1 test does not find dependence.
+    if let Some(gap) = loss.plg_measured {
+        assert!(gap < 2.0, "gap {gap}");
+    }
+    assert!(loss.losses_look_random(0.001));
+    server.shutdown();
+}
+
+#[test]
+fn series_serializes_for_offline_analysis() {
+    let server = EchoServer::spawn("127.0.0.1:0").expect("bind echo server");
+    let config = ExperimentConfig::quick(SimDuration::from_millis(2), 20);
+    let (series, _) =
+        run_probes(server.local_addr(), &config, Duration::from_millis(200)).expect("probe run");
+    let json = serde_json::to_string(&series).expect("serialize");
+    let back: probenet::netdyn::RttSeries = serde_json::from_str(&json).expect("deserialize");
+    assert_eq!(back.records, series.records);
+    server.shutdown();
+}

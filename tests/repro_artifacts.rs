@@ -1,0 +1,189 @@
+//! Shape tests for every paper artifact: each table and figure of the
+//! evaluation is regenerated (short spans) and its qualitative structure —
+//! who wins, where the peaks sit, how the metrics trend — is asserted.
+//!
+//! These tests exercise the same functions the `repro` binary prints.
+
+use probenet_bench::*;
+
+#[test]
+fn table1_shape() {
+    let route = table1_route();
+    assert_eq!(route.len(), 10, "Table 1 lists 10 hops");
+    assert_eq!(route[0], "tom.inria.fr");
+    assert_eq!(route[3], "icm-sophia.icp.net");
+    assert_eq!(route[4], "Ithaca.NY.NSS.NSF.NET");
+    assert_eq!(route[9], "avwhub-gw.umd.edu");
+}
+
+#[test]
+fn table2_shape() {
+    let route = table2_route();
+    assert_eq!(route.len(), 13, "Table 2 lists 13 hops after the source");
+    assert_eq!(route[0], "avw1hub-gw.umd.edu");
+    assert!(route[4].contains("t3.ans.net"));
+    assert_eq!(route[12], "hub-eh.gw.pitt.edu");
+}
+
+#[test]
+fn figure1_shape() {
+    // Paper: delta = 50 ms; large number of losses (9% in that run); RTTs
+    // between ~140 ms and several hundred ms.
+    let series = figure1_series(120, 1993);
+    let ulp = series.loss_probability();
+    assert!((0.04..0.25).contains(&ulp), "ulp {ulp}, paper saw 0.09");
+    let rtts = series.delivered_rtts_ms();
+    let min = rtts.iter().copied().fold(f64::INFINITY, f64::min);
+    let max = rtts.iter().copied().fold(0.0f64, f64::max);
+    assert!((135.0..150.0).contains(&min), "min {min}");
+    assert!(max > 250.0, "max {max}: needs visible queueing excursions");
+}
+
+#[test]
+fn figure2_shape() {
+    // Paper: cluster near (140, 140); compression line with x-intercept
+    // ~48 ms giving mu ~ 130 kb/s (configured truth here: 128 kb/s).
+    let (plot, _) = figure2_phase(120, 1993);
+    let min = plot.min_rtt_ms().expect("points");
+    assert!((135.0..150.0).contains(&min), "D cluster at {min}");
+    let est = plot.bottleneck_estimate(10).expect("compression line");
+    assert!(
+        (40.0..48.0).contains(&est.intercept_ms),
+        "intercept {} (ideal value 45.5 ms)",
+        est.intercept_ms
+    );
+    // The DECstation clock limits accuracy; the bounds must bracket truth.
+    assert!(
+        est.mu_lo_bps < 128_000.0 && 128_000.0 < est.mu_hi_bps,
+        "bounds [{}, {}] must include 128 kb/s",
+        est.mu_lo_bps,
+        est.mu_hi_bps
+    );
+    assert!(est.compression_points > 50);
+}
+
+#[test]
+fn figure4_shape() {
+    // Paper: at delta = 500 ms only two points lie on the compression
+    // line; everything scatters around the diagonal.
+    let plot = figure4_phase(300, 1993);
+    assert!(!plot.points.is_empty());
+    let offset = -(500.0 - 4.5);
+    assert!(
+        plot.near_line(offset, 3.0) <= 3,
+        "compression should be (almost) absent at delta = 500 ms"
+    );
+    assert!(plot.bottleneck_estimate(10).is_none());
+    // Most mass in a (wide) diagonal band — independent draws from the
+    // same delay distribution scatter around y = x with the queueing
+    // spread on both sides.
+    let near_diag = plot.near_diagonal(80.0);
+    assert!(
+        near_diag * 3 > plot.points.len(),
+        "diagonal scatter expected: {near_diag} of {}",
+        plot.points.len()
+    );
+}
+
+#[test]
+fn figure5_shape() {
+    // Paper: delta = 8 ms on the T3 path; lines y = x and y = x − 8 both
+    // visible; 3 ms clock bands the points.
+    let plot = figure5_phase(60, 1993);
+    let total = plot.points.len();
+    assert!(total > 1000);
+    let diag = plot.near_diagonal(1.5);
+    let line = plot.near_line(-8.0, 1.5);
+    assert!(diag > total / 10, "diagonal underpopulated: {diag}/{total}");
+    assert!(line > 20, "y = x - 8 line underpopulated: {line}/{total}");
+    // Clock banding: every RTT is a multiple of 3 ms.
+    for p in plot.points.iter().take(100) {
+        let r = (p.x * 1e6).round() as u64;
+        assert_eq!(r % 3_000_000, 0, "rtt {} not on the 3 ms grid", p.x);
+    }
+}
+
+#[test]
+fn figure6_shape() {
+    // Paper: delta = 50 ms on the T3 path scatters around the diagonal —
+    // no compression.
+    let plot = figure6_phase(120, 1993);
+    let total = plot.points.len();
+    let diag = plot.near_diagonal(6.0);
+    assert!(
+        diag * 10 > total * 8,
+        "expected >=80% of points near the diagonal: {diag}/{total}"
+    );
+    assert!(plot.near_line(-50.0 + 0.06, 1.0) < total / 50);
+}
+
+#[test]
+fn figure8_shape() {
+    // Paper: peaks at P/mu, delta, and bulk positions; third peak implies
+    // one FTP packet (~488 B with the paper's binning; 512 B configured).
+    let analysis = figure8_workload(180, 1993);
+    let c = analysis.compressed_peak().expect("P/mu peak");
+    assert!(
+        (c.position_ms - 4.5).abs() < 1.5,
+        "compressed at {}",
+        c.position_ms
+    );
+    let u = analysis.undisturbed_peak().expect("delta peak");
+    assert!(
+        (u.position_ms - 20.0).abs() < 1.5,
+        "undisturbed at {}",
+        u.position_ms
+    );
+    let bulk = analysis.inferred_bulk_bytes().expect("bulk peak");
+    assert!(
+        (420.0..620.0).contains(&bulk),
+        "bulk {bulk} B (configured 512, paper reads 488)"
+    );
+}
+
+#[test]
+fn figure9_shape() {
+    // Paper: same structure at delta = 100 ms but with the leftmost (P/mu)
+    // peak much smaller relative to the others.
+    let a8 = figure8_workload(180, 1993);
+    let a9 = figure9_workload(300, 1993);
+    let h8 = a8.compressed_peak().expect("peak at 20 ms run").height;
+    let h9 = a9.compressed_peak().map(|p| p.height).unwrap_or(0.0);
+    assert!(
+        h9 < 0.5 * h8,
+        "compressed peak must shrink markedly: {h9} vs {h8}"
+    );
+    let u9 = a9.undisturbed_peak().expect("delta peak at 100 ms");
+    assert!((u9.position_ms - 100.0).abs() < 5.0);
+}
+
+#[test]
+fn table3_shape() {
+    // Paper's Table 3 trends: ulp decreasing in delta then flattening
+    // near 10%; clp >= ulp with convergence at large delta; plg falling
+    // from ~2.5 toward ~1.
+    let rows = table3_rows(120, 1993);
+    assert_eq!(rows.len(), 6);
+
+    // ulp at 8 ms well above the plateau; plateau near the random floor.
+    assert!(rows[0].ulp > 1.5 * rows[3].ulp, "ulp must fall with delta");
+    for r in &rows[2..] {
+        assert!(
+            (0.05..0.18).contains(&r.ulp),
+            "plateau ulp {} at delta {}",
+            r.ulp,
+            r.delta_ms
+        );
+    }
+    // clp >= ulp at the small-delta end; gap shrinking.
+    assert!(rows[0].clp > rows[0].ulp + 0.1);
+    let small_excess = rows[0].clp - rows[0].ulp;
+    let large_excess = (rows[5].clp - rows[5].ulp).abs();
+    assert!(
+        small_excess > large_excess,
+        "clp-ulp gap must shrink: {small_excess} vs {large_excess}"
+    );
+    // plg: monotone-ish decline from ~2+ to ~1.
+    assert!(rows[0].plg > 1.5, "plg at 8 ms {}", rows[0].plg);
+    assert!(rows[5].plg < 1.4, "plg at 500 ms {}", rows[5].plg);
+}
