@@ -1,29 +1,49 @@
 //! `repro` — regenerate every table and figure of Bolot, SIGCOMM '93.
 //!
 //! ```text
-//! repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9]
-//!       [--span-secs N] [--seed N] [--json]
+//! repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9|model|campaign]
+//!       [--span-secs N] [--seed N] [--json] [--serial] [--bench-json]
 //! ```
 //!
 //! Each artifact prints the paper's reported values next to the measured
 //! ones, plus a terminal rendering of the figure. `--json` additionally
 //! emits machine-readable results on stdout.
 //!
+//! Artifacts are independent, so they render into per-artifact string
+//! buffers on the bounded work-stealing pool (`probenet_core::sched`) and
+//! are printed in the fixed paper order afterwards — output is identical
+//! whatever the thread count. `--serial` forces everything onto one
+//! thread; `--bench-json` times a serial and a pooled pass and writes a
+//! machine-readable `BENCH_<date>.json` next to the working directory.
+//!
 //! Figures 3 and 7 of the paper are schematics (the queueing model and the
 //! Lindley proof), realized as code in `probenet_queueing::{BolotModel,
 //! lindley}` and covered by that crate's tests.
+
+use std::fmt::Write as _;
+use std::time::{Duration, Instant, SystemTime};
 
 use probenet_bench::*;
 use probenet_core::{
     analyze_losses, render_histogram, render_phase_plot, render_table3, render_time_series,
     PeakLabel,
 };
+use serde::Serialize;
+
+/// `writeln!` into a `String` buffer (infallible, so the result is dropped).
+macro_rules! o {
+    ($out:expr $(, $($arg:tt)*)?) => {
+        let _ = writeln!($out $(, $($arg)*)?);
+    };
+}
 
 struct Args {
     artifact: String,
     span_secs: u64,
     seed: u64,
     json: bool,
+    serial: bool,
+    bench_json: bool,
 }
 
 fn parse_args() -> Args {
@@ -32,6 +52,8 @@ fn parse_args() -> Args {
         span_secs: DEFAULT_SPAN_SECS,
         seed: 1993,
         json: false,
+        serial: false,
+        bench_json: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -52,10 +74,12 @@ fn parse_args() -> Args {
                     .expect("seed must be an integer")
             }
             "--json" => args.json = true,
+            "--serial" => args.serial = true,
+            "--bench-json" => args.bench_json = true,
             "--help" | "-h" => {
                 println!(
                     "repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9|model|campaign] \
-                     [--span-secs N] [--seed N] [--json]"
+                     [--span-secs N] [--seed N] [--json] [--serial] [--bench-json]"
                 );
                 std::process::exit(0);
             }
@@ -68,173 +92,238 @@ fn parse_args() -> Args {
     args
 }
 
-fn heading(s: &str) {
-    println!("\n=== {s} ===");
+fn heading(out: &mut String, s: &str) {
+    o!(out, "\n=== {s} ===");
 }
 
-fn table1() {
-    heading("Table 1: route INRIA -> UMd (July 1992)");
-    println!("paper: 10 hops, transatlantic bottleneck between nodes 4 and 5");
+fn table1(_a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Table 1: route INRIA -> UMd (July 1992)");
+    o!(
+        out,
+        "paper: 10 hops, transatlantic bottleneck between nodes 4 and 5"
+    );
     for (i, n) in table1_route().iter().enumerate() {
-        println!("{:>3}  {n}", i + 1);
+        o!(out, "{:>3}  {n}", i + 1);
     }
+    out
 }
 
-fn table2() {
-    heading("Table 2: route UMd -> Pittsburgh (May 1993)");
-    println!("paper: 13 hops over the T3 ANSnet backbone");
+fn table2(_a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Table 2: route UMd -> Pittsburgh (May 1993)");
+    o!(out, "paper: 13 hops over the T3 ANSnet backbone");
     for (i, n) in table2_route().iter().enumerate() {
-        println!("{:>3}  {n}", i + 1);
+        o!(out, "{:>3}  {n}", i + 1);
     }
+    out
 }
 
-fn fig1(a: &Args) {
-    heading("Figure 1: rtt_n vs n, delta = 50 ms");
+fn fig1(a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Figure 1: rtt_n vs n, delta = 50 ms");
     let series = figure1_series(a.span_secs, a.seed);
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string(&series).expect("serializable series")
         );
     }
     let strip: Vec<f64> = series.rtt_or_zero_ms().into_iter().take(800).collect();
-    print!("{}", render_time_series(&strip, 100, 18));
-    println!(
+    let _ = write!(out, "{}", render_time_series(&strip, 100, 18));
+    o!(
+        out,
         "paper: loss probability 9% for this experiment | measured: {:.1}% over {} probes",
         series.loss_probability() * 100.0,
         series.len()
     );
+    out
 }
 
-fn fig2(a: &Args) {
-    heading("Figure 2: phase plot, delta = 50 ms (INRIA-UMd)");
+fn fig2(a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Figure 2: phase plot, delta = 50 ms (INRIA-UMd)");
     let (plot, loss) = figure2_phase(a.span_secs, a.seed);
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string(&plot).expect("serializable plot")
         );
     }
-    print!("{}", render_phase_plot(&plot, 72, 24));
-    println!(
+    let _ = write!(out, "{}", render_phase_plot(&plot, 72, 24));
+    o!(
+        out,
         "paper: D ~ 140 ms | measured min rtt (D + P/mu): {:.1} ms",
         plot.min_rtt_ms().unwrap_or(f64::NAN)
     );
     match plot.bottleneck_estimate(10) {
         Some(est) => {
-            println!("paper: compression-line x-intercept ~48 ms => mu ~ 130 kb/s (with P = 32 B)");
-            println!(
+            o!(
+                out,
+                "paper: compression-line x-intercept ~48 ms => mu ~ 130 kb/s (with P = 32 B)"
+            );
+            o!(
+                out,
                 "measured: intercept {:.1} ms, mu = {:.1} kb/s (P = 72 B wire), {} points on the line",
                 est.intercept_ms,
                 est.mu_bps / 1e3,
                 est.compression_points
             );
-            println!(
+            o!(
+                out,
                 "clock-resolution bounds: [{:.0}, {:.0}] kb/s (3.906 ms DECstation clock); \
                  configured truth: 128.0 kb/s",
                 est.mu_lo_bps / 1e3,
                 est.mu_hi_bps / 1e3
             );
         }
-        None => println!("measured: no compression line detected"),
+        None => {
+            o!(out, "measured: no compression line detected");
+        }
     }
-    println!("losses in this run: ulp {:.2}", loss.ulp);
+    o!(out, "losses in this run: ulp {:.2}", loss.ulp);
+    out
 }
 
-fn fig4(a: &Args) {
-    heading("Figure 4: phase plot, delta = 500 ms (INRIA-UMd)");
+fn fig4(a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Figure 4: phase plot, delta = 500 ms (INRIA-UMd)");
     let plot = figure4_phase(a.span_secs.max(240), a.seed);
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string(&plot).expect("serializable plot")
         );
     }
-    print!("{}", render_phase_plot(&plot, 72, 24));
+    let _ = write!(out, "{}", render_phase_plot(&plot, 72, 24));
     let offset = -(500.0 - 72.0 * 8.0 / 128.0); // P/mu - delta, ms
     let on_line = plot.near_line(offset, 2.0);
-    println!("paper: only 2 points on the compression line; scatter around the diagonal");
-    println!(
+    o!(
+        out,
+        "paper: only 2 points on the compression line; scatter around the diagonal"
+    );
+    o!(
+        out,
         "measured: {} points near the line y = x {:.0} ms, {} of {} near the diagonal (+-10 ms)",
         on_line,
         offset,
         plot.near_diagonal(10.0),
         plot.points.len()
     );
-    println!(
+    o!(
+        out,
         "compression-line detector: {:?}",
         plot.bottleneck_estimate(10).map(|e| e.mu_bps)
     );
+    out
 }
 
-fn fig5(a: &Args) {
-    heading("Figure 5: phase plot, delta = 8 ms (UMd-Pitt, 3 ms clock)");
+fn fig5(a: &Args) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Figure 5: phase plot, delta = 8 ms (UMd-Pitt, 3 ms clock)",
+    );
     let plot = figure5_phase(a.span_secs, a.seed);
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string(&plot).expect("serializable plot")
         );
     }
-    print!("{}", render_phase_plot(&plot, 72, 24));
-    println!("paper: lines y = x and y = x - 8 visible; clock-resolution banding");
-    println!(
+    let _ = write!(out, "{}", render_phase_plot(&plot, 72, 24));
+    o!(
+        out,
+        "paper: lines y = x and y = x - 8 visible; clock-resolution banding"
+    );
+    o!(
+        out,
         "measured: {} points near diagonal (+-1.5 ms), {} near y = x - 8 (+-1.5 ms), {} total",
         plot.near_diagonal(1.5),
         plot.near_line(-8.0, 1.5),
         plot.points.len()
     );
+    out
 }
 
-fn fig6(a: &Args) {
-    heading("Figure 6: phase plot, delta = 50 ms (UMd-Pitt, 3 ms clock)");
+fn fig6(a: &Args) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Figure 6: phase plot, delta = 50 ms (UMd-Pitt, 3 ms clock)",
+    );
     let plot = figure6_phase(a.span_secs, a.seed);
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string(&plot).expect("serializable plot")
         );
     }
-    print!("{}", render_phase_plot(&plot, 72, 24));
-    println!("paper: scatter around the diagonal (no compression at 50 ms)");
-    println!(
+    let _ = write!(out, "{}", render_phase_plot(&plot, 72, 24));
+    o!(
+        out,
+        "paper: scatter around the diagonal (no compression at 50 ms)"
+    );
+    o!(
+        out,
         "measured: {} of {} points near the diagonal (+-6 ms); detector: {:?}",
         plot.near_diagonal(6.0),
         plot.points.len(),
         plot.bottleneck_estimate(10).map(|e| e.mu_bps / 1e3)
     );
+    out
 }
 
-fn fig8(a: &Args) {
-    heading("Figure 8: distribution of w_{n+1} - w_n + delta, delta = 20 ms");
+fn fig8(a: &Args) -> String {
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Figure 8: distribution of w_{n+1} - w_n + delta, delta = 20 ms",
+    );
     let analysis = figure8_workload(a.span_secs, a.seed);
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string(&analysis).expect("serializable analysis")
         );
     }
-    print!("{}", render_histogram(&analysis.histogram, 60));
-    println!(
+    let _ = write!(out, "{}", render_histogram(&analysis.histogram, 60));
+    o!(
+        out,
         "paper: peaks at P/mu (4.5 ms), delta (20 ms), then delta-independent\n\
          bulk positions; third peak => b_n = 488 bytes ~ one FTP packet"
     );
     for p in &analysis.peaks {
-        println!(
+        o!(
+            out,
             "measured peak at {:>6.1} ms  (height {:.3})  label {:?}  implied workload {:.0} B",
-            p.position_ms, p.height, p.label, p.implied_workload_bytes
+            p.position_ms,
+            p.height,
+            p.label,
+            p.implied_workload_bytes
         );
     }
     if let Some(b) = analysis.inferred_bulk_bytes() {
-        println!("inferred bulk packet size: {b:.0} bytes (configured FTP size: 512)");
+        o!(
+            out,
+            "inferred bulk packet size: {b:.0} bytes (configured FTP size: 512)"
+        );
     }
+    out
 }
 
-fn fig9(a: &Args) {
-    heading("Figure 9: same distribution at delta = 100 ms");
+fn fig9(a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Figure 9: same distribution at delta = 100 ms");
     let a8 = figure8_workload(a.span_secs, a.seed);
     let a9 = figure9_workload(a.span_secs, a.seed);
-    print!("{}", render_histogram(&a9.histogram, 60));
+    let _ = write!(out, "{}", render_histogram(&a9.histogram, 60));
     // Long runs detect many micro-modes; print the structurally labeled
     // ones plus anything substantial.
     let max_h = a9.peaks.iter().map(|p| p.height).fold(0.0f64, f64::max);
@@ -242,32 +331,59 @@ fn fig9(a: &Args) {
     for p in &a9.peaks {
         let structural = p.label != PeakLabel::Other && shown.insert(format!("{:?}", p.label));
         if structural || p.height >= 0.1 * max_h {
-            println!(
+            o!(
+                out,
                 "measured peak at {:>6.1} ms  (height {:.3})  label {:?}",
-                p.position_ms, p.height, p.label
+                p.position_ms,
+                p.height,
+                p.label
             );
         }
     }
     let h8 = a8.compressed_peak().map(|p| p.height).unwrap_or(0.0);
     let h9 = a9.compressed_peak().map(|p| p.height).unwrap_or(0.0);
-    println!("paper: the P/mu peak shrinks relative to Fig 8 (compression rarer as delta grows)");
-    println!("measured: compressed-peak height {h8:.4} at delta=20 ms vs {h9:.4} at delta=100 ms");
+    o!(
+        out,
+        "paper: the P/mu peak shrinks relative to Fig 8 (compression rarer as delta grows)"
+    );
+    o!(
+        out,
+        "measured: compressed-peak height {h8:.4} at delta=20 ms vs {h9:.4} at delta=100 ms"
+    );
     let labels: Vec<PeakLabel> = a9.peaks.iter().map(|p| p.label).collect();
-    println!("labels at delta=100 ms: {labels:?}");
+    o!(out, "labels at delta=100 ms: {labels:?}");
+    out
 }
 
-fn table3(a: &Args) {
-    heading("Table 3: ulp / clp / plg vs delta");
+fn table3(a: &Args) -> String {
+    let mut out = String::new();
+    heading(&mut out, "Table 3: ulp / clp / plg vs delta");
     let rows = table3_rows(a.span_secs, a.seed);
-    println!("paper (note: its '0.97' at delta=500 is an evident typo for ~0.07-0.10):");
-    println!("| delta(ms) |      8 |     20 |     50 |    100 |    200 |    500 |");
-    println!("| ulp       |   0.23 |   0.16 |   0.12 |   0.10 |   0.11 |  ~0.10 |");
-    println!("| clp       |   0.60 |   0.42 |   0.27 |   0.18 |   0.18 |   0.09 |");
-    println!("| plg       |    2.5 |    1.7 |    1.3 |    1.2 |    1.2 |    1.1 |");
-    println!("measured:");
-    print!("{}", render_table3(&rows));
+    o!(
+        out,
+        "paper (note: its '0.97' at delta=500 is an evident typo for ~0.07-0.10):"
+    );
+    o!(
+        out,
+        "| delta(ms) |      8 |     20 |     50 |    100 |    200 |    500 |"
+    );
+    o!(
+        out,
+        "| ulp       |   0.23 |   0.16 |   0.12 |   0.10 |   0.11 |  ~0.10 |"
+    );
+    o!(
+        out,
+        "| clp       |   0.60 |   0.42 |   0.27 |   0.18 |   0.18 |   0.09 |"
+    );
+    o!(
+        out,
+        "| plg       |    2.5 |    1.7 |    1.3 |    1.2 |    1.2 |    1.1 |"
+    );
+    o!(out, "measured:");
+    let _ = write!(out, "{}", render_table3(&rows));
     if a.json {
-        println!(
+        o!(
+            out,
             "{}",
             serde_json::to_string_pretty(&rows).expect("serializable rows")
         );
@@ -275,7 +391,8 @@ fn table3(a: &Args) {
     // Shape notes.
     let first = &rows[0];
     let last = &rows[rows.len() - 1];
-    println!(
+    o!(
+        out,
         "shape: ulp falls from {:.2} (probe util {:.0}%) to {:.2} (probe util {:.1}%); \
          clp >= ulp at small delta; plg -> ~1",
         first.ulp,
@@ -286,11 +403,13 @@ fn table3(a: &Args) {
     // Randomness check at large delta (the paper's headline loss finding).
     let series = run_inria_umd(500, a.span_secs.max(240), a.seed);
     let loss = analyze_losses(&series);
-    println!(
+    o!(
+        out,
         "losses at delta=500 ms look random? {} (lag-1 chi^2 p = {:?})",
         loss.losses_look_random(0.01),
         loss.lag1_test.map(|t| t.p_value)
     );
+    out
 }
 
 /// §6 cross-validation: the analytic batch-deterministic model vs. the
@@ -298,9 +417,13 @@ fn table3(a: &Args) {
 /// Figure 8 (the paper: the analytic results "show good correlation with
 /// our experimental data" and "bring out the probe compression
 /// phenomenon").
-fn model(a: &Args) {
+fn model(a: &Args) -> String {
     use probenet_queueing::{BatchModelSolver, BatchSizeDist, BolotModel};
-    heading("Section 6 model: analytic batch-deterministic queue vs simulation");
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "Section 6 model: analytic batch-deterministic queue vs simulation",
+    );
     let sim = figure8_workload(a.span_secs, a.seed);
     // Fit a batch distribution to the simulated per-interval workloads:
     // probability of k FTP packets per 20 ms interval.
@@ -312,7 +435,8 @@ fn model(a: &Args) {
     }
     let total: usize = counts.iter().sum();
     let probs: Vec<f64> = counts.iter().map(|&c| c as f64 / total as f64).collect();
-    println!(
+    o!(
+        out,
         "batch-size pmf measured from the simulation (k FTP packets/interval): {:?}",
         probs.iter().map(|p| format!("{p:.3}")).collect::<Vec<_>>()
     );
@@ -322,13 +446,17 @@ fn model(a: &Args) {
         BatchSizeDist::ftp_batches(ftp_bits, &probs),
     );
     let sol = solver.solve(5000);
-    println!(
+    o!(
+        out,
         "analytic solver: {} iterations to stationarity",
         sol.iterations
     );
-    println!(
+    o!(
+        out,
         "{:>26} | {:>10} | {:>10}",
-        "interarrival mass near", "analytic", "simulated"
+        "interarrival mass near",
+        "analytic",
+        "simulated"
     );
     let sim_hist = &sim.histogram;
     let sim_total: u64 = sim_hist.total();
@@ -347,30 +475,41 @@ fn model(a: &Args) {
         ("1 FTP pkt (36.5 ms)", 36.5),
         ("2 FTP pkts (68.5 ms)", 68.5),
     ] {
-        println!(
+        o!(
+            out,
             "{label:>26} | {:>10.4} | {:>10.4}",
             sol.g_mass_near(x_ms / 1e3, 0.002),
             sim_mass(x_ms, 2.0)
         );
     }
-    println!(
+    o!(
+        out,
         "reading: the single-queue model concentrates mass on the exact\n\
          peak positions; the multi-hop simulation spreads each peak with\n\
          telnet-sized perturbations and return-path queueing, as the real\n\
          measurements did."
     );
+    out
 }
 
 /// Multi-seed campaign: Table 3's headline metrics with the error bars the
 /// paper's single runs could not provide.
-fn campaign(a: &Args) {
+fn campaign(a: &Args) -> String {
     use probenet_core::inria_umd_campaign;
     use probenet_sim::SimDuration;
-    heading("campaign: Table 3 metrics with across-seed spread (8 seeds)");
+    let mut out = String::new();
+    heading(
+        &mut out,
+        "campaign: Table 3 metrics with across-seed spread (8 seeds)",
+    );
     let seeds: Vec<u64> = (0..8).map(|i| a.seed.wrapping_add(i * 7919)).collect();
-    println!(
+    o!(
+        out,
         "{:>10} | {:>17} | {:>17} | {:>17}",
-        "delta(ms)", "ulp (mean±std)", "clp (mean±std)", "min rtt (ms)"
+        "delta(ms)",
+        "ulp (mean±std)",
+        "clp (mean±std)",
+        "min rtt (ms)"
     );
     for delta_ms in [8u64, 20, 50, 100, 200, 500] {
         let r = inria_umd_campaign(
@@ -382,61 +521,214 @@ fn campaign(a: &Args) {
             .clp
             .map(|c| format!("{:.3} ± {:.3}", c.mean, c.std))
             .unwrap_or_else(|| "-".into());
-        println!(
+        o!(
+            out,
             "{:>10} | {:>9.3} ± {:.3} | {:>17} | {:>8.1} ± {:.2}",
-            delta_ms, r.ulp.mean, r.ulp.std, clp, r.min_rtt_ms.mean, r.min_rtt_ms.std
+            delta_ms,
+            r.ulp.mean,
+            r.ulp.std,
+            clp,
+            r.min_rtt_ms.mean,
+            r.min_rtt_ms.std
         );
     }
-    println!(
+    o!(
+        out,
         "reading: the fixed component D is seed-stable to a fraction of a\n\
          millisecond; loss metrics carry sampling noise that single\n\
          10-minute runs (the paper's) cannot expose."
     );
+    out
 }
+
+/// A named artifact renderer: figure/table name plus the function
+/// producing its text report.
+type Artifact = (&'static str, fn(&Args) -> String);
+
+/// Every artifact, in the paper's presentation order.
+const ARTIFACTS: &[Artifact] = &[
+    ("table1", table1),
+    ("table2", table2),
+    ("fig1", fig1),
+    ("fig2", fig2),
+    ("fig4", fig4),
+    ("fig5", fig5),
+    ("fig6", fig6),
+    ("fig8", fig8),
+    ("fig9", fig9),
+    ("table3", table3),
+    ("model", model),
+    ("campaign", campaign),
+];
+
+/// Render the selected artifacts on `threads` workers. Results come back
+/// in `selected` order regardless of scheduling, so the printed report is
+/// deterministic.
+fn render_artifacts(
+    args: &Args,
+    selected: &[Artifact],
+    threads: usize,
+) -> Vec<(String, String, Duration)> {
+    probenet_core::sched::par_map_threads(threads, selected.to_vec(), |(name, f)| {
+        let started = Instant::now();
+        let text = f(args);
+        (name.to_string(), text, started.elapsed())
+    })
+}
+
+/// Proleptic-Gregorian civil date from days since 1970-01-01
+/// (Howard Hinnant's `civil_from_days` algorithm).
+fn civil_from_days(days: i64) -> (i64, u32, u32) {
+    let z = days + 719_468;
+    let era = if z >= 0 { z } else { z - 146_096 } / 146_097;
+    let doe = z - era * 146_097;
+    let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+    let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+    let mp = (5 * doy + 2) / 153;
+    let day = (doy - (153 * mp + 2) / 5 + 1) as u32;
+    let month = if mp < 10 { mp + 3 } else { mp - 9 } as u32;
+    let year = yoe + era * 400 + i64::from(month <= 2);
+    (year, month, day)
+}
+
+fn today_utc() -> String {
+    let secs = SystemTime::now()
+        .duration_since(SystemTime::UNIX_EPOCH)
+        .map(|d| d.as_secs())
+        .unwrap_or(0);
+    let (y, m, d) = civil_from_days((secs / 86_400) as i64);
+    format!("{y:04}-{m:02}-{d:02}")
+}
+
+#[derive(Serialize)]
+struct BenchArtifact {
+    name: String,
+    serial_ms: f64,
+}
+
+#[derive(Serialize)]
+struct BenchEngine {
+    events_processed: u64,
+    events_per_sec: f64,
+    peak_queue_depth: u64,
+}
+
+#[derive(Serialize)]
+struct BenchReport {
+    date: String,
+    span_secs: u64,
+    seed: u64,
+    pool_threads: u64,
+    artifacts: Vec<BenchArtifact>,
+    serial_wall_ms: f64,
+    parallel_wall_ms: f64,
+    speedup_parallel_over_serial: f64,
+    engine: BenchEngine,
+    /// Full-artifact serial wall time of this harness before the indexed
+    /// event queue, engine reuse and pooled artifact scheduling landed,
+    /// measured on the same host at span 120 s, seed 1993.
+    pre_optimization_serial_wall_ms: f64,
+    speedup_vs_pre_optimization: f64,
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+/// Time a serial and a pooled full-artifact pass and write
+/// `BENCH_<date>.json`. Artifact *outputs* are discarded here — this mode
+/// only measures.
+fn bench(args: &Args) {
+    let threads = probenet_core::sched::max_threads();
+    let serial_started = Instant::now();
+    let serial = render_artifacts(args, ARTIFACTS, 1);
+    let serial_wall = serial_started.elapsed();
+
+    let parallel_started = Instant::now();
+    let parallel = render_artifacts(args, ARTIFACTS, threads);
+    let parallel_wall = parallel_started.elapsed();
+    // Pool scheduling must never change the report.
+    for (s, p) in serial.iter().zip(&parallel) {
+        assert_eq!(s.1, p.1, "artifact {} differs between serial and pool", s.0);
+    }
+
+    // Engine throughput, measured on a representative δ = 50 ms run.
+    let scenario = probenet_core::PaperScenario::inria_umd(args.seed);
+    let config =
+        probenet_netdyn::ExperimentConfig::paper(probenet_sim::SimDuration::from_millis(50))
+            .with_count((args.span_secs * 1000 / 50) as usize);
+    let stats = scenario.run(&config).engine_stats;
+
+    let report = BenchReport {
+        date: today_utc(),
+        span_secs: args.span_secs,
+        seed: args.seed,
+        pool_threads: threads as u64,
+        artifacts: serial
+            .iter()
+            .map(|(name, _, wall)| BenchArtifact {
+                name: name.clone(),
+                serial_ms: ms(*wall),
+            })
+            .collect(),
+        serial_wall_ms: ms(serial_wall),
+        parallel_wall_ms: ms(parallel_wall),
+        speedup_parallel_over_serial: ms(serial_wall) / ms(parallel_wall),
+        engine: BenchEngine {
+            events_processed: stats.events_processed,
+            events_per_sec: stats.events_per_sec(),
+            peak_queue_depth: stats.peak_queue_depth as u64,
+        },
+        pre_optimization_serial_wall_ms: PRE_OPTIMIZATION_SERIAL_WALL_MS,
+        speedup_vs_pre_optimization: PRE_OPTIMIZATION_SERIAL_WALL_MS / ms(serial_wall),
+    };
+    let path = format!("BENCH_{}.json", report.date);
+    let body = serde_json::to_string_pretty(&report).expect("serializable report");
+    std::fs::write(&path, body.as_bytes()).expect("write bench report");
+    println!("wrote {path}");
+    println!(
+        "serial {:.0} ms | pool({}) {:.0} ms | engine {:.2} M events/s | {:.1}x vs pre-optimization ({:.0} ms)",
+        ms(serial_wall),
+        threads,
+        ms(parallel_wall),
+        report.engine.events_per_sec / 1e6,
+        report.speedup_vs_pre_optimization,
+        PRE_OPTIMIZATION_SERIAL_WALL_MS,
+    );
+}
+
+/// Measured once on the development host (single core) at span 120 s,
+/// seed 1993, before the perf work: binary-heap event queue, fresh engine
+/// allocations per run, strictly sequential artifacts.
+const PRE_OPTIMIZATION_SERIAL_WALL_MS: f64 = 3786.0;
 
 fn main() {
     let args = parse_args();
+    if args.bench_json {
+        bench(&args);
+        return;
+    }
     let run_all = args.artifact == "all";
-    let is = |n: &str| run_all || args.artifact == n;
+    let selected: Vec<Artifact> = ARTIFACTS
+        .iter()
+        .filter(|(name, _)| run_all || args.artifact == *name)
+        .copied()
+        .collect();
+    if selected.is_empty() {
+        eprintln!("unknown artifact: {}", args.artifact);
+        std::process::exit(2);
+    }
 
     println!(
         "probenet repro harness | span {} s per experiment | seed {}",
         args.span_secs, args.seed
     );
-    if is("table1") {
-        table1();
-    }
-    if is("table2") {
-        table2();
-    }
-    if is("fig1") {
-        fig1(&args);
-    }
-    if is("fig2") {
-        fig2(&args);
-    }
-    if is("fig4") {
-        fig4(&args);
-    }
-    if is("fig5") {
-        fig5(&args);
-    }
-    if is("fig6") {
-        fig6(&args);
-    }
-    if is("fig8") {
-        fig8(&args);
-    }
-    if is("fig9") {
-        fig9(&args);
-    }
-    if is("table3") {
-        table3(&args);
-    }
-    if is("model") {
-        model(&args);
-    }
-    if is("campaign") {
-        campaign(&args);
+    let threads = if args.serial {
+        1
+    } else {
+        probenet_core::sched::max_threads()
+    };
+    for (_, text, _) in render_artifacts(&args, &selected, threads) {
+        print!("{text}");
     }
 }

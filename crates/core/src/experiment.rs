@@ -112,12 +112,17 @@ impl PaperScenario {
                 }
             }
         }
+        let engine_stats = engine.stats();
+        // Hand the engine back for the next run on this worker thread to
+        // reuse its allocations.
+        probenet_netdyn::recycle_engine(engine);
         ExperimentOutput {
             series,
             mu_bps: mu,
             bottleneck_utilization,
             probe_overflow_drops: probe_overflow,
             probe_random_drops: probe_random,
+            engine_stats,
         }
     }
 }
@@ -136,6 +141,8 @@ pub struct ExperimentOutput {
     pub probe_overflow_drops: u64,
     /// Probe losses from random link loss (faulty interfaces).
     pub probe_random_drops: u64,
+    /// Work counters of the simulation engine behind this run.
+    pub engine_stats: probenet_sim::EngineStats,
 }
 
 /// One row of the paper's Table 3 plus context.
@@ -154,30 +161,34 @@ pub struct SweepRow {
 }
 
 /// Run the scenario for every paper interval (`span` of probing per
-/// experiment; the paper used 10 minutes) in parallel and derive the
-/// Table-3 rows.
+/// experiment; the paper used 10 minutes) on the bounded work-stealing
+/// pool ([`crate::sched`]) and derive the Table-3 rows, in interval order.
 pub fn delta_sweep(
     scenario: &PaperScenario,
     span: SimDuration,
 ) -> Vec<(SweepRow, ExperimentOutput)> {
+    delta_sweep_threads(crate::sched::max_threads(), scenario, span)
+}
+
+/// [`delta_sweep`] forced onto the calling thread, interval by interval.
+/// Exists so tests can pin that pool scheduling never changes results.
+pub fn delta_sweep_serial(
+    scenario: &PaperScenario,
+    span: SimDuration,
+) -> Vec<(SweepRow, ExperimentOutput)> {
+    delta_sweep_threads(1, scenario, span)
+}
+
+fn delta_sweep_threads(
+    threads: usize,
+    scenario: &PaperScenario,
+    span: SimDuration,
+) -> Vec<(SweepRow, ExperimentOutput)> {
     let intervals = paper_intervals();
-    let outputs: Vec<ExperimentOutput> = crossbeam::thread::scope(|s| {
-        let handles: Vec<_> = intervals
-            .iter()
-            .map(|&d| {
-                let sc = scenario.clone();
-                s.spawn(move |_| {
-                    let count = (span.as_nanos() / d.as_nanos()) as usize;
-                    sc.run(&ExperimentConfig::paper(d).with_count(count))
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("sweep worker panicked"))
-            .collect()
-    })
-    .expect("sweep scope");
+    let outputs: Vec<ExperimentOutput> = crate::sched::par_map_threads(threads, intervals, |d| {
+        let count = (span.as_nanos() / d.as_nanos()) as usize;
+        scenario.run(&ExperimentConfig::paper(d).with_count(count))
+    });
 
     let (_, mu) = scenario.bottleneck();
     outputs

@@ -48,15 +48,19 @@ pub mod phase;
 pub mod recovery;
 pub mod report;
 pub mod routechange;
+pub mod sched;
 pub mod summary;
 pub mod workload;
 
-pub use campaign::{inria_umd_campaign, run_campaign, CampaignResult, MetricSpread};
+pub use campaign::{
+    campaign_matrix, inria_umd_campaign, run_campaign, run_campaign_serial, CampaignResult,
+    MetricSpread,
+};
 pub use delay::{
     analyze_delay_distribution, loss_delay_correlation, loss_given_delay, playback_buffer_ms,
     DelayAnalysis, DelayFit,
 };
-pub use experiment::{delta_sweep, ExperimentOutput, PaperScenario, SweepRow};
+pub use experiment::{delta_sweep, delta_sweep_serial, ExperimentOutput, PaperScenario, SweepRow};
 pub use loss::{
     analyze_loss_flags, analyze_losses, Chi2Summary, GilbertModel, LossAnalysis, RunsTestSummary,
 };

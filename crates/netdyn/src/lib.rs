@@ -43,7 +43,7 @@ pub use config::{
 };
 pub use csv::{from_csv, to_csv, CsvError};
 pub use series::{quantize, quantized_rtt, RttRecord, RttSeries};
-pub use sim_driver::{CrossTrafficBinding, SimExperiment};
+pub use sim_driver::{recycle_engine, CrossTrafficBinding, SimExperiment};
 pub use udp::{
     run_probes, send_probes_via, DestinationCollector, EchoServer, EchoServerStats, ProbeRunStats,
 };

@@ -5,11 +5,40 @@
 //! the delivered round trips — quantized to the host clock resolution —
 //! are assembled into an [`RttSeries`].
 
+use std::cell::RefCell;
+
 use probenet_sim::{Direction, Engine, Path, SimTime};
 use probenet_traffic::Arrival;
 
 use crate::config::ExperimentConfig;
 use crate::series::{quantized_rtt, RttRecord, RttSeries};
+
+thread_local! {
+    /// One recycled engine per worker thread (see [`recycle_engine`]).
+    static ENGINE_CACHE: RefCell<Option<Engine>> = const { RefCell::new(None) };
+}
+
+/// Offer `engine` for reuse by the next [`SimExperiment::run`] on this
+/// thread. If that run probes the same path, the engine is
+/// [`Engine::reset`] instead of rebuilt, so its queues, buffers and maps
+/// keep their allocations across runs — the sweep/campaign hot path. A
+/// reset engine replays bit-identically to a fresh one, so results never
+/// depend on whether a run recycled.
+pub fn recycle_engine(engine: Engine) {
+    ENGINE_CACHE.with(|cache| *cache.borrow_mut() = Some(engine));
+}
+
+/// A cached engine for `path` (reset to `seed`), or a fresh one.
+fn checkout_engine(path: &Path, seed: u64) -> Engine {
+    let cached = ENGINE_CACHE.with(|cache| cache.borrow_mut().take());
+    match cached {
+        Some(mut engine) if engine.path() == path => {
+            engine.reset(seed);
+            engine
+        }
+        _ => Engine::new(path.clone(), seed),
+    }
+}
 
 /// Cross traffic bound for one queue of the path.
 #[derive(Debug, Clone)]
@@ -64,7 +93,9 @@ impl SimExperiment {
     /// Run to completion and collect the RTT series. Also returns the
     /// engine for callers that want queue statistics or drop records.
     pub fn run(self) -> (RttSeries, Engine) {
-        let mut engine = Engine::new(self.path, self.seed);
+        let mut engine = checkout_engine(&self.path, self.seed);
+        let cross_total: usize = self.cross_traffic.iter().map(|b| b.arrivals.len()).sum();
+        engine.reserve(self.config.count, cross_total);
         for binding in self.cross_traffic {
             engine.attach_cross_traffic(
                 binding.link,

@@ -19,11 +19,11 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use parking_lot::Mutex;
 use probenet_sim::SimDuration;
 use probenet_wire::{ProbePacket, Timestamp48, PROBE_PAYLOAD_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::sync::Mutex;
 
 use crate::config::ExperimentConfig;
 use crate::series::{RttRecord, RttSeries};
@@ -123,7 +123,7 @@ impl EchoServer {
 
     /// Snapshot of the server counters.
     pub fn stats(&self) -> EchoServerStats {
-        self.stats.lock().clone()
+        self.stats.lock().unwrap().clone()
     }
 
     /// Stop the server thread and wait for it to exit.
@@ -169,18 +169,18 @@ fn echo_loop(
         match ProbePacket::decode(&buf[..len]) {
             Ok(mut probe) => {
                 if drop_probability > 0.0 && rng.gen::<f64>() < drop_probability {
-                    stats.lock().dropped += 1;
+                    stats.lock().unwrap().dropped += 1;
                     continue;
                 }
                 probe.echo_ts = monotonic_micros(epoch);
                 let out = probe.to_bytes();
                 let target = forward_to.unwrap_or(peer);
                 if socket.send_to(&out, target).is_ok() {
-                    stats.lock().echoed += 1;
+                    stats.lock().unwrap().echoed += 1;
                 }
             }
             Err(_) => {
-                stats.lock().decode_errors += 1;
+                stats.lock().unwrap().decode_errors += 1;
             }
         }
     }
@@ -230,7 +230,7 @@ impl DestinationCollector {
                     };
                     if let Ok(mut probe) = ProbePacket::decode(&buf[..len]) {
                         probe.dest_ts = monotonic_micros(epoch);
-                        received.lock().push(probe);
+                        received.lock().unwrap().push(probe);
                     }
                 }
             })
@@ -250,7 +250,7 @@ impl DestinationCollector {
 
     /// Probes collected so far (stamped with the destination clock).
     pub fn received(&self) -> Vec<ProbePacket> {
-        self.received.lock().clone()
+        self.received.lock().unwrap().clone()
     }
 
     /// Stop the collector and return everything it received.
@@ -259,7 +259,7 @@ impl DestinationCollector {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        std::mem::take(&mut self.received.lock())
+        std::mem::take(&mut *self.received.lock().unwrap())
     }
 }
 

@@ -42,6 +42,31 @@ enum Ev {
     SetPropagation { link: usize, value: SimDuration },
 }
 
+/// Counters describing how much work a run did, for performance
+/// instrumentation (none of these feed back into simulation results).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EngineStats {
+    /// Events popped and handled over the engine's lifetime (since
+    /// construction or the last [`Engine::reset`]).
+    pub events_processed: u64,
+    /// High-water mark of the pending-event queue.
+    pub peak_queue_depth: usize,
+    /// Wall-clock time spent inside [`Engine::run`] / [`Engine::run_until`].
+    pub wall: std::time::Duration,
+}
+
+impl EngineStats {
+    /// Events handled per wall-clock second (0 when nothing ran).
+    pub fn events_per_sec(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs > 0.0 {
+            self.events_processed as f64 / secs
+        } else {
+            0.0
+        }
+    }
+}
+
 /// Discrete-event simulator for one probed path.
 #[derive(Debug)]
 pub struct Engine {
@@ -62,6 +87,9 @@ pub struct Engine {
     /// Closed-loop window flows; `Packet::flow` is an index + 1 here.
     flows: Vec<FlowState>,
     trace: Option<Vec<TraceEvent>>,
+    /// Events handled and wall time spent in the run loops.
+    events_processed: u64,
+    run_wall: std::time::Duration,
 }
 
 /// A closed-loop, ack-clocked window flow — a fixed-window TCP-like
@@ -153,6 +181,59 @@ impl Engine {
             pending_echo: HashMap::new(),
             flows: Vec::new(),
             trace: None,
+            events_processed: 0,
+            run_wall: std::time::Duration::ZERO,
+        }
+    }
+
+    /// Return the engine to the state [`Engine::new`] would produce for the
+    /// same path and the given `seed`, **reusing** every buffer allocation:
+    /// ports, event queue, delivery/drop/trace vectors and pending maps are
+    /// cleared in place rather than reallocated. A reset engine produces
+    /// bit-identical traces to a freshly constructed one.
+    ///
+    /// Scheduled propagation changes mutate the path during a run; the
+    /// original link parameters are restored here from the (immutable) port
+    /// specs.
+    pub fn reset(&mut self, seed: u64) {
+        for (i, spec) in self.path.links.iter_mut().enumerate() {
+            *spec = self.ports[i].spec.clone();
+        }
+        for p in &mut self.ports {
+            p.reset();
+        }
+        self.events.clear();
+        self.rng = StdRng::seed_from_u64(seed);
+        self.next_id = 0;
+        self.deliveries.clear();
+        self.drops.clear();
+        self.ttl_replies.clear();
+        self.pending_ttl.clear();
+        self.pending_echo.clear();
+        self.flows.clear();
+        if let Some(t) = &mut self.trace {
+            t.clear();
+        }
+        self.events_processed = 0;
+        self.run_wall = std::time::Duration::ZERO;
+    }
+
+    /// Pre-size the result buffers for a run expected to inject about
+    /// `probes` probe packets and `cross` cross-traffic packets, so the hot
+    /// loop never reallocates them.
+    pub fn reserve(&mut self, probes: usize, cross: usize) {
+        // Every cross packet and most probes produce a delivery record.
+        self.deliveries.reserve(probes + cross);
+        self.drops.reserve(probes / 4 + cross / 4);
+        self.pending_echo.reserve(probes.min(1024));
+    }
+
+    /// Work counters for this engine (see [`EngineStats`]).
+    pub fn stats(&self) -> EngineStats {
+        EngineStats {
+            events_processed: self.events_processed,
+            peak_queue_depth: self.events.peak_len(),
+            wall: self.run_wall,
         }
     }
 
@@ -365,18 +446,28 @@ impl Engine {
 
     /// Run until no events remain.
     pub fn run(&mut self) {
+        let started = std::time::Instant::now();
+        let mut handled = 0u64;
         while let Some((at, ev)) = self.events.pop() {
             self.handle(at, ev);
+            handled += 1;
         }
+        self.events_processed += handled;
+        self.run_wall += started.elapsed();
         self.finalize_ports();
     }
 
     /// Run all events scheduled at or before `horizon`; later events stay
     /// queued. Port statistics are folded up to the last processed event.
     pub fn run_until(&mut self, horizon: SimTime) {
+        let started = std::time::Instant::now();
+        let mut handled = 0u64;
         while let Some((at, ev)) = self.events.pop_until(horizon) {
             self.handle(at, ev);
+            handled += 1;
         }
+        self.events_processed += handled;
+        self.run_wall += started.elapsed();
         self.finalize_ports();
     }
 
@@ -644,38 +735,48 @@ impl Engine {
 /// with TTL = 1, 2, … and collect the names of the nodes that answer with
 /// time-exceeded messages, until the echo host itself answers.
 ///
+/// Like real traceroute, three probes go out per TTL, because individual
+/// probes (or their time-exceeded replies) can be eaten by the path's
+/// random link loss; the first reply per hop wins. A hop only goes
+/// unreported if all three of its probes die.
+///
 /// Returns the node names in hop order (excluding the source), i.e. the
 /// paper's Tables 1 and 2. `probe_spacing` separates successive probes so
 /// they do not queue behind each other.
 pub fn discover_route(path: &Path, probe_spacing: SimDuration) -> Vec<String> {
-    let hops = path.hop_count();
+    const ATTEMPTS: u64 = 3;
+    let hops = path.hop_count() as u64;
     let mut engine = Engine::new(path.clone(), 0);
-    for k in 1..hops as u64 {
-        let at = SimTime::ZERO + probe_spacing * k;
-        engine.inject_probe_with_ttl(at, 32, k, k as u8);
+    for attempt in 0..ATTEMPTS {
+        for k in 1..=hops {
+            let seq = attempt * hops + k;
+            let at = SimTime::ZERO + probe_spacing * seq;
+            // The final probe must survive the return trip too, so it gets
+            // a full TTL; its echo identifies the last node (real
+            // traceroute likewise relies on a reply from the destination).
+            let ttl = if k == hops { DEFAULT_TTL } else { k as u8 };
+            engine.inject_probe_with_ttl(at, 32, seq, ttl);
+        }
     }
-    // The final probe must survive the return trip too, so it gets a full
-    // TTL; its echo identifies the last node (real traceroute likewise
-    // relies on a reply from the destination itself).
-    engine.inject_probe_with_ttl(
-        SimTime::ZERO + probe_spacing * hops as u64,
-        32,
-        hops as u64,
-        DEFAULT_TTL,
-    );
     engine.run();
-    let mut names: Vec<(u64, String)> = engine
-        .ttl_replies()
-        .iter()
-        .map(|r| (r.probe_seq, path.nodes[r.node].clone()))
-        .collect();
-    // The final probe (TTL = hop count) reaches the echo host and returns as
-    // a regular echo; report the echo host for it.
-    for d in engine.probe_deliveries() {
-        names.push((d.seq, path.nodes[hops].clone()));
+    // seq = attempt·hops + k with k ∈ 1..=hops, so the probed hop is
+    // recoverable from any reply's sequence number.
+    let hop_of = |seq: u64| ((seq - 1) % hops) as usize;
+    let mut by_hop: Vec<Option<String>> = vec![None; hops as usize];
+    for r in engine.ttl_replies() {
+        let k = hop_of(r.probe_seq);
+        if by_hop[k].is_none() {
+            by_hop[k] = Some(path.nodes[r.node].clone());
+        }
     }
-    names.sort();
-    names.into_iter().map(|(_, n)| n).collect()
+    // Full-TTL probes reach the echo host and return as regular echoes.
+    for d in engine.probe_deliveries() {
+        let k = hop_of(d.seq);
+        if by_hop[k].is_none() {
+            by_hop[k] = Some(path.nodes[hops as usize].clone());
+        }
+    }
+    by_hop.into_iter().flatten().collect()
 }
 
 #[cfg(test)]
@@ -881,6 +982,62 @@ mod tests {
             .filter(|d| d.class == FlowClass::Probe)
             .count() as u64;
         assert_eq!(delivered + dropped, n_probes);
+    }
+
+    #[test]
+    fn reset_engine_replays_bit_identically() {
+        let path = Path::inria_umd_1992();
+        let drive = |e: &mut Engine| {
+            for n in 0..300u64 {
+                e.inject_probe(SimTime::from_millis(10 * n), 32, n);
+            }
+            e.run();
+            let seqs: Vec<u64> = e.probe_deliveries().map(|d| d.seq).collect();
+            let rtts: Vec<_> = e.probe_deliveries().map(|d| d.rtt()).collect();
+            (seqs, rtts, e.drops().len(), e.stats().events_processed)
+        };
+        let mut fresh = Engine::new(path.clone(), 11);
+        let first = drive(&mut fresh);
+
+        // Drive a *different* seed in between, then reset back to 11: the
+        // replay must match the fresh run exactly.
+        let mut reused = Engine::new(path, 99);
+        drive(&mut reused);
+        reused.reset(11);
+        assert_eq!(drive(&mut reused), first);
+    }
+
+    #[test]
+    fn reset_restores_scheduled_propagation_changes() {
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        e.schedule_propagation_change(0, SimTime::from_millis(1), SimDuration::from_millis(50));
+        e.inject_probe(SimTime::from_millis(2), 32, 0);
+        e.run();
+        let slow = e.probe_deliveries().next().unwrap().rtt();
+        assert!(slow > SimDuration::from_millis(100), "rtt {slow:?}");
+
+        // After reset the link is back to its configured 10 ms.
+        e.reset(1);
+        e.inject_probe(SimTime::from_millis(2), 32, 0);
+        e.run();
+        assert_eq!(
+            e.probe_deliveries().next().unwrap().rtt(),
+            SimDuration::from_millis(24)
+        );
+    }
+
+    #[test]
+    fn stats_count_events_and_queue_depth() {
+        let mut e = Engine::new(simple_path(128_000, 10), 1);
+        for n in 0..50u64 {
+            e.inject_probe(SimTime::from_millis(50 * n), 32, n);
+        }
+        e.run();
+        let stats = e.stats();
+        // Each probe generates at least Arrive + TxDone per direction plus
+        // node arrivals: well over 4 events.
+        assert!(stats.events_processed >= 200, "{stats:?}");
+        assert!(stats.peak_queue_depth >= 50, "{stats:?}");
     }
 
     #[test]

@@ -4,53 +4,103 @@
 //! popped in a well-defined order. [`EventQueue`] orders events by time and
 //! breaks ties by insertion sequence number, so two runs with the same inputs
 //! process events identically.
+//!
+//! ## Implementation: a two-level indexed bucket queue
+//!
+//! Simulation timestamps are integer nanoseconds ([`SimTime`]), which makes
+//! them directly indexable: instead of a comparison-based heap, events hash
+//! into a ring of [`RING_SIZE`] buckets of `2^`[`BUCKET_SHIFT`] ns each
+//! (≈ 262 µs per bucket, ≈ 1.07 s per ring *epoch*). Events beyond the
+//! current epoch wait in a `BTreeMap<epoch, Vec>` and are scattered into the
+//! ring when the clock reaches their epoch.
+//!
+//! The engine's event pattern is strongly time-local — a popped arrival
+//! schedules a transmission-done a few hundred µs out — so nearly every
+//! `schedule` lands in the current or a nearby bucket (an O(1) push), and
+//! `pop` takes from a presorted *run* of the current bucket's events.
+//! Events scheduled **into the bucket currently being drained** go to a
+//! small side min-heap (`late`) merged on the fly, so even the adversarial
+//! case — an unbounded cascade concentrating into one bucket — costs
+//! O(log k) per operation rather than an O(k) splice into the sorted run.
+//! The FIFO tie-break is preserved exactly: pops come out in ascending
+//! `(time, seq)` order, bit-identical to the previous `BinaryHeap`
+//! implementation, which is retained as [`reference::BinaryHeapQueue`] and
+//! pinned against this one by a differential test below.
+//!
+//! Buffers are reused across [`EventQueue::clear`], so a reset queue
+//! schedules and pops without fresh allocation.
 
-use std::cmp::Ordering;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeMap, BinaryHeap};
 
 use crate::time::SimTime;
 
-/// An event scheduled for some simulated instant.
-///
-/// `E` is the simulator-specific payload; the queue itself is payload-agnostic
-/// so it can be unit-tested (and reused) in isolation.
+/// log2 of the bucket width in nanoseconds (2^18 ns ≈ 262 µs).
+const BUCKET_SHIFT: u32 = 18;
+/// log2 of the number of buckets in the ring.
+const RING_BITS: u32 = 12;
+/// Buckets per epoch.
+const RING_SIZE: usize = 1 << RING_BITS;
+/// Mask extracting a ring slot from an absolute bucket index.
+const RING_MASK: u64 = (RING_SIZE as u64) - 1;
+
+/// `(time_ns, seq, payload)` — the queue's internal event record.
+type Entry<E> = (u64, u64, E);
+
+/// An event that arrived for the bucket already being drained; held in a
+/// min-heap beside the sorted run.
 #[derive(Debug)]
-struct Scheduled<E> {
-    at: SimTime,
+struct LateEntry<E> {
+    key: u64,
     seq: u64,
     payload: E,
 }
 
-impl<E> PartialEq for Scheduled<E> {
+impl<E> PartialEq for LateEntry<E> {
     fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
+        self.key == other.key && self.seq == other.seq
     }
 }
-impl<E> Eq for Scheduled<E> {}
+impl<E> Eq for LateEntry<E> {}
 
-impl<E> PartialOrd for Scheduled<E> {
-    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+impl<E> PartialOrd for LateEntry<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
         Some(self.cmp(other))
     }
 }
 
-impl<E> Ord for Scheduled<E> {
-    fn cmp(&self, other: &Self) -> Ordering {
-        // BinaryHeap is a max-heap; invert so the earliest (time, seq) pops
-        // first. Same-time events pop in insertion order (FIFO).
-        other
-            .at
-            .cmp(&self.at)
-            .then_with(|| other.seq.cmp(&self.seq))
+impl<E> Ord for LateEntry<E> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Inverted: BinaryHeap is a max-heap, we want the earliest first.
+        (other.key, other.seq).cmp(&(self.key, self.seq))
     }
 }
 
 /// A time-ordered queue of simulation events with FIFO tie-breaking.
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    /// The current bucket's events, sorted **descending** by `(time, seq)`
+    /// so the next event pops from the back in O(1).
+    run: Vec<Entry<E>>,
+    /// Events scheduled into the current bucket *after* it was drained,
+    /// min-heap ordered; merged with `run` on pop.
+    late: BinaryHeap<LateEntry<E>>,
+    /// Absolute bucket index `run`/`late` belong to; only meaningful while
+    /// one of them is non-empty.
+    run_bucket: u64,
+    /// Buckets of the current epoch, unsorted within a bucket.
+    ring: Vec<Vec<Entry<E>>>,
+    /// Events currently held in `ring` (excludes `run`).
+    ring_len: usize,
+    /// Events in epochs after the current one, keyed by epoch index.
+    overflow: BTreeMap<u64, Vec<Entry<E>>>,
+    /// Epoch the ring currently covers.
+    epoch: u64,
+    /// Next ring slot to scan for the following pop.
+    cursor: usize,
     next_seq: u64,
     now: SimTime,
+    len: usize,
+    peak: usize,
 }
 
 impl<E> Default for EventQueue<E> {
@@ -63,9 +113,18 @@ impl<E> EventQueue<E> {
     /// An empty queue with the clock at zero.
     pub fn new() -> Self {
         EventQueue {
-            heap: BinaryHeap::new(),
+            run: Vec::new(),
+            late: BinaryHeap::new(),
+            run_bucket: 0,
+            ring: (0..RING_SIZE).map(|_| Vec::new()).collect(),
+            ring_len: 0,
+            overflow: BTreeMap::new(),
+            epoch: 0,
+            cursor: 0,
             next_seq: 0,
             now: SimTime::ZERO,
+            len: 0,
+            peak: 0,
         }
     }
 
@@ -77,12 +136,41 @@ impl<E> EventQueue<E> {
 
     /// Number of pending events.
     pub fn len(&self) -> usize {
-        self.heap.len()
+        self.len
     }
 
     /// True if no events are pending.
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len == 0
+    }
+
+    /// Largest number of events ever pending at once over the queue's
+    /// lifetime (survives [`EventQueue::clear`] until explicitly reset by
+    /// constructing anew).
+    pub fn peak_len(&self) -> usize {
+        self.peak
+    }
+
+    /// Empty the queue and rewind the clock to zero, **keeping** every
+    /// internal buffer allocation for reuse. The peak-depth statistic and
+    /// sequence counter reset too, so a cleared queue is observationally a
+    /// fresh one.
+    pub fn clear(&mut self) {
+        self.run.clear();
+        self.late.clear();
+        if self.ring_len > 0 {
+            for bucket in &mut self.ring {
+                bucket.clear();
+            }
+        }
+        self.ring_len = 0;
+        self.overflow.clear();
+        self.epoch = 0;
+        self.cursor = 0;
+        self.next_seq = 0;
+        self.now = SimTime::ZERO;
+        self.len = 0;
+        self.peak = 0;
     }
 
     /// Schedule `payload` at instant `at`.
@@ -99,20 +187,112 @@ impl<E> EventQueue<E> {
         );
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { at, seq, payload });
+        self.len += 1;
+        if self.len > self.peak {
+            self.peak = self.len;
+        }
+        let key = at.as_nanos();
+        let bucket = key >> BUCKET_SHIFT;
+        if bucket == self.run_bucket && !(self.run.is_empty() && self.late.is_empty()) {
+            // Into the bucket currently being drained: the side heap keeps
+            // the global (time, seq) order in O(log k).
+            self.late.push(LateEntry { key, seq, payload });
+        } else if bucket >> RING_BITS == self.epoch {
+            self.ring[(bucket & RING_MASK) as usize].push((key, seq, payload));
+            self.ring_len += 1;
+        } else {
+            self.overflow
+                .entry(bucket >> RING_BITS)
+                .or_default()
+                .push((key, seq, payload));
+        }
     }
 
     /// Timestamp of the next event without removing it.
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.at)
+        let run_min = self.run.last().map(|&(key, _, _)| key);
+        let late_min = self.late.peek().map(|l| l.key);
+        if run_min.is_some() || late_min.is_some() {
+            let key = match (run_min, late_min) {
+                (Some(r), Some(l)) => r.min(l),
+                (a, b) => a.or(b).expect("one is Some"),
+            };
+            return Some(SimTime::from_nanos(key));
+        }
+        if self.ring_len > 0 {
+            for slot in self.cursor..RING_SIZE {
+                let bucket = &self.ring[slot];
+                if !bucket.is_empty() {
+                    let min = bucket.iter().map(|e| e.0).min().expect("non-empty");
+                    return Some(SimTime::from_nanos(min));
+                }
+            }
+        }
+        self.overflow.first_key_value().map(|(_, events)| {
+            let min = events.iter().map(|e| e.0).min().expect("non-empty epoch");
+            SimTime::from_nanos(min)
+        })
+    }
+
+    /// Make the current bucket (`run`/`late`) non-empty if any event is
+    /// pending; returns false when the queue is exhausted.
+    fn refill(&mut self) -> bool {
+        if !self.run.is_empty() || !self.late.is_empty() {
+            return true;
+        }
+        loop {
+            if self.ring_len > 0 {
+                while self.cursor < RING_SIZE {
+                    if !self.ring[self.cursor].is_empty() {
+                        std::mem::swap(&mut self.ring[self.cursor], &mut self.run);
+                        self.ring_len -= self.run.len();
+                        // Descending, so pops take from the back.
+                        self.run
+                            .sort_unstable_by_key(|e| std::cmp::Reverse((e.0, e.1)));
+                        self.run_bucket = (self.epoch << RING_BITS) | self.cursor as u64;
+                        return true;
+                    }
+                    self.cursor += 1;
+                }
+                debug_assert_eq!(self.ring_len, 0, "ring events behind cursor");
+            }
+            // Current epoch exhausted: scatter the next overflow epoch.
+            let Some((&next_epoch, _)) = self.overflow.first_key_value() else {
+                return false;
+            };
+            let events = self.overflow.remove(&next_epoch).expect("key just seen");
+            self.epoch = next_epoch;
+            self.cursor = 0;
+            self.ring_len += events.len();
+            for entry in events {
+                let slot = ((entry.0 >> BUCKET_SHIFT) & RING_MASK) as usize;
+                self.ring[slot].push(entry);
+            }
+        }
     }
 
     /// Pop the next event, advancing the clock to its timestamp.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        let s = self.heap.pop()?;
-        debug_assert!(s.at >= self.now);
-        self.now = s.at;
-        Some((s.at, s.payload))
+        if !self.refill() {
+            return None;
+        }
+        let take_late = match (self.run.last(), self.late.peek()) {
+            (Some(&(rk, rs, _)), Some(l)) => (l.key, l.seq) < (rk, rs),
+            (None, Some(_)) => true,
+            _ => false,
+        };
+        let (key, payload) = if take_late {
+            let l = self.late.pop().expect("peeked above");
+            (l.key, l.payload)
+        } else {
+            let (k, _, p) = self.run.pop().expect("refill guaranteed an event");
+            (k, p)
+        };
+        self.len -= 1;
+        let at = SimTime::from_nanos(key);
+        debug_assert!(at >= self.now);
+        self.now = at;
+        Some((at, payload))
     }
 
     /// Pop the next event only if it is scheduled at or before `horizon`.
@@ -128,10 +308,119 @@ impl<E> EventQueue<E> {
     }
 }
 
+/// The original comparison-based implementation, kept as a reference
+/// oracle: the differential test below pins the indexed queue's pop order
+/// to it, and `benches/simulator.rs` races the two.
+pub mod reference {
+    use std::cmp::Ordering;
+    use std::collections::BinaryHeap;
+
+    use crate::time::SimTime;
+
+    #[derive(Debug)]
+    struct Scheduled<E> {
+        at: SimTime,
+        seq: u64,
+        payload: E,
+    }
+
+    impl<E> PartialEq for Scheduled<E> {
+        fn eq(&self, other: &Self) -> bool {
+            self.at == other.at && self.seq == other.seq
+        }
+    }
+    impl<E> Eq for Scheduled<E> {}
+
+    impl<E> PartialOrd for Scheduled<E> {
+        fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+            Some(self.cmp(other))
+        }
+    }
+
+    impl<E> Ord for Scheduled<E> {
+        fn cmp(&self, other: &Self) -> Ordering {
+            // BinaryHeap is a max-heap; invert so the earliest (time, seq)
+            // pops first. Same-time events pop in insertion order (FIFO).
+            other
+                .at
+                .cmp(&self.at)
+                .then_with(|| other.seq.cmp(&self.seq))
+        }
+    }
+
+    /// Binary-heap event queue with the same contract as
+    /// [`super::EventQueue`].
+    #[derive(Debug)]
+    pub struct BinaryHeapQueue<E> {
+        heap: BinaryHeap<Scheduled<E>>,
+        next_seq: u64,
+        now: SimTime,
+    }
+
+    impl<E> Default for BinaryHeapQueue<E> {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl<E> BinaryHeapQueue<E> {
+        /// An empty queue with the clock at zero.
+        pub fn new() -> Self {
+            BinaryHeapQueue {
+                heap: BinaryHeap::new(),
+                next_seq: 0,
+                now: SimTime::ZERO,
+            }
+        }
+
+        /// The current simulated time.
+        pub fn now(&self) -> SimTime {
+            self.now
+        }
+
+        /// Number of pending events.
+        pub fn len(&self) -> usize {
+            self.heap.len()
+        }
+
+        /// True if no events are pending.
+        pub fn is_empty(&self) -> bool {
+            self.heap.is_empty()
+        }
+
+        /// Schedule `payload` at instant `at` (panics on past times).
+        pub fn schedule(&mut self, at: SimTime, payload: E) {
+            assert!(
+                at >= self.now,
+                "cannot schedule event at {at:?} before current time {:?}",
+                self.now
+            );
+            let seq = self.next_seq;
+            self.next_seq += 1;
+            self.heap.push(Scheduled { at, seq, payload });
+        }
+
+        /// Timestamp of the next event without removing it.
+        pub fn peek_time(&self) -> Option<SimTime> {
+            self.heap.peek().map(|s| s.at)
+        }
+
+        /// Pop the next event, advancing the clock to its timestamp.
+        pub fn pop(&mut self) -> Option<(SimTime, E)> {
+            let s = self.heap.pop()?;
+            debug_assert!(s.at >= self.now);
+            self.now = s.at;
+            Some((s.at, s.payload))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::time::SimDuration;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     #[test]
     fn pops_in_time_order() {
@@ -209,5 +498,91 @@ mod tests {
         assert_eq!(q.pop().map(|(_, e)| e), Some(2));
         assert_eq!(q.pop().map(|(_, e)| e), Some(3));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn events_across_epochs_stay_ordered() {
+        // Ring epoch is ~1.07 s; schedule across several epochs at once.
+        let mut q = EventQueue::new();
+        for i in (0..40u64).rev() {
+            q.schedule(SimTime::from_millis(i * 97), i);
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(order, (0..40).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn peak_len_tracks_high_water_mark() {
+        let mut q = EventQueue::new();
+        for i in 0..10u64 {
+            q.schedule(SimTime::from_millis(i), i);
+        }
+        for _ in 0..5 {
+            q.pop();
+        }
+        q.schedule(SimTime::from_millis(100), 99);
+        assert_eq!(q.peak_len(), 10);
+        assert_eq!(q.len(), 6);
+    }
+
+    #[test]
+    fn clear_resets_and_reuses() {
+        let mut q = EventQueue::new();
+        for i in 0..100u64 {
+            q.schedule(SimTime::from_millis(i * 13), i);
+        }
+        for _ in 0..30 {
+            q.pop();
+        }
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.now(), SimTime::ZERO);
+        assert_eq!(q.peak_len(), 0);
+        // Scheduling at t = 0 after clear must work (clock rewound).
+        q.schedule(SimTime::ZERO, 1u64);
+        q.schedule(SimTime::from_millis(1), 2);
+        assert_eq!(q.pop().map(|(_, e)| e), Some(1));
+        assert_eq!(q.pop().map(|(_, e)| e), Some(2));
+    }
+
+    /// The differential oracle: a random mixed workload (bursts of
+    /// schedules at clustered and far-flung times interleaved with pops)
+    /// must produce the exact pop sequence of the retained binary-heap
+    /// implementation — times, payloads, clock values, and lengths.
+    #[test]
+    fn matches_binary_heap_reference_on_random_workload() {
+        let mut rng = StdRng::seed_from_u64(0xb010_7e57);
+        let mut fast = EventQueue::new();
+        let mut oracle = reference::BinaryHeapQueue::new();
+        let mut ticket = 0u64;
+        for _ in 0..20_000 {
+            if rng.gen_bool(0.55) || fast.is_empty() {
+                let base = fast.now().as_nanos();
+                // Mix of near-now (same bucket), mid-range (same epoch),
+                // far-future (overflow), and exactly-now events.
+                let offset = match rng.gen_range(0u32..4) {
+                    0 => 0,
+                    1 => rng.gen_range(0u64..1 << BUCKET_SHIFT),
+                    2 => rng.gen_range(0u64..1 << (BUCKET_SHIFT + RING_BITS)),
+                    _ => rng.gen_range(0u64..1 << 34),
+                };
+                let at = SimTime::from_nanos(base + offset);
+                fast.schedule(at, ticket);
+                oracle.schedule(at, ticket);
+                ticket += 1;
+            } else {
+                assert_eq!(fast.pop(), oracle.pop());
+                assert_eq!(fast.now(), oracle.now());
+            }
+            assert_eq!(fast.len(), oracle.len());
+        }
+        // Drain both completely.
+        loop {
+            let (a, b) = (fast.pop(), oracle.pop());
+            assert_eq!(a, b);
+            if a.is_none() {
+                break;
+            }
+        }
     }
 }

@@ -57,8 +57,8 @@ pub mod queue;
 pub mod time;
 pub mod trace;
 
-pub use engine::{discover_route, Engine, WindowFlow, TTL_REPLY_SIZE};
-pub use event::EventQueue;
+pub use engine::{discover_route, Engine, EngineStats, WindowFlow, TTL_REPLY_SIZE};
+pub use event::{reference::BinaryHeapQueue, EventQueue};
 pub use packet::{
     Delivery, Direction, DropReason, DropRecord, FlowClass, Packet, PacketId, TtlExceeded,
     DEFAULT_TTL,

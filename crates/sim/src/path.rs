@@ -69,7 +69,7 @@ impl QueuePolicy {
 }
 
 /// Static description of one point-to-point link.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct LinkSpec {
     /// Transmission rate in bits per second (the μ of the paper when this is
     /// the bottleneck link).
@@ -129,7 +129,7 @@ impl LinkSpec {
 /// A linear path: `nodes[0]` is the probe source (and, as in the paper,
 /// also the destination), `nodes.last()` is the echo host, and `links[i]`
 /// joins `nodes[i]` to `nodes[i+1]`.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Path {
     /// Node names, source first, echo host last.
     pub nodes: Vec<String>,

@@ -3,7 +3,9 @@
 //! serialized forms are stable round-trips. These properties are what make
 //! every number in EXPERIMENTS.md regenerable.
 
-use probenet::core::{delta_sweep, PaperScenario};
+use probenet::core::{
+    delta_sweep, delta_sweep_serial, run_campaign, run_campaign_serial, PaperScenario,
+};
 use probenet::netdyn::{to_csv, ExperimentConfig};
 use probenet::sim::{Direction, Engine, Path, SimDuration, SimTime, WindowFlow};
 
@@ -53,6 +55,37 @@ fn sweep_is_reproducible_despite_parallelism() {
         .map(|(r, _)| (r.delta_ms as u64, r.ulp.to_bits(), r.clp.to_bits()))
         .collect();
     assert_eq!(rows_a, rows_b);
+}
+
+#[test]
+fn pooled_campaign_and_sweep_match_serial_byte_for_byte() {
+    // The work-stealing pool must be invisible in results: a campaign over
+    // several seeds and a full δ sweep, run through the pool, serialize to
+    // exactly the JSON a forced single-thread run produces.
+    let span = SimDuration::from_secs(15);
+    let seeds = [1993u64, 4021, 77];
+
+    let scenario_for = |seed| PaperScenario::inria_umd(seed);
+    let config = ExperimentConfig::paper(SimDuration::from_millis(50)).with_count(300);
+    let pooled = run_campaign(scenario_for, &config, &seeds);
+    let serial = run_campaign_serial(scenario_for, &config, &seeds);
+    assert_eq!(
+        serde_json::to_string(&pooled).unwrap(),
+        serde_json::to_string(&serial).unwrap(),
+        "CampaignResult depends on scheduling"
+    );
+
+    let sc = PaperScenario::inria_umd(4021);
+    let sweep_pooled: Vec<_> = delta_sweep(&sc, span).into_iter().map(|(r, _)| r).collect();
+    let sweep_serial: Vec<_> = delta_sweep_serial(&sc, span)
+        .into_iter()
+        .map(|(r, _)| r)
+        .collect();
+    assert_eq!(
+        serde_json::to_string(&sweep_pooled).unwrap(),
+        serde_json::to_string(&sweep_serial).unwrap(),
+        "SweepRow depends on scheduling"
+    );
 }
 
 #[test]

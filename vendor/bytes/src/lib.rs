@@ -1,0 +1,132 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! Provides the [`Buf`]/[`BufMut`] trait subset the wire codecs use:
+//! big-endian integer reads advancing a `&[u8]` cursor, and integer/slice
+//! writes appending to a `Vec<u8>`. Reads past the end panic, matching
+//! upstream `bytes` semantics (callers bounds-check first).
+
+#![forbid(unsafe_code)]
+
+/// Read side: a cursor over bytes. Multi-byte reads are big-endian
+/// (network order), as in upstream `bytes`.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Copy out the next `n` bytes into `dst` and advance.
+    fn copy_to_slice(&mut self, dst: &mut [u8]);
+
+    /// Read one byte.
+    fn get_u8(&mut self) -> u8 {
+        let mut b = [0u8; 1];
+        self.copy_to_slice(&mut b);
+        b[0]
+    }
+
+    /// Read a big-endian u16.
+    fn get_u16(&mut self) -> u16 {
+        let mut b = [0u8; 2];
+        self.copy_to_slice(&mut b);
+        u16::from_be_bytes(b)
+    }
+
+    /// Read a big-endian u32.
+    fn get_u32(&mut self) -> u32 {
+        let mut b = [0u8; 4];
+        self.copy_to_slice(&mut b);
+        u32::from_be_bytes(b)
+    }
+
+    /// Whether any bytes remain.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn copy_to_slice(&mut self, dst: &mut [u8]) {
+        assert!(
+            dst.len() <= self.len(),
+            "buffer underflow: need {} bytes, have {}",
+            dst.len(),
+            self.len()
+        );
+        let (head, tail) = self.split_at(dst.len());
+        dst.copy_from_slice(head);
+        *self = tail;
+    }
+}
+
+/// Write side: append-only byte sink. Multi-byte writes are big-endian.
+pub trait BufMut {
+    /// Append raw bytes.
+    fn put_slice(&mut self, src: &[u8]);
+
+    /// Append one byte.
+    fn put_u8(&mut self, v: u8) {
+        self.put_slice(&[v]);
+    }
+
+    /// Append a big-endian u16.
+    fn put_u16(&mut self, v: u16) {
+        self.put_slice(&v.to_be_bytes());
+    }
+
+    /// Append a big-endian u32.
+    fn put_u32(&mut self, v: u32) {
+        self.put_slice(&v.to_be_bytes());
+    }
+}
+
+impl BufMut for Vec<u8> {
+    fn put_slice(&mut self, src: &[u8]) {
+        self.extend_from_slice(src);
+    }
+}
+
+impl<B: BufMut + ?Sized> BufMut for &mut B {
+    fn put_slice(&mut self, src: &[u8]) {
+        (**self).put_slice(src);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reads_are_big_endian_and_advance() {
+        let data = [0x12, 0x34, 0x56, 0x78, 0x9a, 0xbc, 0xde];
+        let mut buf: &[u8] = &data;
+        assert_eq!(buf.get_u16(), 0x1234);
+        assert_eq!(buf.get_u8(), 0x56);
+        assert_eq!(buf.get_u32(), 0x789abcde);
+        assert_eq!(buf.remaining(), 0);
+        assert!(!buf.has_remaining());
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer underflow")]
+    fn read_past_end_panics() {
+        let mut buf: &[u8] = &[0x01];
+        let _ = buf.get_u16();
+    }
+
+    #[test]
+    fn writes_round_trip_reads() {
+        let mut out: Vec<u8> = Vec::new();
+        out.put_u16(0xbeef);
+        out.put_u8(0x01);
+        out.put_u32(0xdeadbeef);
+        out.put_slice(b"xyz");
+        let mut buf: &[u8] = &out;
+        assert_eq!(buf.get_u16(), 0xbeef);
+        assert_eq!(buf.get_u8(), 0x01);
+        assert_eq!(buf.get_u32(), 0xdeadbeef);
+        assert_eq!(buf, b"xyz");
+    }
+}

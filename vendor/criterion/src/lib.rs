@@ -1,0 +1,243 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Provides the harness surface the workspace's benches use: `black_box`,
+//! `Criterion::bench_function`, `benchmark_group` (with `sample_size` and
+//! `finish`), and the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement is deliberately simple — warm up once, then run batches of
+//! iterations inside a small wall-clock budget and report the mean — which
+//! is enough to compare implementations on the same machine. `cargo bench
+//! -- --test` runs each benchmark exactly once as a smoke test, matching
+//! upstream. Unknown CLI flags (and cargo's bench-name filter argument)
+//! are accepted and used as substring filters, as upstream does.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level harness handle passed to every benchmark function.
+pub struct Criterion {
+    test_mode: bool,
+    filters: Vec<String>,
+    budget: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            test_mode: false,
+            filters: Vec::new(),
+            budget: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Build from the process CLI args (`--test` enables smoke mode;
+    /// non-flag args are name filters; other flags are ignored).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            if arg == "--test" {
+                c.test_mode = true;
+            } else if !arg.starts_with('-') {
+                c.filters.push(arg);
+            }
+        }
+        c
+    }
+
+    fn selected(&self, id: &str) -> bool {
+        self.filters.is_empty() || self.filters.iter().any(|f| id.contains(f))
+    }
+
+    /// Run one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        if self.selected(id) {
+            run_one(id, self.test_mode, self.budget, &mut f);
+        }
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+        }
+    }
+
+    /// Print the trailing summary (no-op in the stand-in).
+    pub fn final_summary(&mut self) {}
+}
+
+/// A named group; `sample_size` is accepted for source compatibility but
+/// the time budget is what actually bounds measurement.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Accepted for compatibility; the wall-clock budget governs instead.
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        if self.criterion.selected(&full) {
+            run_one(
+                &full,
+                self.criterion.test_mode,
+                self.criterion.budget,
+                &mut f,
+            );
+        }
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    test_mode: bool,
+    budget: Duration,
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time repeated calls of `routine`.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.test_mode {
+            black_box(routine());
+            self.iters = 1;
+            self.elapsed = Duration::ZERO;
+            return;
+        }
+        // Warm-up and batch-size calibration: one untimed call, then grow
+        // batches until the budget is spent.
+        black_box(routine());
+        let mut total_iters = 0u64;
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while start.elapsed() < self.budget {
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            total_iters += batch;
+            batch = batch.saturating_mul(2).min(1 << 20);
+        }
+        self.iters = total_iters;
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(id: &str, test_mode: bool, budget: Duration, f: &mut F) {
+    let mut b = Bencher {
+        test_mode,
+        budget,
+        iters: 0,
+        elapsed: Duration::ZERO,
+    };
+    f(&mut b);
+    if test_mode {
+        println!("test {id} ... ok");
+    } else if b.iters > 0 {
+        let per_iter = b.elapsed.as_nanos() as f64 / b.iters as f64;
+        println!(
+            "{id:<50} {:>12}/iter  ({} iters in {:.2?})",
+            format_ns(per_iter),
+            b.iters,
+            b.elapsed
+        );
+    } else {
+        println!("{id:<50} (no measurement)");
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Bundle benchmark functions into a group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Emit `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_mode_runs_once() {
+        let mut b = Bencher {
+            test_mode: true,
+            budget: Duration::from_millis(10),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(calls, 1);
+        assert_eq!(b.iters, 1);
+    }
+
+    #[test]
+    fn measurement_counts_iters() {
+        let mut b = Bencher {
+            test_mode: false,
+            budget: Duration::from_millis(5),
+            iters: 0,
+            elapsed: Duration::ZERO,
+        };
+        b.iter(|| black_box(1 + 1));
+        assert!(b.iters > 0);
+        assert!(b.elapsed >= Duration::from_millis(5));
+    }
+
+    #[test]
+    fn filters_select_by_substring() {
+        let c = Criterion {
+            test_mode: false,
+            filters: vec!["queue".into()],
+            budget: Duration::from_millis(1),
+        };
+        assert!(c.selected("event_queue_push_pop"));
+        assert!(!c.selected("engine_run"));
+        let open = Criterion::default();
+        assert!(open.selected("anything"));
+    }
+}

@@ -1,0 +1,454 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Implements the property-testing surface this workspace uses: the
+//! [`proptest!`] macro (with `ident in strategy` and `ident: Type`
+//! parameters and an optional `#![proptest_config(..)]` header), range /
+//! tuple / vec / option strategies, `any::<T>()`, `prop_map`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from upstream, deliberate for an offline build: inputs are
+//! drawn from a fixed-seed generator so every run tests the same cases
+//! (no regression files needed — `proptest-regressions/` is ignored), and
+//! failing cases are reported without shrinking.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+use std::fmt;
+use std::marker::PhantomData;
+
+/// Per-block configuration; only `cases` is honored.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases, other settings default.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// A failed property assertion, carrying the rendered message.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// A recipe for generating random values of `Self::Value`.
+pub trait Strategy {
+    /// The type of value generated.
+    type Value;
+
+    /// Draw one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy adapter returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.sample(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, f64);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($T:ident $idx:tt),+))+) => {$(
+        impl<$($T: Strategy),+> Strategy for ($($T,)+) {
+            type Value = ($($T::Value,)+);
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )+};
+}
+impl_tuple_strategy!(
+    (A 0)
+    (A 0, B 1)
+    (A 0, B 1, C 2)
+    (A 0, B 1, C 2, D 3)
+    (A 0, B 1, C 2, D 3, E 4)
+    (A 0, B 1, C 2, D 3, E 4, F 5)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6)
+    (A 0, B 1, C 2, D 3, E 4, F 5, G 6, H 7)
+);
+
+/// String-pattern strategy: upstream proptest treats a `&str` as a regex
+/// to generate matches of. The stand-in honors only the trailing `{m,n}`
+/// repetition for length and fills with printable non-control characters
+/// (the `\PC` class the workspace uses); any other class detail is
+/// ignored, which is fine for "never panics on garbage" properties.
+impl Strategy for &str {
+    type Value = String;
+    fn sample(&self, rng: &mut StdRng) -> String {
+        let (min_len, max_len) = match (self.rfind('{'), self.ends_with('}')) {
+            (Some(open), true) => {
+                let body = &self[open + 1..self.len() - 1];
+                let mut parts = body.splitn(2, ',');
+                let lo = parts.next().and_then(|p| p.parse::<usize>().ok());
+                let hi = parts.next().and_then(|p| p.parse::<usize>().ok());
+                match (lo, hi) {
+                    (Some(lo), Some(hi)) if lo <= hi => (lo, hi),
+                    (Some(lo), None) => (lo, lo),
+                    _ => (0, 32),
+                }
+            }
+            _ => (0, 32),
+        };
+        let len = rng.gen_range(min_len..=max_len);
+        (0..len)
+            .map(|_| {
+                if rng.gen_bool(0.9) {
+                    // Printable ASCII.
+                    char::from(rng.gen_range(0x20u8..0x7f))
+                } else {
+                    // A scattering of non-ASCII, skipping the surrogate gap.
+                    char::from_u32(rng.gen_range(0xa1u32..0xd7ff)).unwrap_or('¿')
+                }
+            })
+            .collect()
+    }
+}
+
+/// Types with a canonical "any value" strategy (`any::<T>()`).
+pub trait Arbitrary {
+    /// Draw an unconstrained value.
+    fn arbitrary(rng: &mut StdRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_via_gen {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut StdRng) -> Self {
+                rng.gen()
+            }
+        }
+    )*};
+}
+impl_arbitrary_via_gen!(u8, u16, u32, u64, usize, bool, f64, f32);
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut StdRng) -> Self {
+        let mut out = [0u8; N];
+        rng.fill_bytes(&mut out);
+        out
+    }
+}
+
+/// Strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn sample(&self, rng: &mut StdRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+/// The strategy of all values of `T`.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+/// `proptest::collection` — sized containers of strategy-driven elements.
+pub mod collection {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy for `Vec<S::Value>` with a length drawn from a range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// A vector whose length is drawn from `len` and whose elements come
+    /// from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            let n = if self.len.start + 1 == self.len.end {
+                self.len.start
+            } else {
+                rng.gen_range(self.len.clone())
+            };
+            (0..n).map(|_| self.element.sample(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::option` — optional values.
+pub mod option {
+    use super::{Rng, StdRng, Strategy};
+
+    /// Strategy for `Option<S::Value>`.
+    pub struct OptionStrategy<S>(S);
+
+    /// `None` about a quarter of the time, `Some` otherwise (matching
+    /// upstream's default weighting).
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn sample(&self, rng: &mut StdRng) -> Self::Value {
+            if rng.gen_bool(0.75) {
+                Some(self.0.sample(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// Macro-facing driver: run `cases` random inputs through the property.
+pub fn run_cases<S: Strategy>(
+    config: &ProptestConfig,
+    strategy: S,
+    mut property: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) {
+    // Fixed seed: every run replays the same cases, so failures reproduce
+    // without regression files.
+    let mut rng = StdRng::seed_from_u64(0x1993_0b07);
+    for case in 0..config.cases {
+        let input = strategy.sample(&mut rng);
+        if let Err(e) = property(input) {
+            panic!("property failed on case {case}/{}: {e}", config.cases);
+        }
+    }
+}
+
+/// The `proptest!` block: an optional config header plus test functions
+/// whose parameters are either `name in strategy` or `name: Type`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::ProptestConfig::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr)) => {};
+    (($cfg:expr)
+     $(#[$meta:meta])*
+     fn $name:ident($($params:tt)*) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            $crate::__proptest_case! { ($cfg) ($body) () () $($params)* }
+        }
+        $crate::__proptest_items! { ($cfg) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_case {
+    // All parameters consumed: build the tuple strategy and run.
+    (($cfg:expr) ($body:block) ($($n:ident)*) ($($s:expr;)*)) => {{
+        let __config = $cfg;
+        let __strategy = ($($s,)*);
+        $crate::run_cases(&__config, __strategy, |($($n,)*)| {
+            $body
+            Ok(())
+        });
+    }};
+    // Swallow a trailing comma.
+    (($cfg:expr) ($body:block) ($($n:ident)*) ($($s:expr;)*) ,) => {
+        $crate::__proptest_case! { ($cfg) ($body) ($($n)*) ($($s;)*) }
+    };
+    // `name in strategy, ...`
+    (($cfg:expr) ($body:block) ($($n:ident)*) ($($s:expr;)*)
+     $id:ident in $strat:expr, $($rest:tt)*) => {
+        $crate::__proptest_case! {
+            ($cfg) ($body) ($($n)* $id) ($($s;)* $strat;) $($rest)*
+        }
+    };
+    // `name in strategy` (final parameter)
+    (($cfg:expr) ($body:block) ($($n:ident)*) ($($s:expr;)*)
+     $id:ident in $strat:expr) => {
+        $crate::__proptest_case! {
+            ($cfg) ($body) ($($n)* $id) ($($s;)* $strat;)
+        }
+    };
+    // `name: Type, ...` — sugar for `name in any::<Type>()`
+    (($cfg:expr) ($body:block) ($($n:ident)*) ($($s:expr;)*)
+     $id:ident : $t:ty, $($rest:tt)*) => {
+        $crate::__proptest_case! {
+            ($cfg) ($body) ($($n)* $id) ($($s;)* $crate::any::<$t>();) $($rest)*
+        }
+    };
+    // `name: Type` (final parameter)
+    (($cfg:expr) ($body:block) ($($n:ident)*) ($($s:expr;)*)
+     $id:ident : $t:ty) => {
+        $crate::__proptest_case! {
+            ($cfg) ($body) ($($n)* $id) ($($s;)* $crate::any::<$t>();)
+        }
+    };
+}
+
+/// Fail the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    };
+}
+
+/// Fail the current case unless the two sides compare equal.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($lhs:expr, $rhs:expr $(,)?) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: `{:?} == {:?}`", lhs, rhs
+            )));
+        }
+    }};
+    ($lhs:expr, $rhs:expr, $($fmt:tt)+) => {{
+        let (lhs, rhs) = (&$lhs, &$rhs);
+        if !(*lhs == *rhs) {
+            return Err($crate::TestCaseError(format!($($fmt)+)));
+        }
+    }};
+}
+
+/// The glob-import surface tests pull in.
+pub mod prelude {
+    pub use crate::{any, prop_assert, prop_assert_eq, proptest, Just, ProptestConfig, Strategy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn strategies_stay_in_bounds() {
+        let cfg = ProptestConfig::with_cases(200);
+        crate::run_cases(&cfg, (1u64..10, 0.0f64..1.0), |(a, b)| {
+            prop_assert!((1..10).contains(&a));
+            prop_assert!((0.0..1.0).contains(&b), "b = {b}");
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn vec_and_option_strategies_compose() {
+        let strat = crate::collection::vec((crate::option::of(0u64..5), 0u8..3), 2..10)
+            .prop_map(|xs| xs.len());
+        let cfg = ProptestConfig::default();
+        crate::run_cases(&cfg, (strat,), |(len,)| {
+            prop_assert!((2..10).contains(&len));
+            Ok(())
+        });
+    }
+
+    #[test]
+    fn fixed_seed_is_reproducible() {
+        let draw = || {
+            let mut out = Vec::new();
+            crate::run_cases(&ProptestConfig::with_cases(16), (0u64..1000,), |(x,)| {
+                out.push(x);
+                Ok(())
+            });
+            out
+        };
+        assert_eq!(draw(), draw());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro grammar: doc comments, typed params, `in` params,
+        /// trailing commas.
+        #[test]
+        fn macro_grammar_works(
+            raw: u16,
+            bytes4: [u8; 4],
+            v in crate::collection::vec(any::<u8>(), 0..16),
+        ) {
+            prop_assert!(u32::from(raw) <= 0xffff);
+            prop_assert_eq!(bytes4.len(), 4);
+            prop_assert!(v.len() < 16, "len {}", v.len());
+        }
+
+        #[test]
+        fn single_param_form(x in 0u64..7) {
+            prop_assert!(x < 7);
+        }
+    }
+}

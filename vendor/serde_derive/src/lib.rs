@@ -1,0 +1,287 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Generates impls of the vendored `serde`'s value-tree `Serialize` /
+//! `Deserialize` traits. Implemented directly on `proc_macro::TokenStream`
+//! (no `syn`/`quote`, which are unavailable offline), so it supports exactly
+//! the shapes this workspace contains:
+//!
+//! * structs with named fields (any visibility, no generics);
+//! * enums whose variants are unit or single-field tuple variants.
+//!
+//! Anything else produces a `compile_error!` naming the limitation, so a
+//! future unsupported type fails loudly at the derive site.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input declared.
+enum Shape {
+    Struct {
+        name: String,
+        fields: Vec<String>,
+    },
+    Enum {
+        name: String,
+        variants: Vec<(String, usize)>,
+    },
+}
+
+fn is_punct(t: &TokenTree, c: char) -> bool {
+    matches!(t, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Skip `#[...]` attributes (including doc comments) and visibility
+/// modifiers at the current position.
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        if i < tokens.len() && is_punct(&tokens[i], '#') {
+            i += 2; // '#' + bracket group
+            continue;
+        }
+        if let Some(TokenTree::Ident(id)) = tokens.get(i) {
+            if id.to_string() == "pub" {
+                i += 1;
+                if matches!(tokens.get(i), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    i += 1; // pub(crate) etc.
+                }
+                continue;
+            }
+        }
+        return i;
+    }
+}
+
+fn parse_shape(input: TokenStream) -> Result<Shape, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kind = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected type name, got {other:?}")),
+    };
+    i += 1;
+    if matches!(tokens.get(i), Some(t) if is_punct(t, '<')) {
+        return Err(format!("derive on generic type `{name}` is not supported"));
+    }
+    let body = match tokens.get(i) {
+        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g.stream(),
+        _ => {
+            return Err(format!(
+                "derive on `{name}` requires a braced body (tuple/unit structs unsupported)"
+            ))
+        }
+    };
+    let body: Vec<TokenTree> = body.into_iter().collect();
+
+    match kind.as_str() {
+        "struct" => {
+            let mut fields = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let fname = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected field name, got {other:?}")),
+                };
+                j += 1;
+                if !matches!(body.get(j), Some(t) if is_punct(t, ':')) {
+                    return Err(format!("expected `:` after field `{fname}`"));
+                }
+                j += 1;
+                // Skip the type up to the next top-level comma. Generic
+                // argument lists can contain commas, so track < > depth.
+                let mut depth = 0i32;
+                while j < body.len() {
+                    match &body[j] {
+                        t if is_punct(t, '<') => depth += 1,
+                        t if is_punct(t, '>') => depth -= 1,
+                        t if is_punct(t, ',') && depth == 0 => {
+                            j += 1;
+                            break;
+                        }
+                        _ => {}
+                    }
+                    j += 1;
+                }
+                fields.push(fname);
+            }
+            Ok(Shape::Struct { name, fields })
+        }
+        "enum" => {
+            let mut variants = Vec::new();
+            let mut j = 0;
+            while j < body.len() {
+                j = skip_attrs_and_vis(&body, j);
+                if j >= body.len() {
+                    break;
+                }
+                let vname = match &body[j] {
+                    TokenTree::Ident(id) => id.to_string(),
+                    other => return Err(format!("expected variant name, got {other:?}")),
+                };
+                j += 1;
+                let mut arity = 0usize;
+                match body.get(j) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        // Count top-level comma-separated fields.
+                        let inner: Vec<TokenTree> = g.stream().into_iter().collect();
+                        if !inner.is_empty() {
+                            arity = 1;
+                            let mut depth = 0i32;
+                            for t in &inner {
+                                if is_punct(t, '<') {
+                                    depth += 1;
+                                } else if is_punct(t, '>') {
+                                    depth -= 1;
+                                } else if is_punct(t, ',') && depth == 0 {
+                                    arity += 1;
+                                }
+                            }
+                        }
+                        j += 1;
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        return Err(format!(
+                            "struct variant `{vname}` is not supported by the vendored derive"
+                        ));
+                    }
+                    _ => {}
+                }
+                if arity > 1 {
+                    return Err(format!(
+                        "variant `{vname}` has {arity} fields; at most one is supported"
+                    ));
+                }
+                // Skip an optional discriminant and the separating comma.
+                while j < body.len() && !is_punct(&body[j], ',') {
+                    j += 1;
+                }
+                j += 1;
+                variants.push((vname, arity));
+            }
+            Ok(Shape::Enum { name, variants })
+        }
+        other => Err(format!("cannot derive for `{other}` items")),
+    }
+}
+
+fn compile_error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+/// Derive the vendored `serde::Serialize`.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let pushes: String = fields
+                .iter()
+                .map(|f| format!("(String::from({f:?}), ::serde::Serialize::to_value(&self.{f})),"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         ::serde::Value::Object(vec![{pushes}])\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let arms: String = variants
+                .iter()
+                .map(|(v, arity)| {
+                    if *arity == 0 {
+                        format!("{name}::{v} => ::serde::Value::Str(String::from({v:?})),")
+                    } else {
+                        format!(
+                            "{name}::{v}(inner) => ::serde::Value::Object(vec![\
+                                 (String::from({v:?}), ::serde::Serialize::to_value(inner))]),"
+                        )
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_value(&self) -> ::serde::Value {{\n\
+                         match self {{ {arms} }}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
+
+/// Derive the vendored `serde::Deserialize`.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let shape = match parse_shape(input) {
+        Ok(s) => s,
+        Err(e) => return compile_error(&e),
+    };
+    let code = match shape {
+        Shape::Struct { name, fields } => {
+            let inits: String = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_value(\
+                             v.get({f:?}).unwrap_or(&::serde::Value::Null))\
+                             .map_err(|e| ::serde::DeError(\
+                                 format!(\"{name}.{f}: {{}}\", e.0)))?,"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         Ok({name} {{ {inits} }})\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Shape::Enum { name, variants } => {
+            let unit_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 0)
+                .map(|(v, _)| format!("{v:?} => return Ok({name}::{v}),"))
+                .collect();
+            let tuple_arms: String = variants
+                .iter()
+                .filter(|(_, a)| *a == 1)
+                .map(|(v, _)| {
+                    format!(
+                        "if let Some(inner) = v.get({v:?}) {{\n\
+                             return Ok({name}::{v}(::serde::Deserialize::from_value(inner)?));\n\
+                         }}"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{\n\
+                         if let ::serde::Value::Str(s) = v {{\n\
+                             match s.as_str() {{ {unit_arms} _ => {{}} }}\n\
+                         }}\n\
+                         {tuple_arms}\n\
+                         Err(::serde::DeError(format!(\n\
+                             \"no variant of {name} matches {{v:?}}\")))\n\
+                     }}\n\
+                 }}"
+            )
+        }
+    };
+    code.parse().unwrap()
+}
