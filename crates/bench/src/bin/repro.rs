@@ -25,8 +25,8 @@ use std::time::{Duration, Instant, SystemTime};
 
 use probenet_bench::*;
 use probenet_core::{
-    analyze_losses, render_histogram, render_phase_plot, render_table3, render_time_series,
-    PeakLabel,
+    analyze_losses, impairment_scenarios, render_histogram, render_phase_plot, render_table3,
+    render_time_series, PeakLabel,
 };
 use serde::Serialize;
 
@@ -44,6 +44,9 @@ struct Args {
     json: bool,
     serial: bool,
     bench_json: bool,
+    impair: Option<String>,
+    check: bool,
+    bless: bool,
 }
 
 fn parse_args() -> Args {
@@ -54,6 +57,9 @@ fn parse_args() -> Args {
         json: false,
         serial: false,
         bench_json: false,
+        impair: None,
+        check: false,
+        bless: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -76,10 +82,15 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--serial" => args.serial = true,
             "--bench-json" => args.bench_json = true,
+            "--impair" => args.impair = Some(it.next().expect("--impair needs a scenario name")),
+            "--check" => args.check = true,
+            "--bless" => args.bless = true,
             "--help" | "-h" => {
                 println!(
                     "repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9|model|campaign] \
-                     [--span-secs N] [--seed N] [--json] [--serial] [--bench-json]"
+                     [--span-secs N] [--seed N] [--json] [--serial] [--bench-json]\n\
+                     repro --impair <scenario|list> [--span-secs N] [--seed N] [--json] [--serial]\n\
+                     repro --check | --bless   (verify / regenerate the golden traces in tests/golden/)"
                 );
                 std::process::exit(0);
             }
@@ -702,8 +713,114 @@ fn bench(args: &Args) {
 /// allocations per run, strictly sequential artifacts.
 const PRE_OPTIMIZATION_SERIAL_WALL_MS: f64 = 3786.0;
 
+/// `--impair <scenario>`: run a named fault-injection scenario at the two
+/// paper regimes and print its loss/ordering signature. `--impair list`
+/// enumerates the scenarios. Exit code doubles as the process status.
+fn impair(a: &Args, name: &str) -> i32 {
+    if name == "list" {
+        println!("named impairment scenarios:");
+        for sc in impairment_scenarios() {
+            println!("  {:<22} {}", sc.name, sc.summary);
+        }
+        return 0;
+    }
+    // Slices scale with --span-secs; the default span renders exactly the
+    // golden (8 ms, 60 s) and (500 ms, 300 s) slices.
+    let base = a.span_secs.min(60);
+    let slices = [(8u64, base), (500u64, base * 5)];
+    let threads = if a.serial {
+        1
+    } else {
+        probenet_core::sched::max_threads()
+    };
+    let Some(report) = impair_report(name, a.seed, &slices, threads) else {
+        eprintln!("unknown impairment scenario: {name} (try --impair list)");
+        return 2;
+    };
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&report).expect("serializable impair report")
+        );
+        return 0;
+    }
+    let summary = impairment_scenarios()
+        .into_iter()
+        .find(|s| s.name == name)
+        .map(|s| s.summary)
+        .unwrap_or("");
+    println!("=== impairment scenario: {name} ===");
+    println!("{summary}");
+    println!("seed {}", report.seed);
+    for s in &report.slices {
+        println!(
+            "delta {:>4} ms over {:>4} s: sent {}, delivered {}, ulp {:.4}, clp {}, plg {}",
+            s.delta_ms,
+            s.span_secs,
+            s.sent,
+            s.received,
+            s.ulp,
+            s.clp
+                .map(|c| format!("{c:.4}"))
+                .unwrap_or_else(|| "-".into()),
+            s.plg_palm
+                .map(|g| format!("{g:.2}"))
+                .unwrap_or_else(|| "-".into()),
+        );
+        println!(
+            "  losses look random? {} | loss runs {:?} | reordering {} | impair drops {} | records fnv1a {}",
+            s.losses_look_random, s.run_lengths, s.reordering, s.probe_impair_drops, s.records_fnv1a
+        );
+    }
+    0
+}
+
+/// `--check` / `--bless`: regenerate the golden reports for the pinned
+/// seeds — serially and on the pool — and diff them byte-for-byte against
+/// `tests/golden/` (or, under `--bless`, rewrite the checked-in files).
+fn check_goldens(bless: bool) -> i32 {
+    let threads = probenet_core::sched::max_threads();
+    let mut failed = false;
+    for seed in GOLDEN_SEEDS {
+        let path = golden_path(seed);
+        let serial = golden_report(seed);
+        let pooled = golden_report_threads(seed, threads);
+        if serial != pooled {
+            println!("seed {seed}: FAIL — pool({threads}) rendering differs from serial");
+            failed = true;
+            continue;
+        }
+        if bless {
+            std::fs::write(&path, serial.as_bytes()).expect("write golden trace");
+            println!("seed {seed}: blessed {path}");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == serial => println!("seed {seed}: OK ({path})"),
+            Ok(_) => {
+                println!(
+                    "seed {seed}: MISMATCH against {path} — behavior drifted; \
+                     rerun with --bless if the change is intended"
+                );
+                failed = true;
+            }
+            Err(e) => {
+                println!("seed {seed}: cannot read {path}: {e}");
+                failed = true;
+            }
+        }
+    }
+    i32::from(failed)
+}
+
 fn main() {
     let args = parse_args();
+    if args.check || args.bless {
+        std::process::exit(check_goldens(args.bless));
+    }
+    if let Some(name) = args.impair.clone() {
+        std::process::exit(impair(&args, &name));
+    }
     if args.bench_json {
         bench(&args);
         return;

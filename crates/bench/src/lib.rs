@@ -6,12 +6,13 @@
 #![warn(missing_docs)]
 
 use probenet_core::{
-    analyze_losses, analyze_workload, delta_sweep, LossAnalysis, PaperScenario, PhasePlot,
-    SweepRow, WorkloadAnalysis,
+    analyze_losses, analyze_workload, delta_sweep, impairment_scenario, LossAnalysis,
+    PaperScenario, PhasePlot, SweepRow, WorkloadAnalysis,
 };
 use probenet_netdyn::{ExperimentConfig, RttSeries, UMD_CLOCK};
 use probenet_sim::{discover_route, Path, SimDuration};
 use probenet_traffic::FTP_PACKET_BYTES;
+use serde::Serialize;
 
 /// Default probing span per experiment. The paper ran 10 minutes; two
 /// minutes is enough to reproduce every shape and keeps the full harness
@@ -113,6 +114,157 @@ pub fn figure8_workload(span_secs: u64, seed: u64) -> WorkloadAnalysis {
 pub fn figure9_workload(span_secs: u64, seed: u64) -> WorkloadAnalysis {
     let series = run_inria_umd_ideal_clock(100, span_secs, seed);
     analyze_workload(&series, 128_000.0, FTP_PACKET_BYTES as f64 * 8.0, 200.0)
+}
+
+// ---------------------------------------------------------------------------
+// Golden impairment traces
+// ---------------------------------------------------------------------------
+
+/// The impairment scenario pinned by the golden-trace suite.
+pub const GOLDEN_SCENARIO: &str = "bursty-transatlantic";
+
+/// Seeds with checked-in golden reports under `tests/golden/`.
+pub const GOLDEN_SEEDS: [u64; 2] = [1993, 4021];
+
+/// The `(δ ms, span s)` slices each golden report covers: the paper's
+/// bursty regime (δ = 8 ms, clp ≫ ulp) and its independent-loss regime
+/// (δ = 500 ms, losses pass the lag-1 randomness test).
+pub const GOLDEN_SLICES: [(u64, u64); 2] = [(8, 60), (500, 300)];
+
+/// Directory of the checked-in golden reports. Resolved at compile time
+/// relative to this crate, so `repro --check` works from any working
+/// directory of the same checkout.
+pub fn golden_dir() -> &'static str {
+    concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/golden")
+}
+
+/// Path of the golden report pinned to `seed`.
+pub fn golden_path(seed: u64) -> String {
+    format!("{}/{GOLDEN_SCENARIO}-seed{seed}.json", golden_dir())
+}
+
+/// FNV-1a 64-bit digest, as fixed-width hex.
+pub fn fnv1a_hex(bytes: &[u8]) -> String {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0100_0000_01b3);
+    }
+    format!("{h:016x}")
+}
+
+/// One δ-slice of a golden report: the headline loss and ordering metrics
+/// plus a digest over every per-probe record, so any behavioral drift —
+/// a single RTT one nanosecond off — changes the artifact byte-for-byte.
+#[derive(Debug, Serialize)]
+pub struct GoldenSlice {
+    /// Probe interval δ in ms.
+    pub delta_ms: u64,
+    /// Probing span in seconds.
+    pub span_secs: u64,
+    /// Probes sent.
+    pub sent: usize,
+    /// Probes delivered.
+    pub received: usize,
+    /// Unconditional loss probability.
+    pub ulp: f64,
+    /// Conditional loss probability (absent without consecutive data).
+    pub clp: Option<f64>,
+    /// Palm-identity packet loss gap `1 / (1 − clp)`.
+    pub plg_palm: Option<f64>,
+    /// Loss-run-length histogram (`run_lengths[k]` = runs of k+1 losses).
+    pub run_lengths: Vec<usize>,
+    /// Lag-1 χ² independence verdict at α = 0.05.
+    pub losses_look_random: bool,
+    /// Arrival-order inversions among delivered probes.
+    pub reordering: u64,
+    /// Probes dropped by the impairment pipeline (burst/flap/corruption).
+    pub probe_impair_drops: u64,
+    /// FNV-1a 64 digest of the serialized per-probe record vector.
+    pub records_fnv1a: String,
+}
+
+/// A golden impairment report: one pinned scenario + seed, measured over
+/// [`GOLDEN_SLICES`].
+#[derive(Debug, Serialize)]
+pub struct GoldenReport {
+    /// Scenario name, as accepted by `repro --impair`.
+    pub scenario: String,
+    /// Master seed of every slice.
+    pub seed: u64,
+    /// Per-δ results, in [`GOLDEN_SLICES`] order.
+    pub slices: Vec<GoldenSlice>,
+}
+
+/// Measure one `(δ ms, span s)` slice of a named impairment scenario.
+pub fn impair_slice(
+    sc: &probenet_core::ImpairedScenario,
+    seed: u64,
+    delta_ms: u64,
+    span_secs: u64,
+) -> GoldenSlice {
+    let out = sc.run(
+        seed,
+        SimDuration::from_millis(delta_ms),
+        SimDuration::from_secs(span_secs),
+    );
+    let loss = analyze_losses(&out.series);
+    let looks_random = loss.losses_look_random(0.05);
+    let records = serde_json::to_string(&out.series.records).expect("serializable records");
+    GoldenSlice {
+        delta_ms,
+        span_secs,
+        sent: out.series.len(),
+        received: out.series.received(),
+        ulp: loss.ulp,
+        clp: loss.clp,
+        plg_palm: loss.plg_palm,
+        run_lengths: loss.run_lengths,
+        losses_look_random: looks_random,
+        reordering: out.series.reordering_count(),
+        probe_impair_drops: out.probe_impair_drops,
+        records_fnv1a: fnv1a_hex(records.as_bytes()),
+    }
+}
+
+/// Measure a named scenario over `slices`, scheduled on `threads` pool
+/// workers. Slices come back in input order whatever the thread count, so
+/// the report is byte-identical for any `threads` — the determinism
+/// contract `repro --check` enforces. `None` for an unknown scenario name.
+pub fn impair_report(
+    name: &str,
+    seed: u64,
+    slices: &[(u64, u64)],
+    threads: usize,
+) -> Option<GoldenReport> {
+    let sc = impairment_scenario(name)?;
+    let slices =
+        probenet_core::sched::par_map_threads(threads, slices.to_vec(), |(delta_ms, span_secs)| {
+            impair_slice(&sc, seed, delta_ms, span_secs)
+        });
+    Some(GoldenReport {
+        scenario: name.to_string(),
+        seed,
+        slices,
+    })
+}
+
+/// Render the golden report for `seed` with its slices scheduled on
+/// `threads` pool workers. Slices come back in [`GOLDEN_SLICES`] order
+/// whatever the thread count, so the output is byte-identical for any
+/// `threads` — the determinism contract `repro --check` enforces.
+pub fn golden_report_threads(seed: u64, threads: usize) -> String {
+    let report = impair_report(GOLDEN_SCENARIO, seed, &GOLDEN_SLICES, threads)
+        .expect("pinned scenario exists");
+    let mut body = serde_json::to_string_pretty(&report).expect("serializable golden report");
+    body.push('\n');
+    body
+}
+
+/// [`golden_report_threads`] on a single thread — the canonical rendering
+/// the checked-in artifacts were generated with.
+pub fn golden_report(seed: u64) -> String {
+    golden_report_threads(seed, 1)
 }
 
 #[cfg(test)]

@@ -219,6 +219,19 @@ pub fn inria_umd_campaign(delta: SimDuration, span: SimDuration, seeds: &[u64]) 
     run_campaign(PaperScenario::inria_umd, &config, seeds)
 }
 
+/// A seed campaign over a named impairment scenario: the scenario's
+/// impairment pipeline and clock configuration are threaded into every
+/// seeded run (see [`crate::impair`]).
+pub fn impaired_campaign(
+    scenario: &crate::impair::ImpairedScenario,
+    delta: SimDuration,
+    span: SimDuration,
+    seeds: &[u64],
+) -> CampaignResult {
+    let config = scenario.config(delta, span);
+    run_campaign(|seed| scenario.with_seed(seed), &config, seeds)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

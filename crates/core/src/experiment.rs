@@ -103,11 +103,15 @@ impl PaperScenario {
             .utilization(now);
         let mut probe_overflow = 0u64;
         let mut probe_random = 0u64;
+        let mut probe_impair = 0u64;
         for d in engine.drops() {
             if d.class == FlowClass::Probe {
                 match d.reason {
                     DropReason::BufferOverflow | DropReason::EarlyDrop => probe_overflow += 1,
                     DropReason::RandomLoss => probe_random += 1,
+                    DropReason::BurstLoss | DropReason::LinkDown | DropReason::Corrupted => {
+                        probe_impair += 1
+                    }
                     DropReason::TtlExpired => {}
                 }
             }
@@ -122,6 +126,7 @@ impl PaperScenario {
             bottleneck_utilization,
             probe_overflow_drops: probe_overflow,
             probe_random_drops: probe_random,
+            probe_impair_drops: probe_impair,
             engine_stats,
         }
     }
@@ -141,6 +146,9 @@ pub struct ExperimentOutput {
     pub probe_overflow_drops: u64,
     /// Probe losses from random link loss (faulty interfaces).
     pub probe_random_drops: u64,
+    /// Probe losses from the fault injectors: burst loss, outage windows,
+    /// and corrupted payloads discarded at an endpoint.
+    pub probe_impair_drops: u64,
     /// Work counters of the simulation engine behind this run.
     pub engine_stats: probenet_sim::EngineStats,
 }

@@ -42,6 +42,7 @@
 pub mod campaign;
 pub mod delay;
 pub mod experiment;
+pub mod impair;
 pub mod loss;
 pub mod owd;
 pub mod phase;
@@ -53,14 +54,15 @@ pub mod summary;
 pub mod workload;
 
 pub use campaign::{
-    campaign_matrix, inria_umd_campaign, run_campaign, run_campaign_serial, CampaignResult,
-    MetricSpread,
+    campaign_matrix, impaired_campaign, inria_umd_campaign, run_campaign, run_campaign_serial,
+    CampaignResult, MetricSpread,
 };
 pub use delay::{
     analyze_delay_distribution, loss_delay_correlation, loss_given_delay, playback_buffer_ms,
     DelayAnalysis, DelayFit,
 };
 pub use experiment::{delta_sweep, delta_sweep_serial, ExperimentOutput, PaperScenario, SweepRow};
+pub use impair::{impairment_scenario, impairment_scenarios, ImpairedScenario};
 pub use loss::{
     analyze_loss_flags, analyze_losses, Chi2Summary, GilbertModel, LossAnalysis, RunsTestSummary,
 };

@@ -40,6 +40,12 @@ pub struct ExperimentConfig {
     /// Measurement clock resolution; `SimDuration::ZERO` means a perfect
     /// clock (timestamps are not quantized).
     pub clock_resolution: SimDuration,
+    /// Frequency error of the measuring host's clock in parts per billion:
+    /// an instant `t` of true time reads as `t + t·ppb/10⁹` before
+    /// quantization. Both probe timestamps come from the same (source)
+    /// clock, so drift rescales measured RTTs rather than offsetting them.
+    /// 0 means a perfectly disciplined clock.
+    pub clock_drift_ppb: i64,
 }
 
 impl ExperimentConfig {
@@ -58,6 +64,7 @@ impl ExperimentConfig {
             interval,
             count,
             clock_resolution: DECSTATION_CLOCK,
+            clock_drift_ppb: 0,
         }
     }
 
@@ -70,6 +77,7 @@ impl ExperimentConfig {
             interval,
             count,
             clock_resolution: SimDuration::ZERO,
+            clock_drift_ppb: 0,
         }
     }
 
@@ -82,6 +90,13 @@ impl ExperimentConfig {
     /// Replace the probe count.
     pub fn with_count(mut self, count: usize) -> Self {
         self.count = count;
+        self
+    }
+
+    /// Replace the clock's frequency error (parts per billion; may be
+    /// negative for a slow clock).
+    pub fn with_drift(mut self, ppb: i64) -> Self {
+        self.clock_drift_ppb = ppb;
         self
     }
 

@@ -42,7 +42,7 @@ pub use config::{
     WIRE_OVERHEAD_BYTES,
 };
 pub use csv::{from_csv, to_csv, CsvError};
-pub use series::{quantize, quantized_rtt, RttRecord, RttSeries};
+pub use series::{measured_rtt, quantize, quantized_rtt, skew, RttRecord, RttSeries};
 pub use sim_driver::{recycle_engine, CrossTrafficBinding, SimExperiment};
 pub use udp::{
     run_probes, send_probes_via, DestinationCollector, EchoServer, EchoServerStats, ProbeRunStats,

@@ -221,6 +221,30 @@ pub fn quantized_rtt(sent: SimTime, received: SimTime, resolution: SimDuration) 
     quantize(received, resolution).saturating_since(quantize(sent, resolution))
 }
 
+/// What a clock with a frequency error of `ppb` parts per billion reads at
+/// true instant `t`: `t + t·ppb/10⁹`, in exact integer arithmetic. Positive
+/// `ppb` is a fast clock, negative a slow one (clamped at zero).
+pub fn skew(t: SimTime, ppb: i64) -> SimTime {
+    if ppb == 0 {
+        return t;
+    }
+    let nanos = t.as_nanos() as i128;
+    let skewed = nanos + nanos * ppb as i128 / 1_000_000_000;
+    SimTime::from_nanos(skewed.clamp(0, u64::MAX as i128) as u64)
+}
+
+/// The RTT measured by a host whose clock both drifts (`ppb`) and ticks at
+/// `resolution`: the difference of the two quantized, drifted clock reads.
+pub fn measured_rtt(
+    sent: SimTime,
+    received: SimTime,
+    resolution: SimDuration,
+    ppb: i64,
+) -> SimDuration {
+    quantize(skew(received, ppb), resolution)
+        .saturating_since(quantize(skew(sent, ppb), resolution))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

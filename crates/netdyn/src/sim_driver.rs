@@ -11,7 +11,7 @@ use probenet_sim::{Direction, Engine, Path, SimTime};
 use probenet_traffic::Arrival;
 
 use crate::config::ExperimentConfig;
-use crate::series::{quantized_rtt, RttRecord, RttSeries};
+use crate::series::{measured_rtt, skew, RttRecord, RttSeries};
 
 thread_local! {
     /// One recycled engine per worker thread (see [`recycle_engine`]).
@@ -119,12 +119,26 @@ impl SimExperiment {
             })
             .collect();
         for d in engine.probe_deliveries() {
-            let sent = d.injected_at;
-            let rtt = quantized_rtt(sent, d.delivered_at, self.config.clock_resolution);
+            // Impairments can duplicate probes; the receiver keeps the first
+            // copy of each sequence number. Deliveries are in completion
+            // order, so first-seen means earliest-delivered.
+            if records[d.seq as usize].rtt.is_some() {
+                continue;
+            }
+            let rtt = measured_rtt(
+                d.injected_at,
+                d.delivered_at,
+                self.config.clock_resolution,
+                self.config.clock_drift_ppb,
+            );
             records[d.seq as usize].rtt = Some(rtt.as_nanos());
-            records[d.seq as usize].echoed_at = d
-                .echoed_at
-                .map(|e| crate::series::quantize(e, self.config.clock_resolution).as_nanos());
+            records[d.seq as usize].echoed_at = d.echoed_at.map(|e| {
+                crate::series::quantize(
+                    skew(e, self.config.clock_drift_ppb),
+                    self.config.clock_resolution,
+                )
+                .as_nanos()
+            });
         }
         let series = RttSeries::new(
             self.config.interval,

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::event::EventQueue;
+use crate::impair::{port_stream_seed, Fate, ImpairmentState};
 use crate::packet::{
     Delivery, Direction, DropReason, DropRecord, FlowClass, Packet, PacketId, TtlExceeded,
     DEFAULT_TTL,
@@ -40,6 +41,10 @@ enum Ev {
     /// A link's propagation delay changes (a route change re-homing this
     /// hop onto a longer or shorter physical path).
     SetPropagation { link: usize, value: SimDuration },
+    /// A packet (re-)enters a port's queue downstream of the fault
+    /// injectors: reorder-deferred packets and duplicate copies, which must
+    /// not run the impairment pipeline a second time.
+    Admit { port: usize, packet: Packet },
 }
 
 /// Counters describing how much work a run did, for performance
@@ -74,6 +79,9 @@ pub struct Engine {
     /// `ports[i]` for `i < L` transmits link `i` outbound (from node `i`);
     /// `ports[L + i]` transmits link `i` inbound (from node `i + 1`).
     ports: Vec<Port>,
+    /// Fault-injector state, one per port, each with its own RNG stream
+    /// derived from the master seed (see [`crate::impair`]).
+    impair: Vec<ImpairmentState>,
     events: EventQueue<Ev>,
     rng: StdRng,
     next_id: u64,
@@ -168,9 +176,13 @@ impl Engine {
         for spec in &path.links {
             ports.push(Port::new(spec.clone()));
         }
-        Engine {
+        let impair = (0..links * 2)
+            .map(|i| ImpairmentState::new(port_stream_seed(seed, i)))
+            .collect();
+        let mut engine = Engine {
             path,
             ports,
+            impair,
             events: EventQueue::new(),
             rng: StdRng::seed_from_u64(seed),
             next_id: 0,
@@ -183,6 +195,26 @@ impl Engine {
             trace: None,
             events_processed: 0,
             run_wall: std::time::Duration::ZERO,
+        };
+        engine.arm_route_shifts();
+        engine
+    }
+
+    /// Schedule the propagation changes declared by each link's impairment
+    /// spec. Runs before any injection, in both [`Engine::new`] and
+    /// [`Engine::reset`], so replays stay bit-identical.
+    fn arm_route_shifts(&mut self) {
+        for link in 0..self.path.links.len() {
+            for k in 0..self.path.links[link].impair.route_shifts.len() {
+                let shift = self.path.links[link].impair.route_shifts[k];
+                self.events.schedule(
+                    shift.at,
+                    Ev::SetPropagation {
+                        link,
+                        value: shift.propagation,
+                    },
+                );
+            }
         }
     }
 
@@ -202,6 +234,9 @@ impl Engine {
         for p in &mut self.ports {
             p.reset();
         }
+        for (i, st) in self.impair.iter_mut().enumerate() {
+            st.reset(port_stream_seed(seed, i));
+        }
         self.events.clear();
         self.rng = StdRng::seed_from_u64(seed);
         self.next_id = 0;
@@ -216,6 +251,7 @@ impl Engine {
         }
         self.events_processed = 0;
         self.run_wall = std::time::Duration::ZERO;
+        self.arm_route_shifts();
     }
 
     /// Pre-size the result buffers for a run expected to inject about
@@ -308,6 +344,7 @@ impl Engine {
             injected_at: at,
             ttl,
             direction: Direction::Outbound,
+            corrupted: false,
         };
         self.events.schedule(at, Ev::Arrive { port: 0, packet });
     }
@@ -396,6 +433,7 @@ impl Engine {
             } else {
                 Direction::Outbound
             },
+            corrupted: false,
         };
         let port = if reverse {
             // Sender at the far end: first hop is the last link, inbound.
@@ -426,6 +464,7 @@ impl Engine {
                 injected_at: at,
                 ttl: DEFAULT_TTL,
                 direction,
+                corrupted: false,
             };
             self.events.schedule(at, Ev::Arrive { port, packet });
         }
@@ -486,10 +525,65 @@ impl Engine {
             Ev::SetPropagation { link, value } => {
                 self.path.links[link].propagation = value;
             }
+            Ev::Admit { port, packet } => self.admit(at, port, packet),
         }
     }
 
-    fn on_arrive(&mut self, at: SimTime, port: usize, packet: Packet) {
+    /// A packet reaches a port: run the link's fault injectors first, then
+    /// hand the survivors to [`Engine::admit`]. Inert specs skip straight
+    /// to admission without touching the impairment RNG stream, so paths
+    /// built before the impairment layer behave bit-identically.
+    fn on_arrive(&mut self, at: SimTime, port: usize, mut packet: Packet) {
+        if !self.ports[port].spec.impair.is_inert() {
+            // Window data and control replies stay single-copy: their
+            // accounting (ack clocking, pending-TTL bookkeeping) assumes
+            // exactly one instance of each packet in the network.
+            let dup_eligible = matches!(packet.class, FlowClass::Probe | FlowClass::Cross);
+            // `ports` and `impair` are distinct fields, so the spec borrow
+            // and the mutable state borrow do not conflict.
+            let fate = self.impair[port].evaluate(&self.ports[port].spec.impair, at, dup_eligible);
+            match fate {
+                Fate::Dropped(reason) => {
+                    let kind = match reason {
+                        DropReason::LinkDown => TraceKind::LinkDownDrop,
+                        _ => TraceKind::BurstDrop,
+                    };
+                    self.record(at, Some(port), &packet, kind);
+                    self.ports[port].note_impair_drop();
+                    self.note_drop(at, port, &packet, reason);
+                    return;
+                }
+                Fate::Forward {
+                    corrupt,
+                    duplicate,
+                    defer,
+                } => {
+                    if corrupt && !packet.corrupted {
+                        packet.corrupted = true;
+                        self.record(at, Some(port), &packet, TraceKind::CorruptMark);
+                    }
+                    if let Some(offset) = duplicate {
+                        let copy = Packet {
+                            id: self.fresh_id(),
+                            ..packet.clone()
+                        };
+                        self.record(at, Some(port), &copy, TraceKind::Duplicated);
+                        self.events
+                            .schedule(at + offset, Ev::Admit { port, packet: copy });
+                    }
+                    if let Some(delay) = defer {
+                        self.record(at, Some(port), &packet, TraceKind::Deferred);
+                        self.events.schedule(at + delay, Ev::Admit { port, packet });
+                        return;
+                    }
+                }
+            }
+        }
+        self.admit(at, port, packet);
+    }
+
+    /// Admission into a port's queue, downstream of the fault injectors.
+    fn admit(&mut self, at: SimTime, port: usize, packet: Packet) {
         // Random loss models a faulty interface on the link: the packet is
         // destroyed before it can be queued (paper ref [17]).
         let p = self.ports[port].spec.random_loss;
@@ -556,6 +650,24 @@ impl Engine {
 
     fn on_node_arrival(&mut self, at: SimTime, node: usize, mut packet: Packet) {
         let last = self.path.nodes.len() - 1;
+        // Routers forward corrupted packets (they only checksum the IP
+        // header); the first endpoint that decodes the payload sees the bad
+        // wire checksum and discards the packet.
+        if packet.corrupted {
+            let at_endpoint = match packet.direction {
+                Direction::Outbound => node == last,
+                Direction::Inbound => node == 0,
+            };
+            if at_endpoint {
+                self.record(at, None, &packet, TraceKind::ChecksumDrop);
+                self.pending_echo.remove(&packet.id);
+                if packet.class == FlowClass::Control {
+                    self.pending_ttl.remove(&packet.id);
+                }
+                self.note_drop(at, usize::MAX, &packet, DropReason::Corrupted);
+                return;
+            }
+        }
         let reverse_flow =
             packet.class == FlowClass::Window && self.flows[packet.flow as usize - 1].spec.reverse;
         match packet.direction {
@@ -642,6 +754,7 @@ impl Engine {
             injected_at: packet.injected_at,
             ttl: DEFAULT_TTL,
             direction: Direction::Inbound,
+            corrupted: false,
         };
         self.pending_ttl.insert(reply.id, node);
         let port = self.port_index(node - 1, Direction::Inbound);

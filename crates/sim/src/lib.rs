@@ -51,6 +51,7 @@
 
 pub mod engine;
 pub mod event;
+pub mod impair;
 pub mod packet;
 pub mod path;
 pub mod queue;
@@ -59,6 +60,9 @@ pub mod trace;
 
 pub use engine::{discover_route, Engine, EngineStats, WindowFlow, TTL_REPLY_SIZE};
 pub use event::{reference::BinaryHeapQueue, EventQueue};
+pub use impair::{
+    DuplicateSpec, FlapWindow, GilbertElliott, ImpairmentSpec, ReorderSpec, RouteShift,
+};
 pub use packet::{
     Delivery, Direction, DropReason, DropRecord, FlowClass, Packet, PacketId, TtlExceeded,
     DEFAULT_TTL,

@@ -68,6 +68,11 @@ pub struct Packet {
     pub ttl: u8,
     /// Current travel direction.
     pub direction: Direction,
+    /// Payload damaged in flight by a corruption impairment. Routers keep
+    /// forwarding (they only check the IP header); the first *endpoint*
+    /// that decodes the packet detects the bad wire checksum and discards
+    /// it ([`DropReason::Corrupted`]).
+    pub corrupted: bool,
 }
 
 /// Record of a packet that completed its round trip (or one-way journey for
@@ -122,6 +127,14 @@ pub enum DropReason {
     TtlExpired,
     /// Dropped early by RED queue management before the buffer filled.
     EarlyDrop,
+    /// Destroyed by a Gilbert–Elliott burst-loss channel while the link
+    /// was in (usually) its Bad state (see [`crate::impair`]).
+    BurstLoss,
+    /// Destroyed because the link was down (a flap outage window).
+    LinkDown,
+    /// Payload corrupted in flight; the endpoint's wire-checksum
+    /// verification failed and the packet was discarded there.
+    Corrupted,
 }
 
 /// Record of a dropped packet.

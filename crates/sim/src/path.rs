@@ -5,6 +5,7 @@
 //! captures exactly that, plus two named topologies calibrated to the routes
 //! the paper measured (its Tables 1 and 2).
 
+use crate::impair::ImpairmentSpec;
 use crate::time::SimDuration;
 
 /// How much a port may buffer before drop-tail kicks in.
@@ -85,6 +86,10 @@ pub struct LinkSpec {
     pub random_loss: f64,
     /// Queue management discipline of this link's ports.
     pub policy: QueuePolicy,
+    /// Fault-injection pipeline of this link (bursty loss, reordering,
+    /// duplication, corruption, flaps, route shifts). Inert by default;
+    /// applies to both directions, each with its own RNG stream.
+    pub impair: ImpairmentSpec,
 }
 
 impl LinkSpec {
@@ -97,6 +102,7 @@ impl LinkSpec {
             buffer: BufferLimit::Packets(64),
             random_loss: 0.0,
             policy: QueuePolicy::DropTail,
+            impair: ImpairmentSpec::none(),
         }
     }
 
@@ -122,6 +128,12 @@ impl LinkSpec {
             "loss probability must be in [0,1]"
         );
         self.random_loss = p;
+        self
+    }
+
+    /// Replace the fault-injection pipeline (see [`crate::impair`]).
+    pub fn with_impairments(mut self, impair: ImpairmentSpec) -> Self {
+        self.impair = impair;
         self
     }
 }

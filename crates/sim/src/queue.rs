@@ -28,6 +28,9 @@ pub struct PortStats {
     pub early_drops: u64,
     /// Packets dropped by link random loss.
     pub random_drops: u64,
+    /// Packets destroyed by the link's fault injectors (burst loss or an
+    /// outage window) before reaching the queue.
+    pub impair_drops: u64,
     /// Largest number of packets ever held (queued + in service).
     pub max_occupancy: usize,
     /// Total time the server spent transmitting.
@@ -248,6 +251,13 @@ impl Port {
         self.stats.random_drops += 1;
     }
 
+    /// Record a fault-injector drop (burst loss or outage; bookkeeping
+    /// only — the packet never enters the queue).
+    pub fn note_impair_drop(&mut self) {
+        self.stats.arrivals += 1;
+        self.stats.impair_drops += 1;
+    }
+
     /// Fold the idle/busy area up to `now` into the occupancy integral;
     /// call once at the end of a run before reading statistics.
     pub fn finalize(&mut self, now: SimTime) {
@@ -270,6 +280,7 @@ mod tests {
             injected_at: SimTime::ZERO,
             ttl: 64,
             direction: Direction::Outbound,
+            corrupted: false,
         }
     }
 

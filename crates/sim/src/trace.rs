@@ -25,6 +25,18 @@ pub enum TraceKind {
     RandomDrop,
     /// Dropped: TTL expired.
     TtlExpired,
+    /// Dropped: Gilbert–Elliott burst-loss channel.
+    BurstDrop,
+    /// Dropped: link down (flap outage window).
+    LinkDownDrop,
+    /// Payload corrupted in flight (the packet keeps travelling).
+    CorruptMark,
+    /// Discarded at an endpoint: wire-checksum verification failed.
+    ChecksumDrop,
+    /// A duplicate copy of the packet was created at a hop.
+    Duplicated,
+    /// Held back by a reordering impairment before entering the queue.
+    Deferred,
     /// Turned around by the echo host.
     Echoed,
     /// Arrived back at the source.

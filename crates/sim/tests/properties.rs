@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 
 use probenet_sim::{
-    BufferLimit, Direction, DropReason, Engine, FlowClass, LinkSpec, Path, SimDuration, SimTime,
-    TraceKind,
+    BufferLimit, Direction, DropReason, Engine, FlowClass, GilbertElliott, ImpairmentSpec,
+    LinkSpec, Path, SimDuration, SimTime, TraceKind,
 };
 
 /// Build a random linear path from proptest-chosen hop parameters.
@@ -174,6 +174,281 @@ proptest! {
             prop_assert_eq!(echoes, 1, "probe {} echoed {} times", seq, echoes);
         }
     }
+}
+
+/// A single-hop path with an impairment pipeline on its link.
+fn impaired_path(spec: ImpairmentSpec) -> Path {
+    Path::new(
+        vec!["src".into(), "echo".into()],
+        vec![LinkSpec::new(10_000_000, SimDuration::from_millis(5))
+            .with_buffer(BufferLimit::Unbounded)
+            .with_impairments(spec)],
+    )
+}
+
+/// Unconditional and conditional loss probability of a delivered/lost flag
+/// sequence (losses are `true`).
+fn loss_stats(lost: &[bool]) -> (f64, Option<f64>) {
+    let ulp = lost.iter().filter(|&&l| l).count() as f64 / lost.len() as f64;
+    let (mut after_loss, mut loss_then_loss) = (0usize, 0usize);
+    for w in lost.windows(2) {
+        if w[0] {
+            after_loss += 1;
+            if w[1] {
+                loss_then_loss += 1;
+            }
+        }
+    }
+    let clp = (after_loss > 0).then(|| loss_then_loss as f64 / after_loss as f64);
+    (ulp, clp)
+}
+
+/// Run `n` probes δ apart over `path` and return per-seq loss flags.
+fn loss_flags(path: Path, seed: u64, n: usize, delta: SimDuration) -> Vec<bool> {
+    let mut e = Engine::new(path, seed);
+    for k in 0..n as u64 {
+        e.inject_probe(SimTime::ZERO + delta * k, 72, k);
+    }
+    e.run();
+    let mut flags = vec![true; n];
+    for d in e.probe_deliveries() {
+        flags[d.seq as usize] = false;
+    }
+    flags
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The degenerate-case oracle: Gilbert–Elliott with equal Good and Bad
+    /// loss rates is memoryless, so over a long run both its loss rate and
+    /// its conditional loss probability must match plain Bernoulli
+    /// `random_loss` within sampling tolerance.
+    #[test]
+    fn prop_degenerate_ge_matches_bernoulli(
+        seed in 0u64..500,
+        loss_pct in 5u32..30,
+    ) {
+        let p = loss_pct as f64 / 100.0;
+        let n = 12_000usize;
+        let delta = SimDuration::from_millis(2);
+
+        let ge = GilbertElliott {
+            mean_good: SimDuration::from_millis(40),
+            mean_bad: SimDuration::from_millis(10),
+            loss_good: p,
+            loss_bad: p,
+        };
+        let ge_flags = loss_flags(
+            impaired_path(ImpairmentSpec::none().with_burst_loss(ge)),
+            seed,
+            n,
+            delta,
+        );
+        let bern_flags = loss_flags(
+            Path::new(
+                vec!["src".into(), "echo".into()],
+                vec![LinkSpec::new(10_000_000, SimDuration::from_millis(5))
+                    .with_buffer(BufferLimit::Unbounded)
+                    .with_random_loss(p)],
+            ),
+            seed.wrapping_add(9999),
+            n,
+            delta,
+        );
+
+        let (ge_ulp, ge_clp) = loss_stats(&ge_flags);
+        let (b_ulp, b_clp) = loss_stats(&bern_flags);
+        // Loss happens on both link directions: effective rate 1-(1-p)².
+        let expect = 1.0 - (1.0 - p) * (1.0 - p);
+        // 4σ-ish tolerance for n = 12k Bernoulli samples plus a margin.
+        let tol = 4.0 * (expect * (1.0 - expect) / n as f64).sqrt() + 0.01;
+        prop_assert!((ge_ulp - expect).abs() < tol, "GE ulp {ge_ulp} vs {expect}");
+        prop_assert!((b_ulp - expect).abs() < tol, "Bern ulp {b_ulp} vs {expect}");
+        // Memorylessness: conditional ≈ unconditional for both processes.
+        let ge_clp = ge_clp.expect("losses occurred");
+        let b_clp = b_clp.expect("losses occurred");
+        prop_assert!((ge_clp - ge_ulp).abs() < 0.06, "GE clp {ge_clp} ulp {ge_ulp}");
+        prop_assert!((ge_clp - b_clp).abs() < 0.08, "GE clp {ge_clp} Bern clp {b_clp}");
+    }
+
+    /// Conservation under the full impairment pipeline: with duplication in
+    /// play ids are not unique per seq, but every injected *seq* still has
+    /// at least one terminal event, and every id exactly one.
+    #[test]
+    fn prop_conservation_under_impairments(
+        seed in 0u64..500,
+        n_probes in 50usize..300,
+    ) {
+        let spec = ImpairmentSpec::none()
+            .with_burst_loss(GilbertElliott::bursty(
+                SimDuration::from_millis(200),
+                SimDuration::from_millis(40),
+                0.9,
+            ))
+            .with_corruption(0.05)
+            .with_duplicate(0.1, SimDuration::from_millis(1))
+            .with_reorder(0.1, SimDuration::from_millis(30))
+            .with_flap(SimTime::from_millis(100), SimTime::from_millis(200));
+        let mut e = Engine::new(impaired_path(spec), seed);
+        for k in 0..n_probes as u64 {
+            e.inject_probe(SimTime::from_millis(4 * k), 72, k);
+        }
+        e.run();
+        let mut ids: Vec<u64> = e
+            .probe_deliveries()
+            .map(|d| d.id.0)
+            .chain(e.drops().iter().map(|d| d.id.0))
+            .collect();
+        ids.sort_unstable();
+        let unique = {
+            let mut u = ids.clone();
+            u.dedup();
+            u.len()
+        };
+        prop_assert_eq!(unique, ids.len(), "a packet finished twice");
+        // Duplicates mean ≥ n_probes terminal events; every seq accounted.
+        let mut seqs: Vec<u64> = e
+            .probe_deliveries()
+            .map(|d| d.seq)
+            .chain(e.drops().iter().map(|d| d.seq))
+            .collect();
+        seqs.sort_unstable();
+        seqs.dedup();
+        prop_assert_eq!(seqs.len(), n_probes, "a probe seq vanished");
+    }
+
+    /// Determinism under the full pipeline: identical seeds replay
+    /// bit-identically, and a reset engine matches a fresh one.
+    #[test]
+    fn prop_impaired_determinism(
+        seed in 0u64..500,
+        n_probes in 20usize..150,
+    ) {
+        let spec = ImpairmentSpec::none()
+            .with_burst_loss(GilbertElliott::bursty(
+                SimDuration::from_millis(300),
+                SimDuration::from_millis(50),
+                0.8,
+            ))
+            .with_corruption(0.02)
+            .with_duplicate(0.05, SimDuration::from_millis(1))
+            .with_reorder(0.05, SimDuration::from_millis(20));
+        let outcome = |e: &mut Engine| {
+            for k in 0..n_probes as u64 {
+                e.inject_probe(SimTime::from_millis(5 * k), 72, k);
+            }
+            e.run();
+            let del: Vec<(u64, u64)> = e
+                .probe_deliveries()
+                .map(|d| (d.seq, d.delivered_at.as_nanos()))
+                .collect();
+            let drops: Vec<(u64, u8)> = e
+                .drops()
+                .iter()
+                .map(|d| (d.seq, d.reason as u8))
+                .collect();
+            (del, drops)
+        };
+        let mut fresh = Engine::new(impaired_path(spec.clone()), seed);
+        let a = outcome(&mut fresh);
+        // Reset must restore the impairment state streams too.
+        fresh.reset(seed);
+        let b = outcome(&mut fresh);
+        let mut other = Engine::new(impaired_path(spec), seed);
+        let c = outcome(&mut other);
+        prop_assert_eq!(&a, &b, "reset engine diverged from its own first run");
+        prop_assert_eq!(&a, &c, "fresh engine diverged");
+    }
+}
+
+/// Everything arriving at a flapped link during the outage dies with
+/// `LinkDown`; arrivals outside the window never do.
+#[test]
+fn flap_window_drops_exactly_inside_outage() {
+    let spec =
+        ImpairmentSpec::none().with_flap(SimTime::from_millis(100), SimTime::from_millis(200));
+    let mut e = Engine::new(impaired_path(spec), 3);
+    for k in 0..60u64 {
+        e.inject_probe(SimTime::from_millis(5 * k), 72, k);
+    }
+    e.run();
+    let down: Vec<u64> = e
+        .drops()
+        .iter()
+        .filter(|d| d.reason == DropReason::LinkDown)
+        .map(|d| d.seq)
+        .collect();
+    assert!(!down.is_empty(), "outage lost nothing");
+    // Probes sent in [100, 200) ms hit the outage outbound; ones sent just
+    // before can be caught inbound (≈10 ms round trip). Nothing outside
+    // [90, 200) ms can be affected.
+    for &seq in &down {
+        let sent_ms = 5 * seq;
+        assert!(
+            (90..200).contains(&sent_ms),
+            "probe sent at {sent_ms} ms dropped by outage"
+        );
+    }
+    // Probes clearly outside the window all return.
+    let delivered: std::collections::HashSet<u64> = e.probe_deliveries().map(|d| d.seq).collect();
+    for k in 0..60u64 {
+        let sent_ms = 5 * k;
+        if !(85..205).contains(&sent_ms) {
+            assert!(delivered.contains(&k), "probe at {sent_ms} ms missing");
+        }
+    }
+}
+
+/// Corrupted probes travel the full path and die at an endpoint, not at
+/// the corrupting hop.
+#[test]
+fn corruption_is_caught_at_the_endpoint_checksum() {
+    let spec = ImpairmentSpec::none().with_corruption(0.2);
+    let mut e = Engine::new(impaired_path(spec), 11);
+    e.enable_trace();
+    for k in 0..400u64 {
+        e.inject_probe(SimTime::from_millis(3 * k), 72, k);
+    }
+    e.run();
+    let corrupted: Vec<_> = e
+        .drops()
+        .iter()
+        .filter(|d| d.reason == DropReason::Corrupted)
+        .map(|d| d.seq)
+        .collect();
+    assert!(!corrupted.is_empty(), "no corruption drops at p=0.2");
+    let trace = e.take_trace();
+    for seq in corrupted {
+        // The corrupted probe finished its transmission on the marked hop
+        // (routers forward it) before the endpoint discarded it.
+        assert!(
+            trace
+                .iter()
+                .any(|t| t.seq == seq && t.kind == TraceKind::ChecksumDrop),
+            "probe {seq} lacks a checksum-drop trace"
+        );
+    }
+}
+
+/// Duplication delivers the same sequence number more than once with
+/// distinct packet ids — the receiver-side dedup is the driver's job.
+#[test]
+fn duplicates_surface_as_repeated_sequence_numbers() {
+    let spec = ImpairmentSpec::none().with_duplicate(0.3, SimDuration::from_millis(1));
+    let mut e = Engine::new(impaired_path(spec), 17);
+    for k in 0..200u64 {
+        e.inject_probe(SimTime::from_millis(5 * k), 72, k);
+    }
+    e.run();
+    let mut per_seq = std::collections::HashMap::new();
+    for d in e.probe_deliveries() {
+        *per_seq.entry(d.seq).or_insert(0u32) += 1;
+    }
+    assert!(
+        per_seq.values().any(|&c| c > 1),
+        "duplication produced no repeated deliveries"
+    );
 }
 
 /// Non-proptest regression: drops carry the right reason at the right port.
