@@ -267,6 +267,182 @@ pub fn golden_report(seed: u64) -> String {
     golden_report_threads(seed, 1)
 }
 
+// ---------------------------------------------------------------------------
+// Streaming collector: golden snapshots and ingest throughput
+// ---------------------------------------------------------------------------
+
+use probenet_stream::{
+    BankConfig, Collector, CollectorConfig, SessionKey, SessionProducer, StreamRecord,
+};
+
+/// Path of the checked-in streaming-collector snapshot artifact.
+pub fn stream_golden_path() -> String {
+    format!("{}/stream-snapshots.json", golden_dir())
+}
+
+/// The streaming golden sessions: every `(seed, δ, span)` combination of
+/// [`GOLDEN_SEEDS`] × [`GOLDEN_SLICES`] over [`GOLDEN_SCENARIO`].
+pub fn stream_session_tasks() -> Vec<(u64, u64, u64)> {
+    GOLDEN_SEEDS
+        .iter()
+        .flat_map(|&seed| {
+            GOLDEN_SLICES
+                .iter()
+                .map(move |&(delta_ms, span_secs)| (seed, delta_ms, span_secs))
+        })
+        .collect()
+}
+
+/// Render the streaming-collector golden report: run every
+/// [`stream_session_tasks`] session of the pinned scenario (series
+/// generation scheduled on `threads` pool workers), feed each through its
+/// own producer thread into one [`Collector`], and return the report JSON.
+///
+/// Each session's records are folded in sequence order into its own bank
+/// and the report is sorted by session key, so the bytes are identical
+/// whatever `threads` or the producer/collector interleaving — the same
+/// determinism contract `repro --check` enforces for the batch goldens.
+pub fn stream_report_threads(threads: usize) -> String {
+    let sc = impairment_scenario(GOLDEN_SCENARIO).expect("pinned scenario exists");
+    let tasks = stream_session_tasks();
+    let series_by_task = probenet_core::sched::par_map_threads(
+        threads,
+        tasks.clone(),
+        |(seed, delta_ms, span_secs)| {
+            sc.run(
+                seed,
+                SimDuration::from_millis(delta_ms),
+                SimDuration::from_secs(span_secs),
+            )
+            .series
+        },
+    );
+    let mut collector = Collector::new(CollectorConfig {
+        channel_capacity: 256,
+        snapshot_every: 0,
+    });
+    let mut producers = Vec::new();
+    for ((seed, delta_ms, _), series) in tasks.iter().zip(&series_by_task) {
+        let key = SessionKey::new(GOLDEN_SCENARIO, *delta_ms, *seed);
+        let bank = BankConfig::bolot(
+            *delta_ms as f64,
+            series.wire_bytes,
+            series.clock_resolution_ns,
+        );
+        producers.push(collector.add_session(key, bank));
+    }
+    let running = collector.start();
+    let mut handles = Vec::new();
+    for (p, series) in producers.into_iter().zip(series_by_task) {
+        handles.push(std::thread::spawn(move || {
+            for r in &series.records {
+                assert!(p.push(r.to_stream()), "collector exited early");
+            }
+        }));
+    }
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+    let mut body = running.join().to_json();
+    body.push('\n');
+    body
+}
+
+/// [`stream_report_threads`] on a single thread — the canonical rendering
+/// the checked-in artifact was generated with.
+pub fn stream_report() -> String {
+    stream_report_threads(1)
+}
+
+/// Measured ingest throughput of the collector, as recorded in the
+/// `--bench-json` report.
+#[derive(Debug, Serialize)]
+pub struct StreamIngest {
+    /// Concurrent sessions (one producer thread each).
+    pub sessions: u64,
+    /// Records pushed per session.
+    pub records_per_session: u64,
+    /// Records folded across all sessions.
+    pub total_records: u64,
+    /// Wall time from collector start to report, ms.
+    pub wall_ms: f64,
+    /// Aggregate ingest rate across all sessions, records/sec.
+    pub aggregate_records_per_sec: f64,
+    /// Mean per-session ingest rate, records/sec.
+    pub per_session_records_per_sec: f64,
+    /// Records dropped (blocking `push` never drops; asserted zero).
+    pub dropped: u64,
+}
+
+/// Drive `sessions` producer threads of `records_per_session` synthetic
+/// records each through one collector and measure the ingest rate. Records
+/// are generated before the clock starts, so the measurement covers only
+/// channel transfer plus estimator folding; blocking `push` is used
+/// throughout, so `dropped` is structurally zero (and asserted).
+pub fn stream_ingest_throughput(sessions: usize, records_per_session: u64) -> StreamIngest {
+    let per_session: Vec<Vec<StreamRecord>> = (0..sessions as u64)
+        .map(|s| {
+            let mut state = 0x9e37_79b9_7f4a_7c15u64 ^ (s + 1);
+            (0..records_per_session)
+                .map(|i| {
+                    state = state
+                        .wrapping_mul(6364136223846793005)
+                        .wrapping_add(1442695040888963407);
+                    let lost = state.is_multiple_of(10);
+                    StreamRecord {
+                        seq: i,
+                        sent_at_ns: i * 20_000_000,
+                        rtt_ns: (!lost).then_some(100_000_000 + state % 50_000_000),
+                    }
+                })
+                .collect()
+        })
+        .collect();
+    let mut collector = Collector::new(CollectorConfig {
+        channel_capacity: 4096,
+        snapshot_every: 0,
+    });
+    let producers: Vec<SessionProducer> = (0..sessions as u64)
+        .map(|s| {
+            collector.add_session(
+                SessionKey::new("bench-ingest", 20, s),
+                BankConfig::bolot(20.0, 72, 0),
+            )
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let running = collector.start();
+    let handles: Vec<_> = producers
+        .into_iter()
+        .zip(per_session)
+        .map(|(p, records)| {
+            std::thread::spawn(move || {
+                for r in records {
+                    assert!(p.push(r), "collector exited early");
+                }
+            })
+        })
+        .collect();
+    for h in handles {
+        h.join().expect("producer thread");
+    }
+    let report = running.join();
+    let wall = started.elapsed();
+    let total = report.total_records();
+    assert_eq!(total, sessions as u64 * records_per_session);
+    assert_eq!(report.total_dropped(), 0, "blocking push must never drop");
+    let secs = wall.as_secs_f64();
+    StreamIngest {
+        sessions: sessions as u64,
+        records_per_session,
+        total_records: total,
+        wall_ms: secs * 1e3,
+        aggregate_records_per_sec: total as f64 / secs,
+        per_session_records_per_sec: total as f64 / secs / sessions as f64,
+        dropped: report.total_dropped(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

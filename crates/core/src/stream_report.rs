@@ -1,0 +1,122 @@
+//! Adapters between the streaming layer (`probenet-stream`) and the batch
+//! analysis types of this crate.
+//!
+//! The streaming loss estimator retains sufficient statistics for every
+//! quantity `analyze_loss_flags` derives, so its snapshot converts to a
+//! [`LossAnalysis`] without loss: the differential suite serializes both
+//! sides to JSON and compares the bytes.
+
+use crate::loss::{Chi2Summary, LossAnalysis, RunsTestSummary};
+use probenet_stream::{BankSnapshot, LossSnapshot, SessionKey};
+
+/// Rehydrate a batch [`LossAnalysis`] from a streaming snapshot. Field for
+/// field — the snapshot carries the same values with the same `None`
+/// conventions, so serializing the result matches the batch analyzer's
+/// output byte-for-byte.
+pub fn loss_analysis_from_stream(snap: &LossSnapshot) -> LossAnalysis {
+    LossAnalysis {
+        sent: snap.sent,
+        lost: snap.lost,
+        ulp: snap.ulp,
+        clp: snap.clp,
+        plg_measured: snap.plg_measured,
+        plg_palm: snap.plg_palm,
+        run_lengths: snap.run_lengths.clone(),
+        runs_test: snap.runs_test.map(|r| RunsTestSummary {
+            runs: r.runs,
+            expected: r.expected,
+            z: r.z,
+            p_value: r.p_value,
+        }),
+        lag1_test: snap.lag1_test.map(|t| Chi2Summary {
+            statistic: t.statistic,
+            p_value: t.p_value,
+        }),
+    }
+}
+
+/// A compact terminal rendering of one session's streaming snapshot —
+/// the collector-side counterpart of this crate's batch report lines.
+pub fn render_stream_snapshot(key: &SessionKey, snap: &BankSnapshot) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{key}: sent {} received {} lost {} (ulp {:.4})\n",
+        snap.sent, snap.received, snap.lost, snap.loss.ulp
+    ));
+    match (snap.loss.clp, snap.loss.plg_measured) {
+        (Some(clp), Some(plg)) => {
+            out.push_str(&format!("  loss: clp {clp:.4} plg {plg:.2}"));
+            if let Some(palm) = snap.loss.plg_palm {
+                out.push_str(&format!(" (palm {palm:.2})"));
+            }
+            out.push('\n');
+        }
+        _ => out.push_str("  loss: too few losses to condition\n"),
+    }
+    if let Some(rtt) = &snap.rtt {
+        out.push_str(&format!(
+            "  rtt: mean {:.2} ms sd {:.2} min {:.2} max {:.2} p50 {:.2} p90 {:.2} p99 {:.2}\n",
+            rtt.mean_ms, rtt.std_dev_ms, rtt.min_ms, rtt.max_ms, rtt.p50_ms, rtt.p90_ms, rtt.p99_ms
+        ));
+    } else {
+        out.push_str("  rtt: no probes delivered\n");
+    }
+    out.push_str(&format!(
+        "  workload: mean {:.1} B over {} pairs; phase: {} cells ({} pairs)\n",
+        snap.workload.mean_workload_bytes,
+        snap.workload.pairs,
+        snap.phase.nonzero_cells,
+        snap.phase.pairs
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loss::analyze_loss_flags;
+    use probenet_stream::{BankConfig, EstimatorBank, StreamRecord, StreamingLoss};
+
+    #[test]
+    fn stream_loss_round_trips_to_batch_bytes() {
+        let mut state = 123u64;
+        let flags: Vec<bool> = (0..2000)
+            .map(|_| {
+                state = state
+                    .wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407);
+                ((state >> 11) as f64 / (1u64 << 53) as f64) < 0.2
+            })
+            .collect();
+        let mut s = StreamingLoss::new();
+        for &f in &flags {
+            s.push(f);
+        }
+        let from_stream = loss_analysis_from_stream(&s.snapshot());
+        let batch = analyze_loss_flags(&flags);
+        assert_eq!(
+            serde_json::to_string(&from_stream).unwrap(),
+            serde_json::to_string(&batch).unwrap()
+        );
+    }
+
+    #[test]
+    fn render_is_total_for_empty_and_lossless_sessions() {
+        let key = SessionKey::new("render", 20, 7);
+        let empty = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        let text = render_stream_snapshot(&key, &empty.snapshot());
+        assert!(text.contains("no probes delivered"));
+
+        let mut ok = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        for i in 0..10 {
+            ok.push(&StreamRecord {
+                seq: i,
+                sent_at_ns: i * 20_000_000,
+                rtt_ns: Some(140_000_000),
+            });
+        }
+        let text = render_stream_snapshot(&key, &ok.snapshot());
+        assert!(text.contains("too few losses"));
+        assert!(text.contains("mean 140.00"));
+    }
+}

@@ -23,6 +23,18 @@ pub struct RttRecord {
     pub rtt: Option<SimDurationRepr>,
 }
 
+impl RttRecord {
+    /// The streaming-ingest projection of this record — what the online
+    /// estimators in `probenet-stream` consume.
+    pub fn to_stream(&self) -> probenet_stream::StreamRecord {
+        probenet_stream::StreamRecord {
+            seq: self.seq,
+            sent_at_ns: self.sent_at,
+            rtt_ns: self.rtt,
+        }
+    }
+}
+
 /// Serializable nanosecond instant (mirror of `SimTime` for serde).
 pub type SimTimeRepr = u64;
 /// Serializable nanosecond duration (mirror of `SimDuration` for serde).

@@ -93,6 +93,16 @@ impl SimExperiment {
     /// Run to completion and collect the RTT series. Also returns the
     /// engine for callers that want queue statistics or drop records.
     pub fn run(self) -> (RttSeries, Engine) {
+        self.run_with_sink(|_| {})
+    }
+
+    /// [`SimExperiment::run`], additionally feeding every finished record —
+    /// in sequence order, losses included — to `sink` before the series is
+    /// returned. This is the simulator-side tap for streaming ingest
+    /// (`probenet-stream`): the sink sees exactly the records the series
+    /// will contain, so a streaming fold over the sink matches a batch
+    /// analysis of the returned series byte-for-byte.
+    pub fn run_with_sink<F: FnMut(&RttRecord)>(self, mut sink: F) -> (RttSeries, Engine) {
         let mut engine = checkout_engine(&self.path, self.seed);
         let cross_total: usize = self.cross_traffic.iter().map(|b| b.arrivals.len()).sum();
         engine.reserve(self.config.count, cross_total);
@@ -139,6 +149,9 @@ impl SimExperiment {
                 )
                 .as_nanos()
             });
+        }
+        for record in &records {
+            sink(record);
         }
         let series = RttSeries::new(
             self.config.interval,

@@ -317,6 +317,24 @@ pub fn run_probes(
     config: &ExperimentConfig,
     drain: Duration,
 ) -> io::Result<(RttSeries, ProbeRunStats)> {
+    run_probes_with_sink(server, config, drain, |_| {})
+}
+
+/// [`run_probes`], additionally feeding every finished record to `sink` in
+/// sequence order, losses included — the real-UDP tap for streaming ingest
+/// (`probenet-stream`).
+///
+/// The sink fires after the drain window closes, not per datagram: a probe
+/// is only *known lost* once the run stops waiting for stragglers, and the
+/// streaming estimators consume loss outcomes in sequence order. The sink
+/// sees exactly the records of the returned series, so a streaming fold
+/// matches a batch analysis of that series byte-for-byte.
+pub fn run_probes_with_sink<F: FnMut(probenet_stream::StreamRecord)>(
+    server: SocketAddr,
+    config: &ExperimentConfig,
+    drain: Duration,
+    mut sink: F,
+) -> io::Result<(RttSeries, ProbeRunStats)> {
     assert_eq!(
         config.payload_bytes as usize, PROBE_PAYLOAD_BYTES,
         "the wire format carries exactly the 32-byte NetDyn payload"
@@ -389,7 +407,7 @@ pub fn run_probes(
     }
 
     let resolution = config.clock_resolution;
-    let records = rtts
+    let records: Vec<RttRecord> = rtts
         .into_iter()
         .enumerate()
         .map(|(n, rtt)| RttRecord {
@@ -399,6 +417,9 @@ pub fn run_probes(
             rtt: rtt.map(|ns| quantize_ns(ns, resolution)),
         })
         .collect();
+    for record in &records {
+        sink(record.to_stream());
+    }
     Ok((
         RttSeries::new(config.interval, config.wire_bytes(), resolution, records),
         stats,

@@ -9,7 +9,7 @@
 //!
 //! Simulation timestamps are integer nanoseconds ([`SimTime`]), which makes
 //! them directly indexable: instead of a comparison-based heap, events hash
-//! into a ring of [`RING_SIZE`] buckets of `2^`[`BUCKET_SHIFT`] ns each
+//! into a ring of `RING_SIZE` buckets of `2^BUCKET_SHIFT` ns each
 //! (≈ 262 µs per bucket, ≈ 1.07 s per ring *epoch*). Events beyond the
 //! current epoch wait in a `BTreeMap<epoch, Vec>` and are scattered into the
 //! ring when the clock reaches their epoch.

@@ -67,16 +67,46 @@ impl Histogram {
     /// Add one sample. NaN is counted as underflow (mass conservation, but
     /// never binned).
     pub fn add(&mut self, x: f64) {
-        if x.is_nan() || x < self.lo {
-            self.underflow += 1;
-        } else if x >= self.hi {
-            self.overflow += 1;
-        } else {
-            let i = ((x - self.lo) / self.bin_width()) as usize;
-            // Float edge: x just below hi can index == bins.
-            let i = i.min(self.counts.len() - 1);
-            self.counts[i] += 1;
+        match self.bin_of(x) {
+            Some(i) => self.counts[i] += 1,
+            None if x.is_nan() || x < self.lo => self.underflow += 1,
+            None => self.overflow += 1,
         }
+    }
+
+    /// The bin a sample falls in: `Some(index)` for in-range samples, `None`
+    /// for gutter samples (NaN, below `lo`, at or above `hi`). This is the
+    /// exact binning [`Histogram::add`] applies, exposed so streaming
+    /// estimators can reproduce it on other shapes (e.g. the 2-D phase-plot
+    /// density grid) and stay bin-compatible with batch histograms.
+    pub fn bin_of(&self, x: f64) -> Option<usize> {
+        if x.is_nan() || x < self.lo || x >= self.hi {
+            return None;
+        }
+        let i = ((x - self.lo) / self.bin_width()) as usize;
+        // Float edge: x just below hi can index == bins.
+        Some(i.min(self.counts.len() - 1))
+    }
+
+    /// True if `other` covers the same range with the same bin count, so the
+    /// two histograms can be merged bin-for-bin.
+    pub fn same_layout(&self, other: &Histogram) -> bool {
+        self.lo == other.lo && self.hi == other.hi && self.counts.len() == other.counts.len()
+    }
+
+    /// Fold `other` into `self`, bin-for-bin and gutter-for-gutter. Counts
+    /// are integer sums, so merging is exact and associative — the property
+    /// the streaming layer's `merge()` contract rests on.
+    ///
+    /// # Panics
+    /// Panics if the layouts differ (see [`Histogram::same_layout`]).
+    pub fn merge(&mut self, other: &Histogram) {
+        assert!(self.same_layout(other), "histogram layouts differ");
+        for (a, &b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.underflow += other.underflow;
+        self.overflow += other.overflow;
     }
 
     /// Raw bin counts.

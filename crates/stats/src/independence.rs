@@ -27,10 +27,21 @@ pub struct RunsTest {
 pub fn runs_test(xs: &[bool]) -> Option<RunsTest> {
     let n1 = xs.iter().filter(|&&b| b).count();
     let n2 = xs.len() - n1;
-    if n1 == 0 || n2 == 0 || xs.len() < 2 {
+    if xs.len() < 2 {
         return None;
     }
     let runs = 1 + xs.windows(2).filter(|w| w[0] != w[1]).count();
+    runs_test_from_counts(n1, n2, runs)
+}
+
+/// [`runs_test`] from sufficient statistics: `n1` trues, `n2` falses and
+/// the observed number of runs (`1 +` the count of unequal adjacent pairs).
+/// This is everything a streaming fold has to retain to reproduce the batch
+/// test bit-for-bit; the two entry points share one code path.
+pub fn runs_test_from_counts(n1: usize, n2: usize, runs: usize) -> Option<RunsTest> {
+    if n1 == 0 || n2 == 0 || n1 + n2 < 2 {
+        return None;
+    }
     let n1 = n1 as f64;
     let n2 = n2 as f64;
     let n = n1 + n2;
@@ -146,7 +157,18 @@ pub fn lag1_independence(xs: &[bool]) -> Option<Chi2Test> {
     for w in xs.windows(2) {
         table[w[0] as usize][w[1] as usize] += 1;
     }
-    chi2_2x2(table[0][0], table[0][1], table[1][0], table[1][1])
+    lag1_independence_from_counts(table[0][0], table[0][1], table[1][0], table[1][1])
+}
+
+/// [`lag1_independence`] from the streamed lag-1 transition counts
+/// `n_xy` = number of adjacent pairs going state `x` → state `y`
+/// (`0` = delivered, `1` = lost). An empty table (fewer than two samples
+/// seen) is degenerate, exactly like a sequence shorter than 2.
+pub fn lag1_independence_from_counts(n00: u64, n01: u64, n10: u64, n11: u64) -> Option<Chi2Test> {
+    if n00 + n01 + n10 + n11 == 0 {
+        return None;
+    }
+    chi2_2x2(n00, n01, n10, n11)
 }
 
 #[cfg(test)]

@@ -40,8 +40,8 @@ pub use fft::{dominant_frequency, fft, ifft, next_pow2, periodogram, SpectralLin
 pub use fit::{ExponentialFit, GammaFit, ShiftedGammaFit};
 pub use histogram::{Ecdf, Histogram};
 pub use independence::{
-    chi2_2x2, lag1_independence, ljung_box, runs_test, two_sided_normal_p, Chi2Test, LjungBoxTest,
-    RunsTest,
+    chi2_2x2, lag1_independence, lag1_independence_from_counts, ljung_box, runs_test,
+    runs_test_from_counts, two_sided_normal_p, Chi2Test, LjungBoxTest, RunsTest,
 };
 pub use moments::{correlation, ols, Moments};
 pub use peaks::{find_peaks, find_relative_peaks, smooth, Peak};

@@ -1,0 +1,342 @@
+//! The per-session estimator bank: every streaming estimator the collector
+//! maintains for one probe session, fed record-by-record and summarized as
+//! one JSON-ready snapshot.
+
+use crate::acf::WindowedAcf;
+use crate::fnv::fnv1a_u64s;
+use crate::lindley::{StreamingWorkload, WorkloadSnapshot};
+use crate::loss::{LossSnapshot, StreamingLoss};
+use crate::phase::{PhaseDensity, PhaseSnapshot};
+use crate::quantile::LogQuantileSketch;
+use crate::record::StreamRecord;
+use probenet_stats::{Histogram, Moments};
+use serde::{Deserialize, Serialize};
+
+/// Layout and model parameters of an [`EstimatorBank`]. Two banks merge only
+/// if their configs are identical (same bin layouts, same μ).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BankConfig {
+    /// Probe interval δ in ms.
+    pub delta_ms: f64,
+    /// Probe wire size in bytes (the paper's `P`, as bytes).
+    pub wire_bytes: u32,
+    /// Receiver clock resolution in ns (drives workload histogram binning).
+    pub clock_resolution_ns: u64,
+    /// Assumed bottleneck rate μ in bits/s.
+    pub mu_bps: f64,
+    /// Workload/interarrival histogram upper edge (ms).
+    pub workload_max_ms: f64,
+    /// RTT histogram lower edge (ms).
+    pub rtt_lo_ms: f64,
+    /// RTT histogram upper edge (ms).
+    pub rtt_hi_ms: f64,
+    /// RTT histogram bin count.
+    pub rtt_bins: usize,
+    /// ACF ring capacity (sessions shorter than this reproduce the batch
+    /// ACF bit-for-bit).
+    pub acf_window: usize,
+    /// Maximum ACF lag reported in snapshots.
+    pub acf_max_lag: usize,
+    /// Phase grid lower edge (ms).
+    pub phase_lo_ms: f64,
+    /// Phase grid upper edge (ms).
+    pub phase_hi_ms: f64,
+    /// Phase grid bins per axis.
+    pub phase_bins: usize,
+}
+
+impl BankConfig {
+    /// The defaults used throughout this repo's Bolot scenarios: μ = 128
+    /// kb/s, RTT range `[0, 2000)` ms × 400 bins, workload histogram up to
+    /// `max(4δ, 100)` ms, an 8192-sample ACF window reported to lag 20, and
+    /// a 64×64 phase grid over the RTT range.
+    pub fn bolot(delta_ms: f64, wire_bytes: u32, clock_resolution_ns: u64) -> Self {
+        BankConfig {
+            delta_ms,
+            wire_bytes,
+            clock_resolution_ns,
+            mu_bps: 128_000.0,
+            workload_max_ms: (4.0 * delta_ms).max(100.0),
+            rtt_lo_ms: 0.0,
+            rtt_hi_ms: 2000.0,
+            rtt_bins: 400,
+            acf_window: 8192,
+            acf_max_lag: 20,
+            phase_lo_ms: 0.0,
+            phase_hi_ms: 2000.0,
+            phase_bins: 64,
+        }
+    }
+}
+
+/// All streaming estimators for one session, updated in O(1) per record.
+#[derive(Debug, Clone)]
+pub struct EstimatorBank {
+    config: BankConfig,
+    loss: StreamingLoss,
+    moments: Moments,
+    rtt_hist: Histogram,
+    sketch: LogQuantileSketch,
+    acf: WindowedAcf,
+    workload: StreamingWorkload,
+    phase: PhaseDensity,
+}
+
+/// Delay summary of the delivered probes (absent when none arrived, so the
+/// snapshot never carries NaN/∞ — which the vendored JSON writer rejects).
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RttSummary {
+    /// Mean RTT (ms).
+    pub mean_ms: f64,
+    /// Sample standard deviation (ms).
+    pub std_dev_ms: f64,
+    /// Minimum RTT (ms).
+    pub min_ms: f64,
+    /// Maximum RTT (ms).
+    pub max_ms: f64,
+    /// Median from the quantile sketch (ms, relative error ≤ 2⁻⁷).
+    pub p50_ms: f64,
+    /// 90th percentile from the sketch (ms).
+    pub p90_ms: f64,
+    /// 99th percentile from the sketch (ms).
+    pub p99_ms: f64,
+    /// FNV-1a digest of the RTT histogram bin counts.
+    pub hist_fnv1a: String,
+}
+
+/// One session's full streaming summary.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct BankSnapshot {
+    /// Probes pushed.
+    pub sent: u64,
+    /// Probes delivered.
+    pub received: u64,
+    /// Probes lost.
+    pub lost: u64,
+    /// Loss-process metrics (batch-exact).
+    pub loss: LossSnapshot,
+    /// Delay summary, `None` when nothing was delivered.
+    pub rtt: Option<RttSummary>,
+    /// ACF of the (windowed) delivered-RTT series up to the configured lag.
+    pub acf: Vec<f64>,
+    /// Delivered samples the ACF ring has evicted (0 ⇒ the ACF is exactly
+    /// the batch ACF of the full series).
+    pub acf_evicted: u64,
+    /// Interarrival/workload summary.
+    pub workload: WorkloadSnapshot,
+    /// Phase-plot density summary.
+    pub phase: PhaseSnapshot,
+}
+
+impl EstimatorBank {
+    /// A fresh bank with the given layout.
+    pub fn new(config: BankConfig) -> Self {
+        let workload = StreamingWorkload::new(
+            config.delta_ms,
+            config.wire_bytes,
+            config.clock_resolution_ns,
+            config.mu_bps,
+            config.workload_max_ms,
+        );
+        EstimatorBank {
+            loss: StreamingLoss::new(),
+            moments: Moments::new(),
+            rtt_hist: Histogram::new(config.rtt_lo_ms, config.rtt_hi_ms, config.rtt_bins),
+            sketch: LogQuantileSketch::new(),
+            acf: WindowedAcf::new(config.acf_window),
+            phase: PhaseDensity::new(config.phase_lo_ms, config.phase_hi_ms, config.phase_bins),
+            workload,
+            config,
+        }
+    }
+
+    /// The bank's configuration.
+    pub fn config(&self) -> &BankConfig {
+        &self.config
+    }
+
+    /// Fold one record (records must arrive in sequence order).
+    pub fn push(&mut self, r: &StreamRecord) {
+        self.loss.push(r.rtt_ns.is_none());
+        if let Some(ns) = r.rtt_ns {
+            let ms = ns as f64 / 1e6;
+            self.moments.push(ms);
+            self.rtt_hist.add(ms);
+            self.sketch.push(ns);
+            self.acf.push(ms);
+        }
+        self.workload.push(r.rtt_ns);
+        self.phase.push(r.rtt_ns);
+    }
+
+    /// Fold `other` — the estimators of the records immediately following
+    /// this bank's — into `self`. Integer state merges exactly; float
+    /// accumulators (moments, workload sum) to reassociation ε.
+    ///
+    /// # Panics
+    /// Panics if the configs differ.
+    pub fn merge(&mut self, other: &EstimatorBank) {
+        assert!(self.config == other.config, "bank configs differ");
+        self.loss.merge(&other.loss);
+        self.moments.merge(&other.moments);
+        self.rtt_hist.merge(&other.rtt_hist);
+        self.sketch.merge(&other.sketch);
+        self.acf.merge(&other.acf);
+        self.workload.merge(&other.workload);
+        self.phase.merge(&other.phase);
+    }
+
+    /// Probes pushed so far.
+    pub fn sent(&self) -> u64 {
+        self.loss.sent()
+    }
+
+    /// The loss estimator (for differential tests).
+    pub fn loss(&self) -> &StreamingLoss {
+        &self.loss
+    }
+
+    /// The delivered-RTT moments (ms).
+    pub fn moments(&self) -> &Moments {
+        &self.moments
+    }
+
+    /// The delivered-RTT histogram (ms).
+    pub fn rtt_hist(&self) -> &Histogram {
+        &self.rtt_hist
+    }
+
+    /// The delivered-RTT quantile sketch (ns).
+    pub fn sketch(&self) -> &LogQuantileSketch {
+        &self.sketch
+    }
+
+    /// The workload estimator.
+    pub fn workload(&self) -> &StreamingWorkload {
+        &self.workload
+    }
+
+    /// The phase-density grid.
+    pub fn phase(&self) -> &PhaseDensity {
+        &self.phase
+    }
+
+    /// The windowed ACF ring.
+    pub fn acf(&self) -> &WindowedAcf {
+        &self.acf
+    }
+
+    /// Current summary of every estimator.
+    pub fn snapshot(&self) -> BankSnapshot {
+        let received = self.moments.count();
+        let rtt = if received == 0 {
+            None
+        } else {
+            Some(RttSummary {
+                mean_ms: self.moments.mean(),
+                std_dev_ms: self.moments.std_dev(),
+                min_ms: self.moments.min(),
+                max_ms: self.moments.max(),
+                p50_ms: self.sketch.quantile(0.5).expect("non-empty") as f64 / 1e6,
+                p90_ms: self.sketch.quantile(0.9).expect("non-empty") as f64 / 1e6,
+                p99_ms: self.sketch.quantile(0.99).expect("non-empty") as f64 / 1e6,
+                hist_fnv1a: fnv1a_u64s(self.rtt_hist.counts().iter().copied()),
+            })
+        };
+        BankSnapshot {
+            sent: self.loss.sent(),
+            received,
+            lost: self.loss.lost(),
+            loss: self.loss.snapshot(),
+            rtt,
+            acf: self.acf.snapshot(self.config.acf_max_lag),
+            acf_evicted: self.acf.evicted(),
+            workload: self.workload.snapshot(),
+            phase: self.phase.snapshot(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn record(seq: u64, rtt_ms: Option<f64>) -> StreamRecord {
+        StreamRecord {
+            seq,
+            sent_at_ns: seq * 20_000_000,
+            rtt_ns: rtt_ms.map(|ms| (ms * 1e6) as u64),
+        }
+    }
+
+    #[test]
+    fn empty_bank_snapshot_is_json_safe() {
+        let bank = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        let snap = bank.snapshot();
+        assert!(snap.rtt.is_none());
+        assert!(snap.acf.is_empty());
+        // The vendored writer errors on NaN/∞; this must serialize.
+        serde_json::to_string(&snap).expect("JSON-safe");
+    }
+
+    #[test]
+    fn counts_line_up() {
+        let mut bank = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        for i in 0..50 {
+            bank.push(&record(
+                i,
+                if i % 5 == 0 {
+                    None
+                } else {
+                    Some(140.0 + i as f64)
+                },
+            ));
+        }
+        let snap = bank.snapshot();
+        assert_eq!(snap.sent, 50);
+        assert_eq!(snap.lost, 10);
+        assert_eq!(snap.received, 40);
+        assert_eq!(snap.loss.sent, 50);
+        let rtt = snap.rtt.expect("delivered probes");
+        assert!(rtt.min_ms >= 140.0 && rtt.max_ms < 200.0);
+    }
+
+    #[test]
+    fn merge_matches_sequential_for_integer_state() {
+        let records: Vec<StreamRecord> = (0..300)
+            .map(|i| {
+                record(
+                    i,
+                    if i % 9 == 2 {
+                        None
+                    } else {
+                        Some(100.0 + (i as f64 * 0.7).sin() * 40.0)
+                    },
+                )
+            })
+            .collect();
+        let mut whole = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        for r in &records {
+            whole.push(r);
+        }
+        let mut a = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        let mut b = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+        for r in &records[..137] {
+            a.push(r);
+        }
+        for r in &records[137..] {
+            b.push(r);
+        }
+        a.merge(&b);
+        let (sa, sw) = (a.snapshot(), whole.snapshot());
+        assert_eq!(
+            serde_json::to_string(&sa.loss).unwrap(),
+            serde_json::to_string(&sw.loss).unwrap()
+        );
+        assert_eq!(sa.phase.grid_fnv1a, sw.phase.grid_fnv1a);
+        assert_eq!(sa.workload.hist_fnv1a, sw.workload.hist_fnv1a);
+        assert_eq!(a.sketch(), whole.sketch());
+        assert_eq!(sa.acf, sw.acf);
+        assert!((sa.rtt.unwrap().mean_ms - sw.rtt.unwrap().mean_ms).abs() < 1e-9);
+    }
+}

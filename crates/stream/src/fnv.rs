@@ -1,0 +1,32 @@
+//! FNV-1a over little-endian `u64` words — a compact, dependency-free way
+//! to pin a large count grid in a JSON snapshot without serializing every
+//! cell. Same constants as the golden-trace hasher in `probenet-bench`.
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0100_0000_01b3;
+
+/// Hash a sequence of `u64` words (as their 8 little-endian bytes each) and
+/// render the digest as 16 lowercase hex characters.
+pub fn fnv1a_u64s<I: IntoIterator<Item = u64>>(words: I) -> String {
+    let mut h = FNV_OFFSET;
+    for w in words {
+        for b in w.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(FNV_PRIME);
+        }
+    }
+    format!("{h:016x}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stable_and_order_sensitive() {
+        let a = fnv1a_u64s([1, 2, 3]);
+        assert_eq!(a, fnv1a_u64s([1, 2, 3]));
+        assert_ne!(a, fnv1a_u64s([3, 2, 1]));
+        assert_eq!(a.len(), 16);
+    }
+}

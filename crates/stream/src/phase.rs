@@ -1,0 +1,226 @@
+//! Incremental phase-plot density grid (the paper's Figures 3–7).
+//!
+//! The batch `probenet_core::PhasePlot` materializes every `(rtt_n,
+//! rtt_{n+1})` point; at streaming rates that is unbounded memory for a
+//! scatter nobody reads point-by-point. The online variant bins the points
+//! into a fixed square density grid as they arrive: the same information
+//! the phase-plot *figures* convey (where the mass sits, the diagonal
+//! structure, compression streaks), in O(bins²) memory.
+//!
+//! Pairing state is identical to the workload estimator: only the previous
+//! record's RTT is retained, each consecutive delivered pair contributes one
+//! point, and `merge` folds the single junction pair — so grid counts are
+//! exact integers under any merge grouping.
+
+use crate::fnv::fnv1a_u64s;
+use serde::{Deserialize, Serialize};
+
+/// Streaming 2-D density grid over consecutive-RTT pairs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseDensity {
+    lo: f64,
+    hi: f64,
+    bins: usize,
+    /// Row-major `bins × bins` counts; `grid[ix * bins + iy]` where `ix`
+    /// bins `rtt_n` and `iy` bins `rtt_{n+1}`.
+    grid: Vec<u64>,
+    pairs: u64,
+    out_of_range: u64,
+    first: Option<Option<u64>>,
+    last: Option<Option<u64>>,
+}
+
+/// JSON-facing summary of a [`PhaseDensity`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct PhaseSnapshot {
+    /// Grid lower edge (ms).
+    pub lo_ms: f64,
+    /// Grid upper edge (ms).
+    pub hi_ms: f64,
+    /// Bins per axis.
+    pub bins: usize,
+    /// Consecutive delivered pairs observed.
+    pub pairs: u64,
+    /// Pairs with either coordinate outside `[lo, hi)`.
+    pub out_of_range: u64,
+    /// Grid cells with at least one point.
+    pub nonzero_cells: usize,
+    /// FNV-1a digest of the full grid — pins every cell count without
+    /// serializing `bins²` numbers.
+    pub grid_fnv1a: String,
+}
+
+impl PhaseDensity {
+    /// A new grid over `[lo_ms, hi_ms)` per axis with `bins × bins` cells.
+    ///
+    /// # Panics
+    /// Panics on a non-positive range or zero bins.
+    pub fn new(lo_ms: f64, hi_ms: f64, bins: usize) -> Self {
+        assert!(
+            lo_ms.is_finite() && hi_ms.is_finite() && lo_ms < hi_ms,
+            "bad range"
+        );
+        assert!(bins > 0, "need at least one bin");
+        PhaseDensity {
+            lo: lo_ms,
+            hi: hi_ms,
+            bins,
+            grid: vec![0; bins * bins],
+            pairs: 0,
+            out_of_range: 0,
+            first: None,
+            last: None,
+        }
+    }
+
+    fn axis_bin(&self, x_ms: f64) -> Option<usize> {
+        if x_ms < self.lo || x_ms >= self.hi {
+            return None;
+        }
+        let w = (self.hi - self.lo) / self.bins as f64;
+        Some((((x_ms - self.lo) / w) as usize).min(self.bins - 1))
+    }
+
+    /// Record the next probe's RTT (`None` = lost), in sequence order.
+    pub fn push(&mut self, rtt_ns: Option<u64>) {
+        if let Some(prev) = self.last {
+            self.fold_pair(prev, rtt_ns);
+        }
+        if self.first.is_none() {
+            self.first = Some(rtt_ns);
+        }
+        self.last = Some(rtt_ns);
+    }
+
+    fn fold_pair(&mut self, prev: Option<u64>, cur: Option<u64>) {
+        if let (Some(a), Some(b)) = (prev, cur) {
+            self.pairs += 1;
+            let (x, y) = (a as f64 / 1e6, b as f64 / 1e6);
+            match (self.axis_bin(x), self.axis_bin(y)) {
+                (Some(ix), Some(iy)) => self.grid[ix * self.bins + iy] += 1,
+                _ => self.out_of_range += 1,
+            }
+        }
+    }
+
+    /// Fold `other` (the records immediately following this segment) into
+    /// `self`. Exact and associative (all state is integer counts).
+    ///
+    /// # Panics
+    /// Panics if the grids have different layouts.
+    pub fn merge(&mut self, other: &PhaseDensity) {
+        assert!(
+            self.lo == other.lo && self.hi == other.hi && self.bins == other.bins,
+            "phase grid layouts differ"
+        );
+        let Some(b_first) = other.first else {
+            return;
+        };
+        if let Some(a_last) = self.last {
+            self.fold_pair(a_last, b_first);
+        } else {
+            self.first = other.first;
+        }
+        for (a, &b) in self.grid.iter_mut().zip(&other.grid) {
+            *a += b;
+        }
+        self.pairs += other.pairs;
+        self.out_of_range += other.out_of_range;
+        self.last = other.last;
+    }
+
+    /// Pairs observed so far.
+    pub fn pairs(&self) -> u64 {
+        self.pairs
+    }
+
+    /// The raw row-major grid counts.
+    pub fn counts(&self) -> &[u64] {
+        &self.grid
+    }
+
+    /// Bins per axis.
+    pub fn bins(&self) -> usize {
+        self.bins
+    }
+
+    /// The cell a point falls into, if inside the grid — exposed so tests
+    /// can re-bin batch phase-plot points with the identical rule.
+    pub fn cell_of(&self, x_ms: f64, y_ms: f64) -> Option<(usize, usize)> {
+        Some((self.axis_bin(x_ms)?, self.axis_bin(y_ms)?))
+    }
+
+    /// Current summary.
+    pub fn snapshot(&self) -> PhaseSnapshot {
+        PhaseSnapshot {
+            lo_ms: self.lo,
+            hi_ms: self.hi,
+            bins: self.bins,
+            pairs: self.pairs,
+            out_of_range: self.out_of_range,
+            nonzero_cells: self.grid.iter().filter(|&&c| c > 0).count(),
+            grid_fnv1a: fnv1a_u64s(self.grid.iter().copied()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(x: f64) -> Option<u64> {
+        Some((x * 1e6) as u64)
+    }
+
+    #[test]
+    fn pairs_and_binning() {
+        let mut p = PhaseDensity::new(0.0, 100.0, 10);
+        for r in [ms(15.0), ms(25.0), None, ms(35.0), ms(45.0)] {
+            p.push(r);
+        }
+        // Pairs: (15,25) and (35,45); the loss breaks (25,35).
+        assert_eq!(p.pairs(), 2);
+        assert_eq!(p.counts()[12], 1); // cell (1, 2)
+        assert_eq!(p.counts()[34], 1); // cell (3, 4)
+    }
+
+    #[test]
+    fn out_of_range_counted_not_dropped() {
+        let mut p = PhaseDensity::new(0.0, 10.0, 5);
+        for r in [ms(5.0), ms(50.0)] {
+            p.push(r);
+        }
+        assert_eq!(p.pairs(), 1);
+        assert_eq!(p.snapshot().out_of_range, 1);
+        assert_eq!(p.snapshot().nonzero_cells, 0);
+    }
+
+    #[test]
+    fn merge_matches_sequential() {
+        let rtts: Vec<Option<u64>> = (0..80)
+            .map(|i| {
+                if i % 11 == 5 {
+                    None
+                } else {
+                    ms(40.0 + (i as f64 * 0.9).sin() * 30.0)
+                }
+            })
+            .collect();
+        let mut whole = PhaseDensity::new(0.0, 100.0, 16);
+        for &r in &rtts {
+            whole.push(r);
+        }
+        for split in [0, 1, 40, 79, 80] {
+            let mut a = PhaseDensity::new(0.0, 100.0, 16);
+            let mut b = PhaseDensity::new(0.0, 100.0, 16);
+            for &r in &rtts[..split] {
+                a.push(r);
+            }
+            for &r in &rtts[split..] {
+                b.push(r);
+            }
+            a.merge(&b);
+            assert_eq!(a, whole, "split {split}");
+        }
+    }
+}

@@ -1,0 +1,62 @@
+//! The unit of streaming ingest: one probe observation, and the key that
+//! names the session it belongs to.
+
+use serde::{Deserialize, Serialize};
+
+/// One probe observation, as fed to the streaming estimators.
+///
+/// This is the minimal projection of `probenet_netdyn::RttRecord` the
+/// online analysis needs: the sequence number (records must be pushed in
+/// sequence order within a session), the nominal send instant, and the
+/// measured round trip (`None` = lost, the paper's `rtt_n = 0` events).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StreamRecord {
+    /// Probe sequence number `n`.
+    pub seq: u64,
+    /// Nominal send instant (`n · δ`), nanoseconds.
+    pub sent_at_ns: u64,
+    /// Measured round trip in nanoseconds, `None` if the probe never
+    /// returned.
+    pub rtt_ns: Option<u64>,
+}
+
+/// The identity of one concurrent probe session: which path was probed, at
+/// what interval, under which seed. Keys order lexicographically
+/// (path, δ, seed), which is the deterministic order collector reports use.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct SessionKey {
+    /// Path or scenario name (e.g. `"bursty-transatlantic"`).
+    pub path: String,
+    /// Probe interval δ in nanoseconds.
+    pub delta_ns: u64,
+    /// Seed of the run.
+    pub seed: u64,
+}
+
+impl SessionKey {
+    /// A key from a scenario name, δ in milliseconds, and seed.
+    pub fn new(path: impl Into<String>, delta_ms: u64, seed: u64) -> Self {
+        SessionKey {
+            path: path.into(),
+            delta_ns: delta_ms * 1_000_000,
+            seed,
+        }
+    }
+
+    /// δ in milliseconds (lossless for millisecond-grained intervals).
+    pub fn delta_ms(&self) -> f64 {
+        self.delta_ns as f64 / 1e6
+    }
+}
+
+impl std::fmt::Display for SessionKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/delta{}ms/seed{}",
+            self.path,
+            self.delta_ms(),
+            self.seed
+        )
+    }
+}

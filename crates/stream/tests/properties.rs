@@ -1,0 +1,273 @@
+//! Property suite for the streaming estimators: `merge()` associativity for
+//! every estimator and streaming-vs-batch equivalence against small inline
+//! batch references (the full-pipeline differential comparison against
+//! `probenet-core` lives in the workspace-level `tests/streaming.rs`).
+
+use probenet_stats::{autocorrelation, Histogram, Moments};
+use probenet_stream::{
+    BankConfig, EstimatorBank, LogQuantileSketch, StreamRecord, StreamingLoss, StreamingWorkload,
+    WindowedAcf,
+};
+use proptest::collection::vec;
+use proptest::option;
+use proptest::prelude::*;
+
+/// A generated session: per-probe RTT in ns, `None` = lost.
+fn rtts_strategy() -> impl Strategy<Value = Vec<Option<u64>>> {
+    vec(option::of(1_000_000u64..500_000_000), 0..250)
+}
+
+fn record(seq: usize, rtt_ns: Option<u64>) -> StreamRecord {
+    StreamRecord {
+        seq: seq as u64,
+        sent_at_ns: seq as u64 * 20_000_000,
+        rtt_ns,
+    }
+}
+
+fn bank_of(rtts: &[Option<u64>], offset: usize) -> EstimatorBank {
+    let mut bank = EstimatorBank::new(BankConfig::bolot(20.0, 72, 1_000_000));
+    for (i, &r) in rtts.iter().enumerate() {
+        bank.push(&record(offset + i, r));
+    }
+    bank
+}
+
+/// Two ways of splitting `rtts` into three consecutive segments.
+fn split3(rtts: &[Option<u64>], a: usize, b: usize) -> (usize, usize) {
+    let n = rtts.len();
+    let i = a % (n + 1);
+    let j = i + b % (n + 1 - i);
+    (i, j)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `(a ⊕ b) ⊕ c == a ⊕ (b ⊕ c)` for every estimator in the bank:
+    /// integer state compares exactly, float accumulators to the documented
+    /// reassociation ε.
+    #[test]
+    fn bank_merge_is_associative(rtts in rtts_strategy(), a in 0usize..1000, b in 0usize..1000) {
+        let (i, j) = split3(&rtts, a, b);
+        let (xa, xb, xc) = (&rtts[..i], &rtts[i..j], &rtts[j..]);
+
+        // Left-grouped: (a ⊕ b) ⊕ c.
+        let mut left = bank_of(xa, 0);
+        left.merge(&bank_of(xb, i));
+        left.merge(&bank_of(xc, j));
+
+        // Right-grouped: a ⊕ (b ⊕ c).
+        let mut bc = bank_of(xb, i);
+        bc.merge(&bank_of(xc, j));
+        let mut right = bank_of(xa, 0);
+        right.merge(&bc);
+
+        let (sl, sr) = (left.snapshot(), right.snapshot());
+        // Loss metrics are pure integer state: byte-exact.
+        prop_assert_eq!(
+            serde_json::to_string(&sl.loss).unwrap(),
+            serde_json::to_string(&sr.loss).unwrap()
+        );
+        // Sketch, phase grid, histograms: exact u64 addition.
+        prop_assert_eq!(left.sketch(), right.sketch());
+        prop_assert_eq!(left.phase().counts(), right.phase().counts());
+        prop_assert_eq!(left.rtt_hist().counts(), right.rtt_hist().counts());
+        prop_assert_eq!(
+            left.workload().histogram().counts(),
+            right.workload().histogram().counts()
+        );
+        prop_assert_eq!(left.workload().pairs(), right.workload().pairs());
+        // ACF ring: the session is far below the 8192 window, so both
+        // groupings hold the identical sample sequence.
+        prop_assert_eq!(&sl.acf, &sr.acf);
+        prop_assert_eq!(sl.acf_evicted, sr.acf_evicted);
+        // Float accumulators: reassociation ε.
+        prop_assert_eq!(left.moments().count(), right.moments().count());
+        if left.moments().count() > 0 {
+            prop_assert!((left.moments().mean() - right.moments().mean()).abs() <= 1e-9);
+        }
+        prop_assert!(
+            (left.workload().mean_workload_bytes() - right.workload().mean_workload_bytes()).abs()
+                <= 1e-9
+        );
+    }
+
+    /// Merging consecutive segments reproduces a single serial fold.
+    #[test]
+    fn bank_merge_matches_serial_fold(rtts in rtts_strategy(), a in 0usize..1000, b in 0usize..1000) {
+        let (i, j) = split3(&rtts, a, b);
+        let whole = bank_of(&rtts, 0);
+        let mut merged = bank_of(&rtts[..i], 0);
+        merged.merge(&bank_of(&rtts[i..j], i));
+        merged.merge(&bank_of(&rtts[j..], j));
+        let (sm, sw) = (merged.snapshot(), whole.snapshot());
+        prop_assert_eq!(
+            serde_json::to_string(&sm.loss).unwrap(),
+            serde_json::to_string(&sw.loss).unwrap()
+        );
+        prop_assert_eq!(merged.sketch(), whole.sketch());
+        prop_assert_eq!(merged.phase().counts(), whole.phase().counts());
+        prop_assert_eq!(
+            merged.workload().histogram().counts(),
+            whole.workload().histogram().counts()
+        );
+        prop_assert_eq!(&sm.acf, &sw.acf);
+        prop_assert!(
+            (merged.workload().mean_workload_bytes() - whole.workload().mean_workload_bytes())
+                .abs()
+                <= 1e-9
+        );
+        if whole.moments().count() > 0 {
+            prop_assert!((merged.moments().mean() - whole.moments().mean()).abs() <= 1e-9);
+        }
+    }
+
+    /// StreamingLoss against an inline batch reference computed from the
+    /// flag vector (counts, conditionals, run lengths).
+    #[test]
+    fn streaming_loss_matches_inline_batch(rtts in rtts_strategy()) {
+        let flags: Vec<bool> = rtts.iter().map(|r| r.is_none()).collect();
+        let mut s = StreamingLoss::new();
+        for &f in &flags {
+            s.push(f);
+        }
+        let snap = s.snapshot();
+
+        let lost = flags.iter().filter(|&&f| f).count();
+        prop_assert_eq!(snap.sent, flags.len());
+        prop_assert_eq!(snap.lost, lost);
+
+        // Run lengths: maximal runs of consecutive losses.
+        let mut runs: Vec<usize> = Vec::new();
+        let mut cur = 0usize;
+        for &f in &flags {
+            if f {
+                cur += 1;
+            } else if cur > 0 {
+                runs.push(cur);
+                cur = 0;
+            }
+        }
+        if cur > 0 {
+            runs.push(cur);
+        }
+        let mut hist = vec![0usize; runs.iter().copied().max().unwrap_or(0)];
+        for r in &runs {
+            hist[r - 1] += 1;
+        }
+        prop_assert_eq!(&snap.run_lengths, &hist);
+
+        // clp = P(loss_{n+1} | loss_n) over consecutive pairs.
+        let n11 = flags.windows(2).filter(|w| w[0] && w[1]).count();
+        let n10 = flags.windows(2).filter(|w| w[0] && !w[1]).count();
+        match snap.clp {
+            Some(clp) => {
+                prop_assert!(n10 + n11 > 0);
+                prop_assert_eq!(clp, n11 as f64 / (n10 + n11) as f64);
+            }
+            None => prop_assert_eq!(n10 + n11, 0),
+        }
+        if !runs.is_empty() {
+            prop_assert_eq!(snap.plg_measured, Some(lost as f64 / runs.len() as f64));
+        }
+    }
+
+    /// The sketch brackets the exact nearest-rank quantile from below,
+    /// within its documented 2⁻⁷ relative error.
+    #[test]
+    fn sketch_brackets_exact_quantiles(
+        values in vec(1u64..2_000_000_000, 1..300),
+        qs in vec(0.0f64..1.0, 1..8),
+    ) {
+        let mut sketch = LogQuantileSketch::new();
+        for &v in &values {
+            sketch.push(v);
+        }
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for &q in &qs {
+            let rank = if q == 0.0 {
+                1
+            } else {
+                ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len())
+            };
+            let truth = sorted[rank - 1] as f64;
+            let approx = sketch.quantile(q).expect("non-empty") as f64;
+            prop_assert!(approx <= truth, "q {} approx {} truth {}", q, approx, truth);
+            prop_assert!(
+                truth - approx <= truth * LogQuantileSketch::RELATIVE_ERROR,
+                "q {} approx {} truth {}",
+                q,
+                approx,
+                truth
+            );
+        }
+    }
+
+    /// StreamingWorkload against an inline batch fold of the interarrival
+    /// series (identical binning, identical summation order).
+    #[test]
+    fn streaming_workload_matches_inline_batch(rtts in rtts_strategy()) {
+        let mut w = StreamingWorkload::new(20.0, 72, 1_000_000, 128_000.0, 100.0);
+        for &r in &rtts {
+            w.push(r);
+        }
+        let g: Vec<f64> = rtts
+            .windows(2)
+            .filter_map(|p| match (p[0], p[1]) {
+                (Some(a), Some(b)) => Some((b as f64 - a as f64) / 1e6 + 20.0),
+                _ => None,
+            })
+            .collect();
+        // Batch layout for max_ms = 100 at 1 ms clock resolution: 1 ms bins.
+        let mut hist = Histogram::new(0.0, 100.0, 100);
+        let mut b_sum = 0.0f64;
+        for &g_ms in &g {
+            hist.add(g_ms);
+            b_sum += ((128_000.0 * g_ms / 1e3 - 576.0) / 8.0).max(0.0);
+        }
+        prop_assert_eq!(w.pairs() as usize, g.len());
+        prop_assert_eq!(w.histogram().counts(), hist.counts());
+        if !g.is_empty() {
+            // Same additions in the same order: bit-identical.
+            prop_assert_eq!(w.mean_workload_bytes(), b_sum / g.len() as f64);
+        }
+    }
+
+    /// The windowed ACF equals the batch ACF of the ring contents: the full
+    /// series below capacity, its tail above.
+    #[test]
+    fn windowed_acf_matches_batch_of_tail(
+        values in vec(1_000_000u64..500_000_000, 0..200),
+        window in 2usize..64,
+    ) {
+        let mut acf = WindowedAcf::new(window);
+        let ms: Vec<f64> = values.iter().map(|&v| v as f64 / 1e6).collect();
+        for &x in &ms {
+            acf.push(x);
+        }
+        let tail: &[f64] = if ms.len() > window { &ms[ms.len() - window..] } else { &ms };
+        if tail.is_empty() {
+            prop_assert!(acf.snapshot(20).is_empty());
+        } else {
+            let max_lag = 20.min(tail.len() - 1);
+            prop_assert_eq!(acf.snapshot(20), autocorrelation(tail, max_lag));
+        }
+        prop_assert_eq!(acf.evicted() as usize, ms.len().saturating_sub(window));
+    }
+
+    /// Moments fold identically to the batch slice constructor.
+    #[test]
+    fn moments_match_batch_fold(values in vec(1_000_000u64..500_000_000, 1..300)) {
+        let ms: Vec<f64> = values.iter().map(|&v| v as f64 / 1e6).collect();
+        let mut streaming = Moments::new();
+        for &x in &ms {
+            streaming.push(x);
+        }
+        let batch = Moments::from_slice(&ms);
+        prop_assert_eq!(streaming.count(), batch.count());
+        prop_assert_eq!(streaming.mean(), batch.mean());
+        prop_assert_eq!(streaming.std_dev(), batch.std_dev());
+    }
+}

@@ -1,0 +1,302 @@
+//! Differential suite for the streaming analysis engine (`probenet-stream`):
+//! every collector snapshot must reproduce the batch pipeline — byte-exactly
+//! for counts and loss metrics, within the documented ε for quantiles and
+//! merged float accumulators — and be bit-identical whatever the thread
+//! count or channel capacity (see DESIGN.md §11 for the exactness policy).
+
+use probenet_bench::{stream_golden_path, stream_report, stream_report_threads};
+use probenet_core::{
+    analyze_losses, analyze_workload, impairment_scenario, loss_analysis_from_stream, PhasePlot,
+};
+use probenet_netdyn::{ExperimentConfig, RttSeries, SimExperiment};
+use probenet_sim::{Path, SimDuration};
+use probenet_stats::{autocorrelation, Ecdf, Moments};
+use probenet_stream::{
+    BankConfig, Collector, CollectorConfig, EstimatorBank, LogQuantileSketch, SessionKey,
+};
+
+/// Scenarios the differential comparison sweeps: healthy plus the main
+/// impairment families (burst loss, reordering, route flap).
+const SCENARIOS: &[&str] = &[
+    "bursty-transatlantic",
+    "route-flap",
+    "noisy-clock",
+    "dirty-fiber",
+];
+
+fn scenario_series(name: &str) -> Option<RttSeries> {
+    let sc = impairment_scenario(name)?;
+    Some(
+        sc.run(
+            1993,
+            SimDuration::from_millis(50),
+            SimDuration::from_secs(30),
+        )
+        .series,
+    )
+}
+
+fn bank_for(series: &RttSeries) -> EstimatorBank {
+    let delta_ms = series.interval_ns as f64 / 1e6;
+    EstimatorBank::new(BankConfig::bolot(
+        delta_ms,
+        series.wire_bytes,
+        series.clock_resolution_ns,
+    ))
+}
+
+fn fold_series(series: &RttSeries) -> EstimatorBank {
+    let mut bank = bank_for(series);
+    for r in &series.records {
+        bank.push(&r.to_stream());
+    }
+    bank
+}
+
+fn delivered_ms(series: &RttSeries) -> Vec<f64> {
+    series
+        .records
+        .iter()
+        .filter_map(|r| r.rtt.map(|ns| ns as f64 / 1e6))
+        .collect()
+}
+
+#[test]
+fn streaming_loss_metrics_are_byte_exact_against_batch() {
+    let mut covered = 0;
+    for name in SCENARIOS {
+        let Some(series) = scenario_series(name) else {
+            continue;
+        };
+        covered += 1;
+        let snap = fold_series(&series).snapshot();
+        let from_stream = loss_analysis_from_stream(&snap.loss);
+        let batch = analyze_losses(&series);
+        assert_eq!(
+            serde_json::to_string(&from_stream).unwrap(),
+            serde_json::to_string(&batch).unwrap(),
+            "loss metrics drifted for scenario {name}"
+        );
+        assert_eq!(snap.sent as usize, series.len(), "{name}");
+        assert_eq!(snap.received as usize, series.received(), "{name}");
+    }
+    assert!(covered >= 2, "too few scenarios resolved by name");
+}
+
+#[test]
+fn streaming_moments_histogram_and_acf_match_batch_bitwise() {
+    for name in SCENARIOS {
+        let Some(series) = scenario_series(name) else {
+            continue;
+        };
+        let bank = fold_series(&series);
+        let snap = bank.snapshot();
+        let rtts = delivered_ms(&series);
+
+        // Welford moments fold in the same order as the batch slice.
+        let batch = Moments::from_slice(&rtts);
+        assert_eq!(bank.moments().count(), batch.count(), "{name}");
+        if batch.count() > 0 {
+            assert_eq!(bank.moments().mean(), batch.mean(), "{name}");
+            assert_eq!(bank.moments().std_dev(), batch.std_dev(), "{name}");
+        }
+
+        // The session is shorter than the ACF ring, so nothing was evicted
+        // and the windowed ACF is exactly the batch ACF.
+        assert_eq!(snap.acf_evicted, 0, "{name}");
+        let max_lag = 20.min(rtts.len().saturating_sub(1));
+        assert_eq!(snap.acf, autocorrelation(&rtts, max_lag), "{name}");
+    }
+}
+
+#[test]
+fn sketch_quantiles_are_within_documented_relative_error() {
+    for name in SCENARIOS {
+        let Some(series) = scenario_series(name) else {
+            continue;
+        };
+        let bank = fold_series(&series);
+        let ns: Vec<f64> = series
+            .records
+            .iter()
+            .filter_map(|r| r.rtt.map(|v| v as f64))
+            .collect();
+        if ns.is_empty() {
+            continue;
+        }
+        let exact = Ecdf::new(&ns);
+        for q in [0.0, 0.1, 0.5, 0.9, 0.99, 1.0] {
+            let approx = bank.sketch().quantile(q).expect("delivered probes") as f64;
+            let truth = exact.quantile(q);
+            // The sketch reports a bucket lower bound: never above the exact
+            // order statistic, and within 2⁻⁷ relative below it.
+            assert!(
+                approx <= truth,
+                "{name}: q{q} sketch {approx} above exact {truth}"
+            );
+            assert!(
+                truth - approx <= truth * LogQuantileSketch::RELATIVE_ERROR + 1e-9,
+                "{name}: q{q} sketch {approx} vs exact {truth}"
+            );
+        }
+    }
+}
+
+#[test]
+fn streaming_workload_matches_batch_binning_and_mean() {
+    for name in SCENARIOS {
+        let Some(series) = scenario_series(name) else {
+            continue;
+        };
+        let bank = fold_series(&series);
+        let delta_ms = series.interval_ns as f64 / 1e6;
+        let max_ms = (4.0 * delta_ms).max(100.0);
+        let batch = analyze_workload(&series, 128_000.0, 4096.0, max_ms);
+        assert_eq!(
+            bank.workload().histogram().counts(),
+            batch.histogram.counts(),
+            "{name}: interarrival histogram counts drifted"
+        );
+        assert_eq!(
+            bank.workload().pairs() as usize,
+            batch.workload_bytes.len(),
+            "{name}"
+        );
+        if !batch.workload_bytes.is_empty() {
+            let batch_mean: f64 =
+                batch.workload_bytes.iter().sum::<f64>() / batch.workload_bytes.len() as f64;
+            // A serial push fold performs the same additions in the same
+            // order as the batch sum, so the means are bit-identical.
+            assert_eq!(bank.workload().mean_workload_bytes(), batch_mean, "{name}");
+        }
+    }
+}
+
+#[test]
+fn streaming_phase_density_rebins_the_batch_phase_plot_exactly() {
+    for name in SCENARIOS {
+        let Some(series) = scenario_series(name) else {
+            continue;
+        };
+        let bank = fold_series(&series);
+        let plot = PhasePlot::from_series(&series);
+        assert_eq!(bank.phase().pairs() as usize, plot.points.len(), "{name}");
+        let mut expected = vec![0u64; bank.phase().bins() * bank.phase().bins()];
+        let mut out_of_range = 0u64;
+        for p in &plot.points {
+            match bank.phase().cell_of(p.x, p.y) {
+                Some((ix, iy)) => expected[ix * bank.phase().bins() + iy] += 1,
+                None => out_of_range += 1,
+            }
+        }
+        assert_eq!(bank.phase().counts(), &expected[..], "{name}");
+        assert_eq!(bank.phase().snapshot().out_of_range, out_of_range, "{name}");
+    }
+}
+
+#[test]
+fn driver_sink_feeds_collector_to_the_same_snapshot_as_batch() {
+    // The simulator-side tap: records stream out of `run_with_sink` into a
+    // live collector; the resulting snapshot must equal a direct fold of
+    // the returned series (and hence, per the tests above, the batch
+    // pipeline).
+    let config = ExperimentConfig::paper(SimDuration::from_millis(50)).with_count(600);
+    let mut collector = Collector::new(CollectorConfig::default());
+    let key = SessionKey::new("inria-umd", 50, 42);
+    let producer = collector.add_session(key.clone(), BankConfig::bolot(50.0, 72, 3_906_000));
+    let experiment = SimExperiment::new(config, Path::inria_umd_1992(), 42);
+    let running = collector.start();
+    let (series, _) = experiment.run_with_sink(|r| {
+        assert!(producer.push(r.to_stream()), "collector exited early");
+    });
+    drop(producer);
+    let report = running.join();
+    assert_eq!(report.total_dropped(), 0);
+
+    let mut direct = EstimatorBank::new(BankConfig::bolot(50.0, 72, 3_906_000));
+    for r in &series.records {
+        direct.push(&r.to_stream());
+    }
+    let session = &report.sessions[0];
+    assert_eq!(session.key, key);
+    assert_eq!(session.records as usize, series.len());
+    assert_eq!(
+        serde_json::to_string(&session.snapshot).unwrap(),
+        serde_json::to_string(&direct.snapshot()).unwrap()
+    );
+}
+
+#[test]
+fn collector_snapshots_are_invariant_to_channel_capacity() {
+    let series = scenario_series("bursty-transatlantic").expect("pinned scenario");
+    let reference = serde_json::to_string(&fold_series(&series).snapshot()).unwrap();
+    for capacity in [1usize, 64, 4096] {
+        let mut collector = Collector::new(CollectorConfig {
+            channel_capacity: capacity,
+            snapshot_every: 0,
+        });
+        let producer = collector.add_session(
+            SessionKey::new("capacity-sweep", 50, 1993),
+            BankConfig::bolot(
+                series.interval_ns as f64 / 1e6,
+                series.wire_bytes,
+                series.clock_resolution_ns,
+            ),
+        );
+        let running = collector.start();
+        let records = series.records.clone();
+        let handle = std::thread::spawn(move || {
+            for r in &records {
+                assert!(producer.push(r.to_stream()), "collector exited early");
+            }
+        });
+        handle.join().expect("producer thread");
+        let report = running.join();
+        assert_eq!(report.total_dropped(), 0, "capacity {capacity}");
+        assert_eq!(
+            serde_json::to_string(&report.sessions[0].snapshot).unwrap(),
+            reference,
+            "capacity {capacity}"
+        );
+    }
+}
+
+#[test]
+fn stream_report_is_bit_identical_across_thread_counts() {
+    let one = stream_report_threads(1);
+    for threads in [4usize, 8] {
+        assert_eq!(
+            one,
+            stream_report_threads(threads),
+            "stream report differs at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn stream_report_matches_checked_in_golden() {
+    let golden = std::fs::read_to_string(stream_golden_path()).expect("checked-in stream golden");
+    assert_eq!(
+        stream_report(),
+        golden,
+        "streaming snapshots drifted from tests/golden/stream-snapshots.json; \
+         rerun `repro --stream --bless` if the change is intended"
+    );
+}
+
+/// The acceptance bar: ≥ 1M records/sec aggregate across ≥ 8 concurrent
+/// sessions with zero silent drops. Only meaningful with optimizations on —
+/// debug builds are an order of magnitude slower and would make the bound
+/// flaky.
+#[cfg(not(debug_assertions))]
+#[test]
+fn collector_sustains_one_million_records_per_second() {
+    let ingest = probenet_bench::stream_ingest_throughput(8, 150_000);
+    assert_eq!(ingest.dropped, 0, "blocking push must never drop");
+    assert_eq!(ingest.total_records, 8 * 150_000);
+    assert!(
+        ingest.aggregate_records_per_sec >= 1_000_000.0,
+        "aggregate ingest {:.0} records/s below the 1M bar",
+        ingest.aggregate_records_per_sec
+    );
+}
