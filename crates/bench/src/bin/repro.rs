@@ -595,7 +595,7 @@ fn render_artifacts(
     threads: usize,
 ) -> Vec<(String, String, Duration)> {
     probenet_core::sched::par_map_threads(threads, selected.to_vec(), |(name, f)| {
-        let started = Instant::now();
+        let started = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) per-artifact wall-time report, not artifact data
         let text = f(args);
         (name.to_string(), text, started.elapsed())
     })
@@ -617,7 +617,7 @@ fn civil_from_days(days: i64) -> (i64, u32, u32) {
 }
 
 fn today_utc() -> String {
-    let secs = SystemTime::now()
+    let secs = SystemTime::now() // probenet-lint: allow(wall-clock-in-sim) BENCH_<date>.json filename stamp only
         .duration_since(SystemTime::UNIX_EPOCH)
         .map(|d| d.as_secs())
         .unwrap_or(0);
@@ -671,11 +671,11 @@ fn ms(d: Duration) -> f64 {
 /// only measures.
 fn bench(args: &Args) {
     let threads = probenet_core::sched::max_threads();
-    let serial_started = Instant::now();
+    let serial_started = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) bench harness timing
     let serial = render_artifacts(args, ARTIFACTS, 1);
     let serial_wall = serial_started.elapsed();
 
-    let parallel_started = Instant::now();
+    let parallel_started = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) bench harness timing
     let parallel = render_artifacts(args, ARTIFACTS, threads);
     let parallel_wall = parallel_started.elapsed();
     // Pool scheduling must never change the report.

@@ -36,9 +36,6 @@
 //! assert!(plot.min_rtt_ms().unwrap() > 100.0);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod campaign;
 pub mod delay;
 pub mod experiment;

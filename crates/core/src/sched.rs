@@ -82,19 +82,23 @@ where
             let results = &results;
             let f = &f;
             scope.spawn(move || loop {
-                let next = queues[w].lock().unwrap().pop_back().or_else(|| {
-                    (0..threads)
-                        .filter(|&o| o != w)
-                        .find_map(|o| queues[o].lock().unwrap().pop_front())
-                });
+                let next = queues[w]
+                    .lock()
+                    .expect("lock poisoned")
+                    .pop_back()
+                    .or_else(|| {
+                        (0..threads)
+                            .filter(|&o| o != w)
+                            .find_map(|o| queues[o].lock().expect("lock poisoned").pop_front())
+                    });
                 let Some(i) = next else { break };
                 let item = slots[i]
                     .lock()
-                    .unwrap()
+                    .expect("lock poisoned")
                     .take()
                     .expect("task slot taken twice");
                 let out = f(item);
-                *results[i].lock().unwrap() = Some(out);
+                *results[i].lock().expect("lock poisoned") = Some(out);
             });
         }
     });

@@ -28,9 +28,6 @@
 //! assert_eq!(series.len(), 100);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod config;
 pub mod csv;
 pub mod series;

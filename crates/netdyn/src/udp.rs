@@ -123,7 +123,7 @@ impl EchoServer {
 
     /// Snapshot of the server counters.
     pub fn stats(&self) -> EchoServerStats {
-        self.stats.lock().unwrap().clone()
+        self.stats.lock().expect("lock poisoned").clone()
     }
 
     /// Stop the server thread and wait for it to exit.
@@ -153,7 +153,7 @@ fn echo_loop(
     seed: u64,
     forward_to: Option<SocketAddr>,
 ) {
-    let epoch = Instant::now();
+    let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for echo timestamps
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = [0u8; 2048];
     while !shutdown.load(Ordering::SeqCst) {
@@ -169,18 +169,18 @@ fn echo_loop(
         match ProbePacket::decode(&buf[..len]) {
             Ok(mut probe) => {
                 if drop_probability > 0.0 && rng.gen::<f64>() < drop_probability {
-                    stats.lock().unwrap().dropped += 1;
+                    stats.lock().expect("lock poisoned").dropped += 1;
                     continue;
                 }
                 probe.echo_ts = monotonic_micros(epoch);
                 let out = probe.to_bytes();
                 let target = forward_to.unwrap_or(peer);
                 if socket.send_to(&out, target).is_ok() {
-                    stats.lock().unwrap().echoed += 1;
+                    stats.lock().expect("lock poisoned").echoed += 1;
                 }
             }
             Err(_) => {
-                stats.lock().unwrap().decode_errors += 1;
+                stats.lock().expect("lock poisoned").decode_errors += 1;
             }
         }
     }
@@ -215,7 +215,7 @@ impl DestinationCollector {
             let shutdown = Arc::clone(&shutdown);
             let received = Arc::clone(&received);
             std::thread::spawn(move || {
-                let epoch = Instant::now();
+                let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for dest timestamps
                 let mut buf = [0u8; 2048];
                 while !shutdown.load(Ordering::SeqCst) {
                     let len = match socket.recv(&mut buf) {
@@ -230,7 +230,7 @@ impl DestinationCollector {
                     };
                     if let Ok(mut probe) = ProbePacket::decode(&buf[..len]) {
                         probe.dest_ts = monotonic_micros(epoch);
-                        received.lock().unwrap().push(probe);
+                        received.lock().expect("lock poisoned").push(probe);
                     }
                 }
             })
@@ -250,7 +250,7 @@ impl DestinationCollector {
 
     /// Probes collected so far (stamped with the destination clock).
     pub fn received(&self) -> Vec<ProbePacket> {
-        self.received.lock().unwrap().clone()
+        self.received.lock().expect("lock poisoned").clone()
     }
 
     /// Stop the collector and return everything it received.
@@ -259,7 +259,7 @@ impl DestinationCollector {
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
-        std::mem::take(&mut *self.received.lock().unwrap())
+        std::mem::take(&mut *self.received.lock().expect("lock poisoned"))
     }
 }
 
@@ -278,12 +278,12 @@ impl Drop for DestinationCollector {
 pub fn send_probes_via(echo: SocketAddr, count: usize, interval: Duration) -> io::Result<usize> {
     let socket = UdpSocket::bind(("0.0.0.0", 0))?;
     socket.connect(echo)?;
-    let epoch = Instant::now();
-    let start = Instant::now();
+    let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for send timestamps
+    let start = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real pacing clock
     let mut sent = 0;
     for n in 0..count {
         let target = start + interval * n as u32;
-        let now = Instant::now();
+        let now = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real pacing clock
         if target > now {
             std::thread::sleep(target - now);
         }
@@ -343,7 +343,7 @@ pub fn run_probes_with_sink<F: FnMut(probenet_stream::StreamRecord)>(
     socket.connect(server)?;
     socket.set_nonblocking(true)?;
 
-    let epoch = Instant::now();
+    let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for RTT timestamps
     let interval = Duration::from_nanos(config.interval.as_nanos());
     let mut rtts: Vec<Option<u64>> = vec![None; config.count];
     let mut echoes: Vec<Option<u64>> = vec![None; config.count];
@@ -383,12 +383,12 @@ pub fn run_probes_with_sink<F: FnMut(probenet_stream::StreamRecord)>(
         }
     };
 
-    let start = Instant::now();
+    let start = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real pacing clock
     for n in 0..config.count {
         let target = start + interval * n as u32;
         // Service the receive queue while waiting for the send slot.
         loop {
-            let now = Instant::now();
+            let now = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real pacing clock
             if now >= target {
                 break;
             }
@@ -400,8 +400,9 @@ pub fn run_probes_with_sink<F: FnMut(probenet_stream::StreamRecord)>(
         let _ = socket.send(&probe.to_bytes());
     }
     // Drain stragglers.
-    let deadline = Instant::now() + drain;
+    let deadline = Instant::now() + drain; // probenet-lint: allow(wall-clock-in-sim) straggler drain timeout on the real socket
     while Instant::now() < deadline {
+        // probenet-lint: allow(wall-clock-in-sim) straggler drain timeout on the real socket
         receive(&mut rtts, &mut echoes, &mut stats);
         std::thread::sleep(Duration::from_micros(500));
     }

@@ -23,9 +23,6 @@
 //! assert!(waits.last().unwrap() > waits.first().unwrap());
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod analytic;
 pub mod batch_model;
 pub mod bolot;

@@ -485,7 +485,7 @@ impl Engine {
 
     /// Run until no events remain.
     pub fn run(&mut self) {
-        let started = std::time::Instant::now();
+        let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
         let mut handled = 0u64;
         while let Some((at, ev)) = self.events.pop() {
             self.handle(at, ev);
@@ -499,7 +499,7 @@ impl Engine {
     /// Run all events scheduled at or before `horizon`; later events stay
     /// queued. Port statistics are folded up to the last processed event.
     pub fn run_until(&mut self, horizon: SimTime) {
-        let started = std::time::Instant::now();
+        let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
         let mut handled = 0u64;
         while let Some((at, ev)) = self.events.pop_until(horizon) {
             self.handle(at, ev);

@@ -46,9 +46,6 @@
 //! assert_eq!(delivered + dropped, 100);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod engine;
 pub mod event;
 pub mod impair;

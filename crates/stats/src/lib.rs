@@ -19,9 +19,6 @@
 //!   "losses are essentially random" claim, §5).
 //! * [`special`] — log-gamma, digamma, trigamma, incomplete gamma.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod acf;
 pub mod ar;
 pub mod fft;

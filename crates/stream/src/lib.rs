@@ -42,9 +42,6 @@
 //! [`EstimatorBank`], emitting deterministic JSON reports whose content is
 //! independent of thread interleaving.
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod acf;
 pub mod bank;
 pub mod collector;

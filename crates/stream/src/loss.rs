@@ -157,7 +157,11 @@ impl StreamingLoss {
         }
         // Junction transition: self's last record is adjacent to other's
         // first.
-        match (self.last.unwrap(), other.first.unwrap()) {
+        let junction = (
+            self.last.expect("sent > 0 implies a last record"),
+            other.first.expect("sent > 0 implies a first record"),
+        );
+        match junction {
             (false, false) => self.n00 += 1,
             (false, true) => self.n01 += 1,
             (true, false) => self.n10 += 1,
@@ -244,7 +248,7 @@ impl StreamingLoss {
         while runs_by_len.last() == Some(&0) {
             runs_by_len.pop();
         }
-        let num_runs: usize = runs_by_len.iter().sum();
+        let num_runs = runs_by_len.iter().sum::<usize>();
         // Every loss belongs to exactly one maximal run, so the batch
         // sum-of-run-lengths is exactly `lost`.
         let plg_measured = if num_runs == 0 {

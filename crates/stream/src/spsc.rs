@@ -16,8 +16,20 @@
 //! [`Consumer::drain`]).
 
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Condvar, Mutex};
+
+// Under `--cfg loom` the synchronisation primitives are swapped for the
+// model-checked versions so `tests/loom.rs` can explore every interleaving
+// of the ring (see DESIGN.md §12); production builds use std.
+#[cfg(loom)]
+use loom::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc, Condvar, Mutex,
+};
+#[cfg(not(loom))]
+use std::sync::{
+    atomic::{AtomicU64, Ordering},
+    Arc, Condvar, Mutex,
+};
 
 struct Inner<T> {
     queue: VecDeque<T>,
@@ -154,7 +166,9 @@ impl<T> Drop for Consumer<T> {
     }
 }
 
-#[cfg(test)]
+// The unit tests drive the ring with real std threads; under `--cfg loom`
+// the primitives require a model context, so only `tests/loom.rs` runs.
+#[cfg(all(test, not(loom)))]
 mod tests {
     use super::*;
     use std::thread;

@@ -27,9 +27,6 @@
 //! assert!((load / 128_000.0 - 0.6).abs() < 0.1);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod mix;
 pub mod process;
 pub mod stream;

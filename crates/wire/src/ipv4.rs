@@ -23,14 +23,15 @@ pub fn internet_checksum(data: &[u8]) -> u16 {
     let mut sum = 0u32;
     let mut chunks = data.chunks_exact(2);
     for c in &mut chunks {
-        sum += u16::from_be_bytes([c[0], c[1]]) as u32;
+        sum += u32::from(u16::from_be_bytes([c[0], c[1]]));
     }
     if let [last] = chunks.remainder() {
-        sum += (*last as u32) << 8;
+        sum += u32::from(*last) << 8;
     }
     while sum > 0xffff {
         sum = (sum & 0xffff) + (sum >> 16);
     }
+    // probenet-lint: allow(truncating-cast-in-wire) RFC 1071 fold: sum <= 0xffff here
     !(sum as u16)
 }
 
@@ -68,10 +69,9 @@ impl Ipv4Header {
         payload_len: usize,
     ) -> Self {
         let total = IPV4_HEADER_BYTES + payload_len;
-        assert!(total <= u16::MAX as usize, "IPv4 datagram too large");
         Ipv4Header {
             tos: 0,
-            total_length: total as u16,
+            total_length: u16::try_from(total).expect("IPv4 datagram too large"),
             identification: 0,
             dont_fragment: true,
             ttl,

@@ -22,9 +22,6 @@
 //! assert_eq!(ProbePacket::decode(&bytes).unwrap(), probe);
 //! ```
 
-#![forbid(unsafe_code)]
-#![warn(missing_docs)]
-
 pub mod error;
 pub mod icmp;
 pub mod ipv4;

@@ -128,7 +128,7 @@ impl ProbePacket {
         let magic = data.get_u16();
         if magic != PROBE_MAGIC {
             return Err(WireError::BadMagic {
-                found: magic as u32,
+                found: u32::from(magic),
             });
         }
         let version = data.get_u8();
@@ -152,7 +152,9 @@ impl ProbePacket {
 
 fn put_u48<B: BufMut>(buf: &mut B, ts: Timestamp48) {
     let v = ts.as_micros();
+    // probenet-lint: allow(truncating-cast-in-wire) u48 wire split: high 16 bits
     buf.put_u16((v >> 32) as u16);
+    // probenet-lint: allow(truncating-cast-in-wire) u48 wire split: low 32 bits
     buf.put_u32(v as u32);
 }
 

@@ -27,11 +27,10 @@ impl UdpHeader {
     /// Panics if the datagram would exceed 65 535 bytes.
     pub fn new(source_port: u16, destination_port: u16, payload_len: usize) -> Self {
         let length = UDP_HEADER_BYTES + payload_len;
-        assert!(length <= u16::MAX as usize, "UDP datagram too large");
         UdpHeader {
             source_port,
             destination_port,
-            length: length as u16,
+            length: u16::try_from(length).expect("UDP datagram too large"),
         }
     }
 

@@ -1,0 +1,238 @@
+//! Per-file context extracted before rule matching: the enclosing function
+//! for every line, the set of identifiers with hash-ordered types, and the
+//! `probenet-lint:` allow directives.
+
+use crate::scrub::Scrubbed;
+use std::collections::BTreeSet;
+
+/// Everything the rule matchers need to know about one file.
+pub struct FileContext {
+    /// Innermost enclosing function name per 0-based line (empty outside
+    /// any function body).
+    pub enclosing_fn: Vec<String>,
+    /// Identifiers (locals, fields, params) whose declared or constructed
+    /// type is `HashMap`/`HashSet` anywhere in this file.
+    pub hash_idents: BTreeSet<String>,
+    /// Per-line sets of rule ids silenced by `allow(...)` directives: a
+    /// directive applies to its own line and the line directly below it.
+    allowed: Vec<BTreeSet<String>>,
+    /// Rule ids silenced for the whole file via `allow-file(...)`.
+    allowed_file: BTreeSet<String>,
+}
+
+impl FileContext {
+    /// Build the context from scrubbed source.
+    pub fn build(s: &Scrubbed) -> FileContext {
+        let lines: Vec<&str> = s.code.lines().collect();
+        FileContext {
+            enclosing_fn: enclosing_functions(&lines),
+            hash_idents: hash_typed_idents(&s.code),
+            allowed: line_allows(&s.comments, lines.len()),
+            allowed_file: file_allows(&s.comments),
+        }
+    }
+
+    /// Is `rule` silenced at 0-based `line`?
+    pub fn is_allowed(&self, rule: &str, line: usize) -> bool {
+        if self.allowed_file.contains(rule) {
+            return true;
+        }
+        self.allowed.get(line).is_some_and(|set| set.contains(rule))
+    }
+
+    /// Enclosing function name for a 0-based line ("" outside functions).
+    pub fn fn_at(&self, line: usize) -> &str {
+        self.enclosing_fn.get(line).map_or("", |s| s.as_str())
+    }
+}
+
+/// Track `fn name` headers and brace depth to map each line to its
+/// innermost enclosing function.
+fn enclosing_functions(lines: &[&str]) -> Vec<String> {
+    let mut result = Vec::with_capacity(lines.len());
+    // Stack of (fn name, brace depth at which its body opened).
+    let mut stack: Vec<(String, usize)> = Vec::new();
+    let mut depth = 0usize;
+    // A declared fn waiting for its opening brace (None after a `;`:
+    // trait method signatures have no body).
+    let mut pending: Option<String> = None;
+    for line in lines {
+        result.push(stack.last().map_or(String::new(), |(n, _)| n.clone()));
+        let mut words = line.split_whitespace().peekable();
+        while let Some(w) = words.next() {
+            if w == "fn" || w.ends_with(")fn") {
+                if let Some(next) = words.peek() {
+                    let name: String = next
+                        .chars()
+                        .take_while(|c| c.is_alphanumeric() || *c == '_')
+                        .collect();
+                    if !name.is_empty() {
+                        pending = Some(name);
+                    }
+                }
+            }
+        }
+        for c in line.chars() {
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(name) = pending.take() {
+                        stack.push((name, depth));
+                        // The line that opens the body counts as inside it.
+                        if let Some(last) = result.last_mut() {
+                            *last = stack.last().map(|(n, _)| n.clone()).unwrap_or_default();
+                        }
+                    }
+                }
+                '}' => {
+                    if stack.last().is_some_and(|&(_, d)| d == depth) {
+                        stack.pop();
+                    }
+                    depth = depth.saturating_sub(1);
+                }
+                ';' => {
+                    // `fn f(...) -> T;` — a bodyless signature.
+                    pending = None;
+                }
+                _ => {}
+            }
+        }
+    }
+    result
+}
+
+/// Collect identifiers declared with a hash-ordered type: struct fields
+/// and `let` bindings annotated `: HashMap<`/`: HashSet<`, and bindings
+/// initialised from `HashMap::`/`HashSet::` constructors.
+fn hash_typed_idents(code: &str) -> BTreeSet<String> {
+    let mut found = BTreeSet::new();
+    for marker in ["HashMap", "HashSet"] {
+        let mut from = 0usize;
+        while let Some(pos) = code[from..].find(marker) {
+            let at = from + pos;
+            from = at + marker.len();
+            // `NAME : HashMap<...>` (field, param or annotated let).
+            let before = code[..at].trim_end();
+            if let Some(head) = before.strip_suffix(':') {
+                if let Some(name) = trailing_ident(head) {
+                    found.insert(name);
+                    continue;
+                }
+            }
+            // `let [mut] NAME = HashMap::new()` and friends.
+            if code[from..].trim_start().starts_with("::") {
+                if let Some(head) = before.strip_suffix('=') {
+                    let head = head.trim_end();
+                    if let Some(name) = trailing_ident(head) {
+                        found.insert(name);
+                    }
+                }
+            }
+        }
+    }
+    found
+}
+
+fn trailing_ident(s: &str) -> Option<String> {
+    let s = s.trim_end();
+    let tail: String = s
+        .chars()
+        .rev()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect::<Vec<_>>()
+        .into_iter()
+        .rev()
+        .collect();
+    if tail.is_empty() || tail.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        None
+    } else {
+        Some(tail)
+    }
+}
+
+fn line_allows(comments: &[String], lines: usize) -> Vec<BTreeSet<String>> {
+    let mut allowed = vec![BTreeSet::new(); lines + 1];
+    for (ln, text) in comments.iter().enumerate() {
+        for rule in parse_directives(text, "allow(") {
+            if ln < allowed.len() {
+                allowed[ln].insert(rule.clone());
+            }
+            if ln + 1 < allowed.len() {
+                allowed[ln + 1].insert(rule);
+            }
+        }
+    }
+    allowed
+}
+
+fn file_allows(comments: &[String]) -> BTreeSet<String> {
+    let mut set = BTreeSet::new();
+    for text in comments {
+        for rule in parse_directives(text, "allow-file(") {
+            set.insert(rule);
+        }
+    }
+    set
+}
+
+/// Parse `probenet-lint: <kind>rule-a, rule-b)` directives out of one
+/// line's comment text.
+fn parse_directives(comment: &str, kind: &str) -> Vec<String> {
+    let mut rules = Vec::new();
+    let mut rest = comment;
+    while let Some(pos) = rest.find("probenet-lint:") {
+        rest = &rest[pos + "probenet-lint:".len()..];
+        let trimmed = rest.trim_start();
+        if let Some(args) = trimmed.strip_prefix(kind) {
+            if let Some(end) = args.find(')') {
+                for rule in args[..end].split(',') {
+                    let rule = rule.trim();
+                    if !rule.is_empty() {
+                        rules.push(rule.to_string());
+                    }
+                }
+            }
+        }
+    }
+    rules
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    #[test]
+    fn tracks_enclosing_functions() {
+        let src = "fn outer() {\n    let x = 1;\n    {\n        let y = 2;\n    }\n}\nfn next() {\n    let z = 3;\n}\n";
+        let ctx = FileContext::build(&scrub(src));
+        assert_eq!(ctx.fn_at(1), "outer");
+        assert_eq!(ctx.fn_at(3), "outer");
+        assert_eq!(ctx.fn_at(7), "next");
+    }
+
+    #[test]
+    fn finds_hash_typed_idents() {
+        let src = "struct S { pending: HashMap<u64, usize> }\nfn f() {\n    let mut seen = HashSet::new();\n    let other: HashSet<u32> = HashSet::new();\n}\n";
+        let ctx = FileContext::build(&scrub(src));
+        assert!(ctx.hash_idents.contains("pending"));
+        assert!(ctx.hash_idents.contains("seen"));
+        assert!(ctx.hash_idents.contains("other"));
+    }
+
+    #[test]
+    fn allow_directives_cover_their_line_and_the_next() {
+        let src = "// probenet-lint: allow(wall-clock-in-sim) timing stats only\nlet t = 1;\nlet u = 2;\n";
+        let ctx = FileContext::build(&scrub(src));
+        assert!(ctx.is_allowed("wall-clock-in-sim", 0));
+        assert!(ctx.is_allowed("wall-clock-in-sim", 1));
+        assert!(!ctx.is_allowed("wall-clock-in-sim", 2));
+    }
+
+    #[test]
+    fn allow_file_covers_everything() {
+        let src = "//! probenet-lint: allow-file(ambient-rng)\nfn f() {}\n";
+        let ctx = FileContext::build(&scrub(src));
+        assert!(ctx.is_allowed("ambient-rng", 40));
+    }
+}

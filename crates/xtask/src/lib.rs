@@ -1,0 +1,90 @@
+//! `probenet-lint`: a static-analysis pass enforcing the workspace's
+//! determinism and serialization invariants.
+//!
+//! Every claim the repo makes about Bolot-style reproducibility rests on
+//! bit-identical determinism: golden traces, `PROBENET_THREADS ∈ {1,4,8}`
+//! replay equality, and the estimator-algebra contract that `merge ==
+//! serial fold` bitwise (DESIGN.md §11–§12). The dynamic suites catch a
+//! violation only after it lands; this pass rejects the patterns that
+//! cause them at review time.
+//!
+//! This build environment is fully offline (every dependency is a vendored
+//! stand-in), so instead of a `syn` AST the pass runs on a purpose-built
+//! pipeline: a layout-preserving scrubber ([`scrub`]) removes comments and
+//! literal contents, a context builder ([`context`]) recovers enclosing
+//! functions, hash-typed bindings and `probenet-lint:` directives, and the
+//! rule matchers ([`rules`]) fire on the scrubbed text. The subset of Rust
+//! this understands is exactly what the five rules need; everything is
+//! fixture-tested in `tests/`.
+//!
+//! Run it as `cargo run -p xtask -- lint`; see `cargo run -p xtask -- lint
+//! --explain <rule>` for per-rule rationale and fixes.
+
+pub mod context;
+pub mod rules;
+pub mod scrub;
+
+use context::FileContext;
+use rules::Violation;
+use std::path::{Path, PathBuf};
+
+/// Lint one source string as if it lived at `path` (workspace-relative).
+/// This is the entry point the fixture tests use.
+pub fn lint_source(path: &str, source: &str) -> Vec<Violation> {
+    let scrubbed = scrub::scrub(source);
+    let ctx = FileContext::build(&scrubbed);
+    rules::check_file(path, &scrubbed, &ctx)
+}
+
+/// Collect the workspace source files the lint covers: every `.rs` under
+/// `crates/*/src` and the root `src/`, in sorted (deterministic) order.
+/// Tests, benches, examples and the vendored stand-ins are out of scope —
+/// they are either the dynamic half of the verification story or external
+/// code.
+pub fn workspace_sources(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut files = Vec::new();
+    let crates_dir = root.join("crates");
+    let mut roots: Vec<PathBuf> = vec![root.join("src")];
+    for entry in std::fs::read_dir(&crates_dir)? {
+        let dir = entry?.path().join("src");
+        if dir.is_dir() {
+            roots.push(dir);
+        }
+    }
+    for r in roots {
+        collect_rs(&r, &mut files)?;
+    }
+    files.sort();
+    Ok(files)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    if !dir.is_dir() {
+        return Ok(());
+    }
+    for entry in std::fs::read_dir(dir)? {
+        let path = entry?.path();
+        if path.is_dir() {
+            collect_rs(&path, out)?;
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all violations in
+/// (file, line) order.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for path in workspace_sources(root)? {
+        let source = std::fs::read_to_string(&path)?;
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .to_string_lossy()
+            .replace('\\', "/");
+        all.extend(lint_source(&rel, &source));
+    }
+    Ok(all)
+}

@@ -1,0 +1,98 @@
+//! Workspace automation entry point. `cargo run -p xtask -- lint` runs the
+//! `probenet-lint` determinism pass over the whole workspace and exits
+//! nonzero on any violation; `lint --explain <rule>` documents a rule.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use xtask::rules::{rule_info, RULES};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: cargo run -p xtask -- <command>\n\n\
+         commands:\n  \
+         lint                   run probenet-lint over the workspace (exit 1 on violations)\n  \
+         lint --list            list the rules with one-line summaries\n  \
+         lint --explain <rule>  print a rule's rationale and an example fix"
+    );
+    ExitCode::from(2)
+}
+
+fn workspace_root() -> PathBuf {
+    // CARGO_MANIFEST_DIR = <root>/crates/xtask at build time; fall back to
+    // the current directory when running a relocated binary.
+    let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    manifest
+        .parent()
+        .and_then(|p| p.parent())
+        .map(PathBuf::from)
+        .filter(|p| p.join("Cargo.toml").is_file())
+        .unwrap_or_else(|| PathBuf::from("."))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("lint") => lint(&args[1..]),
+        _ => usage(),
+    }
+}
+
+fn lint(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        None => run_lint(),
+        Some("--list") => {
+            for r in RULES {
+                println!("{:28} {}", r.id, r.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        Some("--explain") => {
+            let Some(id) = args.get(1) else {
+                eprintln!("lint --explain needs a rule id; try `lint --list`");
+                return ExitCode::from(2);
+            };
+            match rule_info(id) {
+                Some(r) => {
+                    println!("{}: {}\n\n{}", r.id, r.summary, r.explain);
+                    ExitCode::SUCCESS
+                }
+                None => {
+                    eprintln!("unknown rule `{id}`; known rules:");
+                    for r in RULES {
+                        eprintln!("  {}", r.id);
+                    }
+                    ExitCode::from(2)
+                }
+            }
+        }
+        Some(other) => {
+            eprintln!("unknown lint option `{other}`");
+            usage()
+        }
+    }
+}
+
+fn run_lint() -> ExitCode {
+    let root = workspace_root();
+    let violations = match xtask::lint_workspace(&root) {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("probenet-lint: failed to read workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    if violations.is_empty() {
+        println!("probenet-lint: workspace clean ({} rules)", RULES.len());
+        return ExitCode::SUCCESS;
+    }
+    for v in &violations {
+        eprintln!("error[{}]: {}:{}: {}", v.rule, v.file, v.line, v.message);
+    }
+    eprintln!(
+        "\nprobenet-lint: {} violation(s); run `cargo run -p xtask -- lint --explain <rule>` \
+         for rationale and fixes, or annotate a justified site with \
+         `// probenet-lint: allow(<rule>) <reason>`",
+        violations.len()
+    );
+    ExitCode::FAILURE
+}

@@ -1,0 +1,478 @@
+//! The five `probenet-lint` rules.
+//!
+//! Each rule has a stable kebab-case id (used in diagnostics and in
+//! `probenet-lint: allow(<id>)` escape comments), a one-line summary, and
+//! a longer `--explain` text with the invariant it protects and an example
+//! fix. Matching runs over scrubbed source (no strings/comments) with the
+//! per-file context from [`crate::context`].
+
+use crate::context::FileContext;
+use crate::scrub::Scrubbed;
+
+/// A single rule violation, ready to print as `file:line`.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Stable rule id.
+    pub rule: &'static str,
+    /// Workspace-relative path.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Why this site is a violation.
+    pub message: String,
+}
+
+/// Description of one lint rule.
+pub struct RuleInfo {
+    /// Stable kebab-case id.
+    pub id: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+    /// Long-form rationale + example fix, printed by `--explain`.
+    pub explain: &'static str,
+}
+
+/// All rules, in diagnostic order.
+pub const RULES: &[RuleInfo] = &[
+    RuleInfo {
+        id: "nondeterministic-iteration",
+        summary: "no HashMap/HashSet iteration in code that feeds serialization, digests, or golden artifacts",
+        explain: "\
+Golden traces, collector reports and FNV record digests are byte-compared
+across runs and across PROBENET_THREADS settings, so any map iteration on
+their data path must have a deterministic order. `HashMap`/`HashSet`
+iteration order is randomized per process; one unordered loop feeding a
+report silently breaks byte-identity the next time the hasher seed moves.
+
+The rule fires on `.iter()/.keys()/.values()/.into_iter()/.drain()` (and
+`for .. in &m`) over hash-typed bindings inside serialization contexts:
+functions whose names look like serialization (`to_json`, `snapshot`,
+`render`, `report`, `digest`, `write_*`, `fmt`, ...) or files on the
+report/wire path.
+
+Fix: use `BTreeMap`/`BTreeSet`, or collect and sort explicitly before
+iterating:
+
+    let mut keys: Vec<_> = map.keys().collect();
+    keys.sort();
+    for k in keys { ... }
+
+If the iteration provably cannot affect ordering (e.g. it only sums a
+commutative integer), annotate the line:
+
+    // probenet-lint: allow(nondeterministic-iteration) <why it is safe>",
+    },
+    RuleInfo {
+        id: "wall-clock-in-sim",
+        summary: "no Instant::now/SystemTime outside the wall-clock allowlist",
+        explain: "\
+The simulator, the analysis pipeline and every artifact renderer must be a
+pure function of (config, seed): DESIGN.md pins replay equality at
+PROBENET_THREADS in {1,4,8} and byte-stable golden traces. A stray
+`Instant::now()`/`SystemTime::now()` smuggles wall-clock time into that
+function and the divergence only shows up when a golden test flakes.
+
+Legitimate wall-clock sites exist: the real-UDP probe tool genuinely
+timestamps packets (`crates/netdyn/src/udp.rs`), and the engine/bench
+harness reports wall-time statistics that are observability, not data
+(`crates/sim/src/engine.rs`, `crates/bench`). Those sites carry an
+annotation naming their justification:
+
+    // probenet-lint: allow(wall-clock-in-sim) real probe timestamps
+    let epoch = Instant::now();
+
+Fix for everything else: thread simulated time (`SimTime`) or an explicit
+timestamp parameter through instead of reading the host clock.",
+    },
+    RuleInfo {
+        id: "ambient-rng",
+        summary: "no thread_rng/rand::random; randomness flows from seeded splitmix64 streams",
+        explain: "\
+Every random draw in probenet comes from a per-(port, purpose) splitmix64
+stream derived from the experiment seed, so a campaign replays bit-for-bit
+(DESIGN.md). `rand::thread_rng()`, `rand::random()` and `from_entropy()`
+are ambient entropy: they cannot be replayed, and a single call anywhere
+in a sim path destroys determinism for the whole artifact chain.
+
+Fix: take an explicit `&mut` RNG (or a seed) as a parameter and derive it
+from the experiment seed, e.g.
+
+    let mut rng = SplitMix64::new(seed ^ PORT_SALT);
+
+Tests that genuinely want ambient entropy (none today) must annotate:
+
+    // probenet-lint: allow(ambient-rng) <why replay does not matter here>",
+    },
+    RuleInfo {
+        id: "order-sensitive-float-fold",
+        summary: "f64 sum/fold in merge/snapshot paths must declare reduction-order safety",
+        explain: "\
+`EstimatorBank::merge` must equal the serial fold bitwise (DESIGN.md
+§11) — that is what lets multi-host shards combine exactly. Float addition
+is not associative, so an `f64` `.sum()`/`.fold()` inside a merge or
+snapshot path is only correct if its reduction order is fixed (a `Vec` in
+stored order) — never if the order depends on thread completion or map
+iteration.
+
+The rule fires on `.sum()`/`.fold()` in functions whose name contains
+`merge` or `snapshot` when the element type is floating (or not provably
+integral). Make integer reductions explicit with a turbofish —
+`.sum::<u64>()` — and annotate float reductions whose order is fixed:
+
+    // probenet-lint: allow(order-sensitive-float-fold) Vec order is stored order
+    let total: f64 = self.parts.iter().sum::<f64>();
+
+If the order is NOT fixed, restructure: fold in key order (BTreeMap), or
+keep per-shard partials and combine them in a canonical sequence.",
+    },
+    RuleInfo {
+        id: "truncating-cast-in-wire",
+        summary: "no lossy `as` casts in wire codecs or report serialization",
+        explain: "\
+Wire codecs round-trip and golden artifacts are byte-compared; a lossy
+`value as u16` silently wraps out-of-range values instead of failing, and
+the corruption ships in the encoded bytes. In `crates/wire` and the
+report serialization files the rule flags `as u8/u16/u32/i8/i16/i32`.
+
+Fix: use the checked conversions —
+
+    let len = u16::try_from(payload.len()).expect(\"datagram fits u16\");
+
+— or, where truncation IS the specified wire behavior (checksum folding,
+splitting a u48 into u16/u32 halves), annotate it:
+
+    // probenet-lint: allow(truncating-cast-in-wire) checksum folds mod 2^16
+    !(sum as u16)",
+    },
+];
+
+/// Look up a rule by id.
+pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
+    RULES.iter().find(|r| r.id == id)
+}
+
+/// Function-name fragments that mark a serialization/digest context for
+/// `nondeterministic-iteration`.
+const SERIALIZATION_FNS: &[&str] = &[
+    "to_json",
+    "to_wire",
+    "to_bytes",
+    "serialize",
+    "render",
+    "report",
+    "snapshot",
+    "digest",
+    "golden",
+    "encode",
+    "emit",
+    "write",
+    "fmt",
+    "to_csv",
+];
+
+/// File stems that are always serialization context (the report/wire path).
+const SERIALIZATION_FILES: &[&str] = &[
+    "report.rs",
+    "stream_report.rs",
+    "trace.rs",
+    "csv.rs",
+    "collector.rs",
+];
+
+fn file_name(path: &str) -> &str {
+    path.rsplit('/').next().unwrap_or(path)
+}
+
+fn in_wire_crate(path: &str) -> bool {
+    path.contains("crates/wire/src")
+}
+
+fn is_serialization_file(path: &str) -> bool {
+    in_wire_crate(path) || SERIALIZATION_FILES.contains(&file_name(path))
+}
+
+fn is_serialization_fn(name: &str) -> bool {
+    !name.is_empty() && SERIALIZATION_FNS.iter().any(|f| name.contains(f))
+}
+
+/// Byte-boundary check: `code[at]` starts a standalone token (not the tail
+/// of a longer identifier).
+fn starts_token(code: &str, at: usize) -> bool {
+    at == 0 || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_'
+}
+
+/// Run every rule over one scrubbed file. `path` is workspace-relative.
+pub fn check_file(path: &str, s: &Scrubbed, ctx: &FileContext) -> Vec<Violation> {
+    let mut out = Vec::new();
+    for (idx, line) in s.code.lines().enumerate() {
+        nondeterministic_iteration(path, idx, line, ctx, &mut out);
+        wall_clock_in_sim(path, idx, line, ctx, &mut out);
+        ambient_rng(path, idx, line, ctx, &mut out);
+        order_sensitive_float_fold(path, idx, line, ctx, &mut out);
+        truncating_cast_in_wire(path, idx, line, ctx, &mut out);
+    }
+    out
+}
+
+fn push(
+    out: &mut Vec<Violation>,
+    ctx: &FileContext,
+    rule: &'static str,
+    path: &str,
+    idx: usize,
+    message: String,
+) {
+    if !ctx.is_allowed(rule, idx) {
+        out.push(Violation {
+            rule,
+            file: path.to_string(),
+            line: idx + 1,
+            message,
+        });
+    }
+}
+
+fn nondeterministic_iteration(
+    path: &str,
+    idx: usize,
+    line: &str,
+    ctx: &FileContext,
+    out: &mut Vec<Violation>,
+) {
+    const RULE: &str = "nondeterministic-iteration";
+    if !(is_serialization_file(path) || is_serialization_fn(ctx.fn_at(idx))) {
+        return;
+    }
+    const ITER_CALLS: &[&str] = &[
+        ".iter()",
+        ".iter_mut()",
+        ".keys()",
+        ".values()",
+        ".values_mut()",
+        ".into_iter()",
+        ".drain(",
+    ];
+    for ident in &ctx.hash_idents {
+        // `m.iter()`, `self.m.keys()`, ... with a token boundary before m.
+        for call in ITER_CALLS {
+            let needle = format!("{ident}{call}");
+            let mut from = 0;
+            while let Some(pos) = line[from..].find(&needle) {
+                let at = from + pos;
+                from = at + ident.len();
+                if starts_token(line, at) {
+                    push(
+                        out,
+                        ctx,
+                        RULE,
+                        path,
+                        idx,
+                        format!(
+                            "iteration over hash-ordered `{ident}` in serialization context \
+                             `{}` — use BTreeMap/BTreeSet or sort first",
+                            ctx.fn_at(idx)
+                        ),
+                    );
+                }
+            }
+        }
+        // `for x in &m`, `for (k, v) in &mut self.m`, `for x in m`, ...
+        for pat in [
+            format!("in &{ident}"),
+            format!("in &mut {ident}"),
+            format!("in &self.{ident}"),
+            format!("in &mut self.{ident}"),
+            format!("in self.{ident}"),
+            format!("in {ident}"),
+        ] {
+            if let Some(pos) = line.find(&pat) {
+                let end = pos + pat.len();
+                let boundary = line
+                    .as_bytes()
+                    .get(end)
+                    .is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_')
+                    && starts_token(line, pos);
+                if boundary {
+                    push(
+                        out,
+                        ctx,
+                        RULE,
+                        path,
+                        idx,
+                        format!(
+                            "iteration over hash-ordered `{ident}` in serialization context \
+                             `{}` — use BTreeMap/BTreeSet or sort first",
+                            ctx.fn_at(idx)
+                        ),
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn wall_clock_in_sim(
+    path: &str,
+    idx: usize,
+    line: &str,
+    ctx: &FileContext,
+    out: &mut Vec<Violation>,
+) {
+    const RULE: &str = "wall-clock-in-sim";
+    for token in ["Instant::now(", "SystemTime::now("] {
+        if let Some(pos) = line.find(token) {
+            if starts_token(line, pos) {
+                push(
+                    out,
+                    ctx,
+                    RULE,
+                    path,
+                    idx,
+                    format!(
+                        "wall-clock read `{}` — sim/analysis paths must be pure in (config, seed); \
+                         annotate genuine wall-clock sites with a justification",
+                        token.trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn ambient_rng(path: &str, idx: usize, line: &str, ctx: &FileContext, out: &mut Vec<Violation>) {
+    const RULE: &str = "ambient-rng";
+    for token in ["thread_rng(", "rand::random", "from_entropy("] {
+        if let Some(pos) = line.find(token) {
+            if starts_token(line, pos) {
+                push(
+                    out,
+                    ctx,
+                    RULE,
+                    path,
+                    idx,
+                    format!(
+                        "ambient randomness `{}` — all randomness must flow from seeded \
+                         splitmix64 streams so campaigns replay bit-for-bit",
+                        token.trim_end_matches('(')
+                    ),
+                );
+            }
+        }
+    }
+}
+
+fn order_sensitive_float_fold(
+    path: &str,
+    idx: usize,
+    line: &str,
+    ctx: &FileContext,
+    out: &mut Vec<Violation>,
+) {
+    const RULE: &str = "order-sensitive-float-fold";
+    let fn_name = ctx.fn_at(idx);
+    if !(fn_name.contains("merge") || fn_name.contains("snapshot")) {
+        return;
+    }
+    // `.sum::<f64>()` / `.sum::<f32>()` — definitely float.
+    for t in [".sum::<f64>()", ".sum::<f32>()"] {
+        if line.contains(t) {
+            push(
+                out,
+                ctx,
+                RULE,
+                path,
+                idx,
+                format!(
+                    "float reduction `{t}` in `{fn_name}` — reduction order must be fixed for \
+                     bitwise merge equality; annotate why the order is deterministic"
+                ),
+            );
+        }
+    }
+    // Bare `.sum()` — type unknown; require an integer turbofish to prove
+    // the reduction commutes exactly.
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(".sum()") {
+        let at = from + pos;
+        from = at + ".sum()".len();
+        push(
+            out,
+            ctx,
+            RULE,
+            path,
+            idx,
+            format!(
+                "`.sum()` with inferred element type in `{fn_name}` — use an integer turbofish \
+                 (e.g. `.sum::<u64>()`) or annotate the float reduction order"
+            ),
+        );
+    }
+    // `.fold(init, ...)` with a float-looking init.
+    let mut from = 0;
+    while let Some(pos) = line[from..].find(".fold(") {
+        let at = from + pos;
+        from = at + ".fold(".len();
+        let args = &line[at + ".fold(".len()..];
+        let init: String = args.chars().take_while(|c| *c != ',').collect();
+        let floaty = init.contains("f64") || init.contains("f32") || {
+            let b = init.as_bytes();
+            b.windows(3)
+                .any(|w| w[0].is_ascii_digit() && w[1] == b'.' && w[2].is_ascii_digit())
+        };
+        if floaty {
+            push(
+                out,
+                ctx,
+                RULE,
+                path,
+                idx,
+                format!(
+                    "float `.fold({init}, ..)` in `{fn_name}` — reduction order must be fixed \
+                     for bitwise merge equality; annotate why the order is deterministic"
+                ),
+            );
+        }
+    }
+}
+
+fn truncating_cast_in_wire(
+    path: &str,
+    idx: usize,
+    line: &str,
+    ctx: &FileContext,
+    out: &mut Vec<Violation>,
+) {
+    const RULE: &str = "truncating-cast-in-wire";
+    if !is_serialization_file(path) {
+        return;
+    }
+    for target in ["u8", "u16", "u32", "i8", "i16", "i32"] {
+        let needle = format!(" as {target}");
+        let mut from = 0;
+        while let Some(pos) = line[from..].find(&needle) {
+            let at = from + pos;
+            from = at + needle.len();
+            let end = at + needle.len();
+            let boundary = line
+                .as_bytes()
+                .get(end)
+                .is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_');
+            // `u16::MAX as usize` style widenings don't match (target is
+            // the narrow side here by construction); a match means source
+            // expr is cast *to* a ≤32-bit integer.
+            if boundary {
+                push(
+                    out,
+                    ctx,
+                    RULE,
+                    path,
+                    idx,
+                    format!(
+                        "lossy `as {target}` cast on the wire/report path — use \
+                         `{target}::try_from(..)` or annotate intentional truncation"
+                    ),
+                );
+            }
+        }
+    }
+}

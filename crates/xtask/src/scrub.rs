@@ -1,0 +1,224 @@
+//! Comment/string scrubbing: the first stage of `probenet-lint`.
+//!
+//! Rule matchers must never fire on text inside string literals, char
+//! literals, or comments (the lint's own source mentions every banned
+//! token in its rule tables, and doc comments legitimately discuss them).
+//! [`scrub`] blanks those regions with spaces — preserving byte offsets
+//! and line structure exactly — and returns the comment text per line so
+//! the directive parser can find `probenet-lint: allow(...)` escapes.
+
+/// Result of scrubbing one source file.
+pub struct Scrubbed {
+    /// The source with comment bodies and string/char literal contents
+    /// replaced by spaces (delimiters kept). Same length and line breaks
+    /// as the input.
+    pub code: String,
+    /// For each line (0-based), the concatenated comment text on it.
+    pub comments: Vec<String>,
+}
+
+#[derive(PartialEq)]
+enum State {
+    Normal,
+    LineComment,
+    BlockComment(u32),
+    Str,
+    RawStr(u32),
+    Char,
+}
+
+/// Blank out comments and literal contents while preserving layout.
+pub fn scrub(src: &str) -> Scrubbed {
+    let bytes = src.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let line_count = src.lines().count().max(1);
+    let mut comments = vec![String::new(); line_count + 1];
+    let mut line = 0usize;
+    let mut state = State::Normal;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            if state == State::LineComment {
+                state = State::Normal;
+            }
+            out.push(b'\n');
+            i += 1;
+            continue;
+        }
+        match state {
+            State::Normal => {
+                if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
+                    state = State::LineComment;
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(1);
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Str;
+                    out.push(b'"');
+                    i += 1;
+                } else if b == b'r' && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) {
+                    // Raw string: count hashes between r and the quote.
+                    let mut hashes = 0u32;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&b'"') {
+                        state = State::RawStr(hashes);
+                        out.resize(out.len() + (j - i + 1), b' ');
+                        i = j + 1;
+                    } else {
+                        out.push(b);
+                        i += 1;
+                    }
+                } else if b == b'\'' {
+                    // Distinguish a char literal from a lifetime: a
+                    // lifetime is 'ident not followed by a closing quote.
+                    let is_lifetime = bytes
+                        .get(i + 1)
+                        .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+                        && bytes.get(i + 2) != Some(&b'\'');
+                    if is_lifetime {
+                        out.push(b);
+                        i += 1;
+                    } else {
+                        state = State::Char;
+                        out.push(b'\'');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b);
+                    i += 1;
+                }
+            }
+            State::LineComment => {
+                if line < comments.len() {
+                    comments[line].push(b as char);
+                }
+                out.push(b' ');
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if b == b'*' && bytes.get(i + 1) == Some(&b'/') {
+                    state = if depth == 1 {
+                        State::Normal
+                    } else {
+                        State::BlockComment(depth - 1)
+                    };
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else {
+                    if line < comments.len() {
+                        comments[line].push(b as char);
+                    }
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.push(b' ');
+                    if bytes[i + 1] == b'\n' {
+                        out.push(b'\n');
+                        line += 1;
+                    } else {
+                        out.push(b' ');
+                    }
+                    i += 2;
+                } else if b == b'"' {
+                    state = State::Normal;
+                    out.push(b'"');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if b == b'"' {
+                    // Close only if followed by exactly `hashes` hashes.
+                    let mut j = i + 1;
+                    let mut seen = 0u32;
+                    while seen < hashes && bytes.get(j) == Some(&b'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        state = State::Normal;
+                        out.resize(out.len() + (j - i), b' ');
+                        i = j;
+                    } else {
+                        out.push(b' ');
+                        i += 1;
+                    }
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if b == b'\\' && i + 1 < bytes.len() {
+                    out.push(b' ');
+                    out.push(b' ');
+                    i += 2;
+                } else if b == b'\'' {
+                    state = State::Normal;
+                    out.push(b'\'');
+                    i += 1;
+                } else {
+                    out.push(b' ');
+                    i += 1;
+                }
+            }
+        }
+    }
+    Scrubbed {
+        code: String::from_utf8(out).expect("scrubbed output is ASCII-safe by construction"),
+        comments,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn blanks_strings_and_comments_preserving_lines() {
+        let src = "let x = \"Instant::now()\"; // Instant::now()\nlet y = 1;\n";
+        let s = scrub(src);
+        assert!(!s.code.contains("Instant"));
+        assert_eq!(s.code.lines().count(), src.lines().count());
+        assert!(s.comments[0].contains("Instant::now()"));
+    }
+
+    #[test]
+    fn raw_strings_and_chars() {
+        let src = "let a = r#\"thread_rng()\"#; let c = 'x'; let lt: &'static str = \"\";";
+        let s = scrub(src);
+        assert!(!s.code.contains("thread_rng"));
+        assert!(!s.code.contains('x'), "char literal content blanked");
+        assert!(s.code.contains("'static"), "lifetime preserved");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "/* outer /* inner */ still comment */ fn f() {}";
+        let s = scrub(src);
+        assert!(!s.code.contains("outer"));
+        assert!(s.code.contains("fn f"));
+    }
+}

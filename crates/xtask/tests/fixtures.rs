@@ -1,0 +1,212 @@
+//! Fixture tests: one violation/allowed pair per lint rule.
+//!
+//! Each fixture under `tests/fixtures/` is linted through [`xtask::lint_source`]
+//! with a synthetic path label chosen to put the rule in scope (the cast rule
+//! only applies to wire/report files, for example). The `_violation` variant
+//! must fire exactly its rule; the `_allowed` variant carries the
+//! `// probenet-lint: allow(...)` escape hatch and must be clean.
+
+use xtask::lint_source;
+
+fn fixture(name: &str) -> String {
+    let path = format!("{}/tests/fixtures/{name}", env!("CARGO_MANIFEST_DIR"));
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {path}: {e}"))
+}
+
+/// Lint a fixture under a synthetic workspace path and return the rule ids hit.
+fn lint_as(label: &str, name: &str) -> Vec<(&'static str, usize)> {
+    lint_source(label, &fixture(name))
+        .into_iter()
+        .map(|v| (v.rule, v.line))
+        .collect()
+}
+
+#[test]
+fn nondeterministic_iteration_fires_and_is_silenced() {
+    let hits = lint_as(
+        "crates/stream/src/report.rs",
+        "nondeterministic_iteration_violation.rs",
+    );
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["nondeterministic-iteration"],
+        "expected exactly one iteration violation, got {hits:?}"
+    );
+    assert_eq!(
+        hits[0].1, 11,
+        "violation should anchor to the for-loop line"
+    );
+
+    let allowed = lint_as(
+        "crates/stream/src/report.rs",
+        "nondeterministic_iteration_allowed.rs",
+    );
+    assert!(
+        allowed.is_empty(),
+        "allow directive should silence: {allowed:?}"
+    );
+}
+
+#[test]
+fn wall_clock_fires_and_is_silenced() {
+    let hits = lint_as("crates/sim/src/clock.rs", "wall_clock_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["wall-clock-in-sim"],
+        "expected exactly one wall-clock violation, got {hits:?}"
+    );
+    assert_eq!(
+        hits[0].1, 3,
+        "violation should anchor to the Instant::now line"
+    );
+
+    let allowed = lint_as("crates/sim/src/clock.rs", "wall_clock_allowed.rs");
+    assert!(
+        allowed.is_empty(),
+        "allow directive should silence: {allowed:?}"
+    );
+}
+
+#[test]
+fn ambient_rng_fires_and_is_silenced() {
+    let hits = lint_as("crates/traffic/src/gen.rs", "ambient_rng_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["ambient-rng"],
+        "expected exactly one ambient-rng violation, got {hits:?}"
+    );
+    assert_eq!(
+        hits[0].1, 3,
+        "violation should anchor to the thread_rng line"
+    );
+
+    let allowed = lint_as("crates/traffic/src/gen.rs", "ambient_rng_allowed.rs");
+    assert!(
+        allowed.is_empty(),
+        "allow directive should silence: {allowed:?}"
+    );
+}
+
+#[test]
+fn float_fold_fires_and_is_silenced() {
+    let hits = lint_as("crates/stats/src/acc.rs", "float_fold_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["order-sensitive-float-fold"],
+        "expected exactly one float-fold violation, got {hits:?}"
+    );
+    assert_eq!(
+        hits[0].1, 11,
+        "violation should anchor to the sum::<f64> line"
+    );
+
+    let allowed = lint_as("crates/stats/src/acc.rs", "float_fold_allowed.rs");
+    assert!(
+        allowed.is_empty(),
+        "allow directive should silence: {allowed:?}"
+    );
+}
+
+#[test]
+fn truncating_cast_fires_and_is_silenced() {
+    let hits = lint_as("crates/wire/src/len.rs", "truncating_cast_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["truncating-cast-in-wire"],
+        "expected exactly one truncating-cast violation, got {hits:?}"
+    );
+    assert_eq!(hits[0].1, 3, "violation should anchor to the `as u16` line");
+
+    let allowed = lint_as("crates/wire/src/len.rs", "truncating_cast_allowed.rs");
+    assert!(
+        allowed.is_empty(),
+        "allow directive should silence: {allowed:?}"
+    );
+}
+
+#[test]
+fn cast_rule_is_scoped_to_wire_and_report_files() {
+    // The same lossy cast outside the wire/report scope is not this rule's
+    // business (clippy::cast_possible_truncation covers it at warn level).
+    let hits = lint_as("crates/sim/src/engine.rs", "truncating_cast_violation.rs");
+    assert!(
+        hits.is_empty(),
+        "cast rule must not fire off the wire path: {hits:?}"
+    );
+}
+
+#[test]
+fn allow_directive_does_not_leak_to_other_rules() {
+    // An allow for one rule must not silence a different rule on the same line.
+    let src = "pub fn to_json() -> u16 {\n    // probenet-lint: allow(ambient-rng) wrong rule\n    let x: u32 = 70000;\n    x as u16\n}\n";
+    let hits = lint_source("crates/wire/src/x.rs", src);
+    assert_eq!(hits.len(), 1, "wrong-rule allow must not silence: {hits:?}");
+    assert_eq!(hits[0].rule, "truncating-cast-in-wire");
+}
+
+#[test]
+fn allow_file_silences_whole_file() {
+    let src = "// probenet-lint: allow-file(wall-clock-in-sim) bench harness\npub fn a() -> std::time::Instant { std::time::Instant::now() }\npub fn b() -> std::time::Instant { std::time::Instant::now() }\n";
+    let hits = lint_source("crates/sim/src/t.rs", src);
+    assert!(
+        hits.is_empty(),
+        "allow-file should silence every line: {hits:?}"
+    );
+}
+
+// ---- binary-level CLI contract ------------------------------------------
+
+fn xtask_bin() -> std::process::Command {
+    std::process::Command::new(env!("CARGO_BIN_EXE_xtask"))
+}
+
+#[test]
+fn cli_lint_workspace_is_clean() {
+    let out = xtask_bin().arg("lint").output().expect("run xtask lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        out.status.success(),
+        "workspace must lint clean\nstdout:\n{stdout}\nstderr:\n{stderr}"
+    );
+    assert!(stdout.contains("workspace clean"), "got: {stdout}");
+}
+
+#[test]
+fn cli_explain_known_rule_succeeds() {
+    let out = xtask_bin()
+        .args(["lint", "--explain", "wall-clock-in-sim"])
+        .output()
+        .expect("run xtask lint --explain");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("wall-clock-in-sim"), "got: {stdout}");
+}
+
+#[test]
+fn cli_explain_unknown_rule_exits_2() {
+    let out = xtask_bin()
+        .args(["lint", "--explain", "no-such-rule"])
+        .output()
+        .expect("run xtask lint --explain");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
+fn cli_list_names_all_rules() {
+    let out = xtask_bin()
+        .args(["lint", "--list"])
+        .output()
+        .expect("run xtask lint --list");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    for id in [
+        "nondeterministic-iteration",
+        "wall-clock-in-sim",
+        "ambient-rng",
+        "order-sensitive-float-fold",
+        "truncating-cast-in-wire",
+    ] {
+        assert!(stdout.contains(id), "--list missing {id}: {stdout}");
+    }
+}

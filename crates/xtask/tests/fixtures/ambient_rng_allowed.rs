@@ -1,0 +1,6 @@
+// The same draw, annotated (hypothetically: nothing in-tree needs this).
+pub fn jitter() -> f64 {
+    // probenet-lint: allow(ambient-rng) demo fixture, replay irrelevant
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

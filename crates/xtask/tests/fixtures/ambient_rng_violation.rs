@@ -1,0 +1,5 @@
+// Minimal violation: ambient entropy instead of a seeded stream.
+pub fn jitter() -> f64 {
+    let mut rng = rand::thread_rng();
+    rng.gen::<f64>()
+}

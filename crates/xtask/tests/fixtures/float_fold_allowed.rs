@@ -1,0 +1,13 @@
+// The same reduction with its order declared safe.
+pub struct Bank {
+    parts: Vec<f64>,
+    total: f64,
+}
+
+impl Bank {
+    pub fn merge(&mut self, other: &Bank) {
+        self.parts.extend_from_slice(&other.parts);
+        // probenet-lint: allow(order-sensitive-float-fold) Vec stored order is canonical
+        self.total = self.parts.iter().sum::<f64>();
+    }
+}

@@ -1,0 +1,13 @@
+// Minimal violation: an f64 reduction in a merge path with no declared
+// reduction order.
+pub struct Bank {
+    parts: Vec<f64>,
+    total: f64,
+}
+
+impl Bank {
+    pub fn merge(&mut self, other: &Bank) {
+        self.parts.extend_from_slice(&other.parts);
+        self.total = self.parts.iter().sum::<f64>();
+    }
+}

@@ -1,0 +1,17 @@
+// The same iteration, silenced by its escape hatch with a justification.
+use std::collections::HashMap;
+
+pub struct Report {
+    counts: HashMap<String, u64>,
+}
+
+impl Report {
+    pub fn to_json(&self) -> String {
+        let mut total = 0u64;
+        // probenet-lint: allow(nondeterministic-iteration) commutative u64 sum only
+        for (_, v) in &self.counts {
+            total += v;
+        }
+        format!("{total}")
+    }
+}

@@ -1,0 +1,16 @@
+// Minimal violation: hash-map iteration inside a serialization context.
+use std::collections::HashMap;
+
+pub struct Report {
+    counts: HashMap<String, u64>,
+}
+
+impl Report {
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counts {
+            out.push_str(&format!("{k}={v},"));
+        }
+        out
+    }
+}

@@ -1,0 +1,5 @@
+// The same cast, annotated as specified wire behavior.
+pub fn fold_checksum(sum: u32) -> u16 {
+    // probenet-lint: allow(truncating-cast-in-wire) checksum folds mod 2^16
+    !(sum as u16)
+}

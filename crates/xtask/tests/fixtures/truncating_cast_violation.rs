@@ -1,0 +1,4 @@
+// Minimal violation: a lossy narrowing cast on the wire path.
+pub fn encode_len(len: usize) -> u16 {
+    len as u16
+}

@@ -1,0 +1,5 @@
+// The same clock read, annotated as genuine wall-clock observability.
+pub fn sample_delay() -> u64 {
+    let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) harness timing only
+    started.elapsed().as_nanos() as u64
+}

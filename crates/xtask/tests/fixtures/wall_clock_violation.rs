@@ -1,0 +1,5 @@
+// Minimal violation: host clock read inside an analysis path.
+pub fn sample_delay() -> u64 {
+    let started = std::time::Instant::now();
+    started.elapsed().as_nanos() as u64
+}

@@ -17,8 +17,6 @@
 //! * [`core`] — the analysis pipeline: phase plots, workload estimation,
 //!   loss metrics, experiment orchestration.
 
-#![forbid(unsafe_code)]
-
 pub use probenet_core as core;
 pub use probenet_netdyn as netdyn;
 pub use probenet_queueing as queueing;

@@ -1,0 +1,809 @@
+//! Offline stand-in for the `loom` permutation-testing crate.
+//!
+//! This build environment has no crates.io access, so instead of the real
+//! loom this vendored crate implements the core idea from first principles:
+//! run the model closure many times, serialising all threads onto one
+//! logical timeline, and drive a depth-first search over every scheduling
+//! decision so that **all distinguishable interleavings** of the modeled
+//! synchronisation operations are executed.
+//!
+//! ## What is modeled
+//!
+//! * [`thread::spawn`] / [`thread::JoinHandle::join`] / [`thread::yield_now`]
+//! * [`sync::Mutex`] / [`sync::Condvar`] (no spurious wakeups; FIFO notify)
+//! * [`sync::atomic`] (`AtomicU64`, `AtomicUsize`, `AtomicBool`) at
+//!   sequentially-consistent granularity regardless of the `Ordering`
+//!   argument
+//! * [`sync::Arc`] (a plain re-export of `std::sync::Arc` — it carries no
+//!   scheduling-relevant state)
+//!
+//! ## Exploration granularity and soundness
+//!
+//! Schedule points are placed *before* every mutex acquisition, condvar
+//! wait/re-acquire, atomic operation, spawn, join, and explicit yield. For
+//! programs whose shared state is entirely mutex-protected plus
+//! sequentially-consistent atomics — which is exactly the discipline
+//! `probenet`'s SPSC ring follows (the workspace forbids `unsafe`, so there
+//! is no lock-free code to model weak memory orderings for) — the global
+//! order of those operations fully determines every observable behavior, so
+//! DFS over these decisions is exhaustive at sequential consistency.
+//! Unlike real loom this stand-in does **not** model weak (Acquire/Release/
+//! Relaxed) reorderings; the probenet ring only relies on mutex ordering
+//! plus a monotone statistics counter, for which SeqCst exploration is the
+//! relevant ground truth.
+//!
+//! Spin loops are handled with a fairness rule rather than unbounded
+//! branching: a thread that calls [`thread::yield_now`] is descheduled
+//! until some *other* thread has executed a step (or no other thread can
+//! run). This prunes only schedules in which a spinning reader runs forever
+//! without the writer making progress — schedules that cannot change any
+//! state visible to other threads — and is what makes `while !done {
+//! yield }` consumer loops finite under DFS.
+//!
+//! A failing execution re-panics out of [`model`] with the decision
+//! sequence that produced it, so a reproduction is always attached.
+
+use std::any::Any;
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc as StdArc, Condvar as StdCondvar, Mutex as StdMutex};
+
+/// Hard cap on executions explored by one [`model`] call. A 2-thread model
+/// with ~20 schedule points stays well under this; hitting the cap means
+/// the model is too big for exhaustive search and should be shrunk.
+const MAX_EXECUTIONS: usize = 2_000_000;
+/// Hard cap on scheduling decisions in a single execution (guards against
+/// livelock in un-yielding spin loops).
+const MAX_DEPTH: usize = 20_000;
+
+// ---------------------------------------------------------------------------
+// Execution state shared between the controlled threads of one run.
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug, PartialEq)]
+enum Run {
+    Runnable,
+    /// Descheduled by `yield_now` until another thread makes progress.
+    Yielded,
+    /// Waiting for the mutex with this registry id to be released.
+    BlockedMutex(usize),
+    /// Waiting on the condvar with this registry id.
+    BlockedCondvar(usize),
+    /// Waiting for the thread with this id to finish.
+    BlockedJoin(usize),
+    Finished,
+}
+
+#[derive(Clone, Debug)]
+struct Choice {
+    chosen: usize,
+    enabled: Vec<usize>,
+}
+
+#[derive(Debug)]
+struct ExecState {
+    threads: Vec<Run>,
+    active: usize,
+    /// Scheduling decisions made so far in this execution.
+    path: Vec<Choice>,
+    /// Prefix of decisions to replay before exploring fresh ones.
+    replay: Vec<usize>,
+    /// `Some(holder)` per registered mutex.
+    mutexes: Vec<Option<usize>>,
+    /// FIFO waiters per registered condvar.
+    condvars: Vec<VecDeque<usize>>,
+    panic_msg: Option<String>,
+    /// Set once a panic is recorded: all parked threads unwind out.
+    aborting: bool,
+    done: bool,
+}
+
+struct Execution {
+    state: StdMutex<ExecState>,
+    cv: StdCondvar,
+}
+
+thread_local! {
+    /// (execution, id of the controlled thread running on this OS thread)
+    static CONTEXT: RefCell<Option<(StdArc<Execution>, usize)>> = const { RefCell::new(None) };
+}
+
+/// Panic payload used to unwind controlled threads when another thread's
+/// failure aborts the execution; swallowed by the thread wrapper.
+struct AbortUnwind;
+
+fn context() -> (StdArc<Execution>, usize) {
+    CONTEXT.with(|c| {
+        c.borrow()
+            .clone()
+            .expect("loom primitive used outside loom::model")
+    })
+}
+
+impl Execution {
+    fn new(replay: Vec<usize>) -> StdArc<Execution> {
+        StdArc::new(Execution {
+            state: StdMutex::new(ExecState {
+                threads: vec![Run::Runnable],
+                active: 0,
+                path: Vec::new(),
+                replay,
+                mutexes: Vec::new(),
+                condvars: Vec::new(),
+                panic_msg: None,
+                aborting: false,
+                done: false,
+            }),
+            cv: StdCondvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, ExecState> {
+        self.state.lock().expect("loom execution state poisoned")
+    }
+
+    /// Pick the next thread to run and hand the timeline over to it. Must
+    /// be called with `st` holding the state lock; returns with the lock
+    /// released. `me == usize::MAX` means "called from the driver" (never).
+    fn choose_next(&self, me: usize, mut st: std::sync::MutexGuard<'_, ExecState>) {
+        // The caller just executed a step: yields by *other* threads expire
+        // so spinners become contenders again at this decision.
+        for (t, r) in st.threads.iter_mut().enumerate() {
+            if t != me && *r == Run::Yielded {
+                *r = Run::Runnable;
+            }
+        }
+        let runnable: Vec<usize> = st
+            .threads
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| **r == Run::Runnable)
+            .map(|(t, _)| t)
+            .collect();
+        let enabled = if runnable.is_empty() {
+            // Only yielded threads (if any) are left: un-park them.
+            let yielded: Vec<usize> = st
+                .threads
+                .iter()
+                .enumerate()
+                .filter(|(_, r)| **r == Run::Yielded)
+                .map(|(t, _)| t)
+                .collect();
+            for &t in &yielded {
+                st.threads[t] = Run::Runnable;
+            }
+            yielded
+        } else {
+            runnable
+        };
+
+        if enabled.is_empty() {
+            if st.threads.iter().all(|r| *r == Run::Finished) {
+                st.done = true;
+            } else if !st.aborting {
+                st.panic_msg = Some(format!(
+                    "deadlock: no runnable thread, states {:?}",
+                    st.threads
+                ));
+                st.aborting = true;
+                st.done = true;
+            }
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+
+        let depth = st.path.len();
+        if depth >= MAX_DEPTH && !st.aborting {
+            st.panic_msg = Some(format!("model exceeded {MAX_DEPTH} scheduling decisions"));
+            st.aborting = true;
+            st.done = true;
+            drop(st);
+            self.cv.notify_all();
+            return;
+        }
+        let chosen = if depth < st.replay.len() {
+            let c = st.replay[depth];
+            debug_assert!(
+                enabled.contains(&c),
+                "nondeterministic replay: {c} not in {enabled:?} at depth {depth} \
+                 (model closure must be deterministic apart from scheduling)"
+            );
+            c
+        } else {
+            enabled[0]
+        };
+        st.path.push(Choice { chosen, enabled });
+        st.active = chosen;
+        drop(st);
+        self.cv.notify_all();
+    }
+
+    /// Park until this thread is the active one (or the run is aborting).
+    fn wait_for_turn(&self, me: usize) {
+        let mut st = self.lock();
+        loop {
+            if st.aborting {
+                drop(st);
+                std::panic::panic_any(AbortUnwind);
+            }
+            if st.active == me && st.threads[me] == Run::Runnable {
+                return;
+            }
+            st = self.cv.wait(st).expect("loom execution state poisoned");
+        }
+    }
+
+    /// One schedule point: optionally update own state, pick a successor,
+    /// park until re-activated.
+    fn schedule(&self, me: usize, set: impl FnOnce(&mut ExecState)) {
+        let mut st = self.lock();
+        if st.aborting {
+            drop(st);
+            std::panic::panic_any(AbortUnwind);
+        }
+        set(&mut st);
+        let finished = st.threads[me] == Run::Finished;
+        self.choose_next(me, st);
+        if !finished {
+            self.wait_for_turn(me);
+        }
+    }
+
+    fn record_panic(&self, msg: String, me: usize) {
+        let mut st = self.lock();
+        if st.panic_msg.is_none() {
+            st.panic_msg = Some(msg);
+        }
+        st.aborting = true;
+        st.threads[me] = Run::Finished;
+        st.done = true;
+        drop(st);
+        self.cv.notify_all();
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public API: model()
+// ---------------------------------------------------------------------------
+
+/// Explore every interleaving of the model closure's synchronisation
+/// operations, panicking (with the failing decision sequence) if any
+/// execution panics, asserts, or deadlocks.
+pub fn model<F>(f: F)
+where
+    F: Fn() + Send + Sync + 'static,
+{
+    let f = StdArc::new(f);
+    let mut replay: Vec<usize> = Vec::new();
+    let mut executions = 0usize;
+    loop {
+        executions += 1;
+        assert!(
+            executions <= MAX_EXECUTIONS,
+            "loom model exceeded {MAX_EXECUTIONS} executions; shrink the model"
+        );
+        let exec = Execution::new(std::mem::take(&mut replay));
+        let root_exec = StdArc::clone(&exec);
+        let root_f = StdArc::clone(&f);
+        // Thread 0 runs the closure itself under the scheduler.
+        let root = std::thread::spawn(move || {
+            run_controlled(root_exec, 0, move || {
+                root_f();
+            });
+        });
+        // Wait for the execution to finish.
+        {
+            let mut st = exec.lock();
+            while !st.done {
+                st = exec.cv.wait(st).expect("loom execution state poisoned");
+            }
+        }
+        let _ = root.join();
+        let st = exec.lock();
+        if let Some(msg) = &st.panic_msg {
+            let decisions: Vec<usize> = st.path.iter().map(|c| c.chosen).collect();
+            panic!(
+                "loom model failed after {executions} execution(s): {msg}\n\
+                 failing schedule (thread ids, in decision order): {decisions:?}"
+            );
+        }
+        // Depth-first backtrack: find the deepest decision with an
+        // unexplored alternative and re-run with that prefix.
+        let mut path = st.path.clone();
+        drop(st);
+        let mut next_prefix = None;
+        while let Some(last) = path.pop() {
+            let idx = last
+                .enabled
+                .iter()
+                .position(|&t| t == last.chosen)
+                .expect("chosen thread missing from its own enabled set");
+            if idx + 1 < last.enabled.len() {
+                let mut prefix: Vec<usize> = path.iter().map(|c| c.chosen).collect();
+                prefix.push(last.enabled[idx + 1]);
+                next_prefix = Some(prefix);
+                break;
+            }
+        }
+        match next_prefix {
+            Some(p) => replay = p,
+            None => break, // state space exhausted
+        }
+    }
+}
+
+/// Body shared by thread 0 and spawned threads: installs the TLS context,
+/// waits for its first turn, runs the closure, and reports completion.
+fn run_controlled<R>(exec: StdArc<Execution>, id: usize, body: impl FnOnce() -> R) -> Option<R> {
+    CONTEXT.with(|c| *c.borrow_mut() = Some((StdArc::clone(&exec), id)));
+    let result = catch_unwind(AssertUnwindSafe(|| {
+        exec.wait_for_turn(id);
+        body()
+    }));
+    CONTEXT.with(|c| *c.borrow_mut() = None);
+    match result {
+        Ok(v) => {
+            // Mark finished; wake joiners. The finish step itself can
+            // observe an abort raised by another thread — swallow it, the
+            // run is over either way.
+            let _ = catch_unwind(AssertUnwindSafe(|| {
+                exec.schedule(id, |st| {
+                    st.threads[id] = Run::Finished;
+                    for r in st.threads.iter_mut() {
+                        if *r == Run::BlockedJoin(id) {
+                            *r = Run::Runnable;
+                        }
+                    }
+                });
+            }));
+            finish_quietly(&exec, id);
+            Some(v)
+        }
+        Err(payload) => {
+            if payload.downcast_ref::<AbortUnwind>().is_none() {
+                let msg = panic_message(&payload);
+                exec.record_panic(msg, id);
+            } else {
+                // Secondary unwind caused by another thread's failure.
+                finish_quietly(&exec, id);
+            }
+            None
+        }
+    }
+}
+
+/// Ensure this thread is marked Finished and waiters are woken, without
+/// taking a schedule point (used on abort paths).
+fn finish_quietly(exec: &Execution, id: usize) {
+    let mut st = exec.lock();
+    if st.threads[id] != Run::Finished {
+        st.threads[id] = Run::Finished;
+        for r in st.threads.iter_mut() {
+            if *r == Run::BlockedJoin(id) {
+                *r = Run::Runnable;
+            }
+        }
+    }
+    drop(st);
+    exec.cv.notify_all();
+}
+
+fn panic_message(payload: &(dyn Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "model thread panicked (non-string payload)".to_string()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// thread
+// ---------------------------------------------------------------------------
+
+/// Modeled threading: spawn/join/yield under the exploration scheduler.
+pub mod thread {
+    use super::*;
+
+    /// Handle to a modeled thread; `join` blocks under the scheduler.
+    pub struct JoinHandle<T> {
+        inner: std::thread::JoinHandle<Option<T>>,
+        id: usize,
+    }
+
+    /// Spawn a controlled thread participating in the current model run.
+    pub fn spawn<F, T>(f: F) -> JoinHandle<T>
+    where
+        F: FnOnce() -> T + Send + 'static,
+        T: Send + 'static,
+    {
+        let (exec, me) = context();
+        let id = {
+            let mut st = exec.lock();
+            st.threads.push(Run::Runnable);
+            st.threads.len() - 1
+        };
+        let child_exec = StdArc::clone(&exec);
+        let inner = std::thread::spawn(move || run_controlled(child_exec, id, f));
+        // Creation is itself a visible step: the child may run first.
+        exec.schedule(me, |_| {});
+        JoinHandle { inner, id }
+    }
+
+    impl<T> JoinHandle<T> {
+        /// Wait for the thread to finish, returning its result (`Err` if it
+        /// panicked, matching `std::thread::JoinHandle::join`).
+        pub fn join(self) -> Result<T, Box<dyn Any + Send + 'static>> {
+            let (exec, me) = context();
+            loop {
+                let st = exec.lock();
+                if st.threads[self.id] == Run::Finished {
+                    drop(st);
+                    break;
+                }
+                drop(st);
+                exec.schedule(me, |st| st.threads[me] = Run::BlockedJoin(self.id));
+            }
+            match self.inner.join() {
+                Ok(Some(v)) => Ok(v),
+                // The child panicked (its payload was recorded and the run
+                // is aborting) or was aborted; unwind this thread too.
+                _ => std::panic::panic_any(AbortUnwind),
+            }
+        }
+    }
+
+    /// Deschedule the current thread until another thread makes progress.
+    pub fn yield_now() {
+        let (exec, me) = context();
+        exec.schedule(me, |st| st.threads[me] = Run::Yielded);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// sync
+// ---------------------------------------------------------------------------
+
+/// Modeled synchronisation primitives (std-API-compatible subset).
+pub mod sync {
+    use super::*;
+    pub use std::sync::Arc;
+
+    /// Error type kept for std API shape; lock poisoning is never produced
+    /// by the model (a panic aborts the whole execution instead).
+    #[derive(Debug)]
+    pub struct PoisonError;
+
+    fn mutex_id(exec: &Execution, slot: &std::sync::OnceLock<usize>) -> usize {
+        *slot.get_or_init(|| {
+            let mut st = exec.lock();
+            st.mutexes.push(None);
+            st.mutexes.len() - 1
+        })
+    }
+
+    /// A mutex whose acquisition order is explored exhaustively.
+    pub struct Mutex<T> {
+        id: std::sync::OnceLock<usize>,
+        data: StdMutex<T>,
+    }
+
+    /// Guard released (with a model-visible unlock) on drop.
+    pub struct MutexGuard<'a, T> {
+        lock: &'a Mutex<T>,
+        inner: Option<std::sync::MutexGuard<'a, T>>,
+    }
+
+    impl<T> Mutex<T> {
+        /// A new modeled mutex.
+        pub fn new(value: T) -> Self {
+            Mutex {
+                id: std::sync::OnceLock::new(),
+                data: StdMutex::new(value),
+            }
+        }
+
+        /// Acquire, exploring both "I got it first" and "the contender got
+        /// it first" schedules. Never actually poisons.
+        pub fn lock(&self) -> Result<MutexGuard<'_, T>, PoisonError> {
+            let (exec, me) = context();
+            let id = mutex_id(&exec, &self.id);
+            // Preemption point *before* acquiring: a competing thread may
+            // be scheduled to take the lock instead.
+            exec.schedule(me, |_| {});
+            loop {
+                {
+                    let mut st = exec.lock();
+                    if st.aborting {
+                        drop(st);
+                        std::panic::panic_any(AbortUnwind);
+                    }
+                    if st.mutexes[id].is_none() {
+                        st.mutexes[id] = Some(me);
+                        break;
+                    }
+                }
+                exec.schedule(me, |st| st.threads[me] = Run::BlockedMutex(id));
+            }
+            let inner = self
+                .data
+                .try_lock()
+                .expect("loom mutex data contended despite serialized execution");
+            Ok(MutexGuard {
+                lock: self,
+                inner: Some(inner),
+            })
+        }
+    }
+
+    impl<T> MutexGuard<'_, T> {
+        fn model_unlock(lock_id: usize) {
+            let (exec, _me) = context();
+            let mut st = exec.lock();
+            st.mutexes[lock_id] = None;
+            for r in st.threads.iter_mut() {
+                if *r == Run::BlockedMutex(lock_id) {
+                    *r = Run::Runnable;
+                }
+            }
+            // No schedule point here: the next acquisition point branches
+            // over who enters the following critical section.
+        }
+    }
+
+    impl<T> std::ops::Deref for MutexGuard<'_, T> {
+        type Target = T;
+        fn deref(&self) -> &T {
+            self.inner.as_ref().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> std::ops::DerefMut for MutexGuard<'_, T> {
+        fn deref_mut(&mut self) -> &mut T {
+            self.inner.as_mut().expect("guard accessed after release")
+        }
+    }
+
+    impl<T> Drop for MutexGuard<'_, T> {
+        fn drop(&mut self) {
+            drop(self.inner.take());
+            let id = *self.lock.id.get().expect("locked mutex has an id");
+            Self::model_unlock(id);
+        }
+    }
+
+    /// A condition variable with FIFO wakeups and no spurious wakeups.
+    pub struct Condvar {
+        id: std::sync::OnceLock<usize>,
+    }
+
+    impl Default for Condvar {
+        fn default() -> Self {
+            Self::new()
+        }
+    }
+
+    impl Condvar {
+        /// A new modeled condvar.
+        pub fn new() -> Self {
+            Condvar {
+                id: std::sync::OnceLock::new(),
+            }
+        }
+
+        fn cv_id(&self, exec: &Execution) -> usize {
+            *self.id.get_or_init(|| {
+                let mut st = exec.lock();
+                st.condvars.push(VecDeque::new());
+                st.condvars.len() - 1
+            })
+        }
+
+        /// Atomically release the guard and wait for a notification, then
+        /// re-acquire (exploring contention on the way back in).
+        pub fn wait<'a, T>(
+            &self,
+            guard: MutexGuard<'a, T>,
+        ) -> Result<MutexGuard<'a, T>, PoisonError> {
+            let (exec, me) = context();
+            let cv = self.cv_id(&exec);
+            let mutex = guard.lock;
+            drop(guard); // model-visible unlock, wakes mutex waiters
+            {
+                let mut st = exec.lock();
+                st.condvars[cv].push_back(me);
+            }
+            exec.schedule(me, |st| st.threads[me] = Run::BlockedCondvar(cv));
+            // Re-acquire once notified (lock() has its own branch points).
+            mutex.lock()
+        }
+
+        /// Wake the longest-waiting thread, if any.
+        pub fn notify_one(&self) {
+            let (exec, _me) = context();
+            let cv = self.cv_id(&exec);
+            let mut st = exec.lock();
+            if let Some(t) = st.condvars[cv].pop_front() {
+                debug_assert_eq!(st.threads[t], Run::BlockedCondvar(cv));
+                st.threads[t] = Run::Runnable;
+            }
+        }
+
+        /// Wake every waiting thread.
+        pub fn notify_all(&self) {
+            let (exec, _me) = context();
+            let cv = self.cv_id(&exec);
+            let mut st = exec.lock();
+            while let Some(t) = st.condvars[cv].pop_front() {
+                st.threads[t] = Run::Runnable;
+            }
+        }
+    }
+
+    /// Sequentially-consistent modeled atomics (every op is a schedule
+    /// point; the `Ordering` argument is accepted but not weakened).
+    pub mod atomic {
+        use super::super::context;
+        pub use std::sync::atomic::Ordering;
+
+        macro_rules! modeled_atomic {
+            ($name:ident, $std:ty, $int:ty) => {
+                /// Modeled atomic: each operation is a scheduling decision.
+                pub struct $name {
+                    inner: $std,
+                }
+
+                impl $name {
+                    /// A new modeled atomic with the given initial value.
+                    pub const fn new(v: $int) -> Self {
+                        Self {
+                            inner: <$std>::new(v),
+                        }
+                    }
+
+                    /// Modeled load (SeqCst regardless of `_order`).
+                    pub fn load(&self, _order: Ordering) -> $int {
+                        let (exec, me) = context();
+                        exec.schedule(me, |_| {});
+                        self.inner.load(Ordering::SeqCst)
+                    }
+
+                    /// Modeled store (SeqCst regardless of `_order`).
+                    pub fn store(&self, v: $int, _order: Ordering) {
+                        let (exec, me) = context();
+                        exec.schedule(me, |_| {});
+                        self.inner.store(v, Ordering::SeqCst)
+                    }
+
+                    /// Modeled read-modify-write add.
+                    pub fn fetch_add(&self, v: $int, _order: Ordering) -> $int {
+                        let (exec, me) = context();
+                        exec.schedule(me, |_| {});
+                        self.inner.fetch_add(v, Ordering::SeqCst)
+                    }
+                }
+            };
+        }
+
+        modeled_atomic!(AtomicU64, std::sync::atomic::AtomicU64, u64);
+        modeled_atomic!(AtomicUsize, std::sync::atomic::AtomicUsize, usize);
+
+        /// Modeled atomic bool: each operation is a scheduling decision.
+        pub struct AtomicBool {
+            inner: std::sync::atomic::AtomicBool,
+        }
+
+        impl AtomicBool {
+            /// A new modeled atomic with the given initial value.
+            pub const fn new(v: bool) -> Self {
+                Self {
+                    inner: std::sync::atomic::AtomicBool::new(v),
+                }
+            }
+
+            /// Modeled load (SeqCst regardless of `_order`).
+            pub fn load(&self, _order: Ordering) -> bool {
+                let (exec, me) = context();
+                exec.schedule(me, |_| {});
+                self.inner.load(Ordering::SeqCst)
+            }
+
+            /// Modeled store (SeqCst regardless of `_order`).
+            pub fn store(&self, v: bool, _order: Ordering) {
+                let (exec, me) = context();
+                exec.schedule(me, |_| {});
+                self.inner.store(v, Ordering::SeqCst)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::sync::atomic::{AtomicUsize, Ordering};
+    use super::sync::{Arc, Condvar, Mutex};
+
+    /// Two unsynchronised increments: the model must visit the lost-update
+    /// interleaving, proving the explorer actually branches.
+    #[test]
+    fn detects_lost_update() {
+        let saw_lost_update = std::sync::Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let saw = std::sync::Arc::clone(&saw_lost_update);
+        super::model(move || {
+            let v = Arc::new(AtomicUsize::new(0));
+            let v2 = Arc::clone(&v);
+            let t = super::thread::spawn(move || {
+                let x = v2.load(Ordering::SeqCst);
+                v2.store(x + 1, Ordering::SeqCst);
+            });
+            let x = v.load(Ordering::SeqCst);
+            v.store(x + 1, Ordering::SeqCst);
+            t.join().expect("child");
+            if v.load(Ordering::SeqCst) == 1 {
+                saw.store(true, std::sync::atomic::Ordering::SeqCst);
+            }
+        });
+        assert!(
+            saw_lost_update.load(std::sync::atomic::Ordering::SeqCst),
+            "exploration never reached the racy interleaving"
+        );
+    }
+
+    /// Mutex-protected increments never lose an update in any schedule.
+    #[test]
+    fn mutex_increments_are_exact() {
+        super::model(|| {
+            let v = Arc::new(Mutex::new(0u64));
+            let v2 = Arc::clone(&v);
+            let t = super::thread::spawn(move || {
+                *v2.lock().expect("lock") += 1;
+            });
+            *v.lock().expect("lock") += 1;
+            t.join().expect("child");
+            assert_eq!(*v.lock().expect("lock"), 2);
+        });
+    }
+
+    /// A waiting consumer is woken by notify_one and observes the flag.
+    #[test]
+    fn condvar_handoff() {
+        super::model(|| {
+            let pair = Arc::new((Mutex::new(false), Condvar::new()));
+            let pair2 = Arc::clone(&pair);
+            let t = super::thread::spawn(move || {
+                let (m, cv) = &*pair2;
+                let mut ready = m.lock().expect("lock");
+                *ready = true;
+                drop(ready);
+                cv.notify_one();
+            });
+            let (m, cv) = &*pair;
+            let mut ready = m.lock().expect("lock");
+            while !*ready {
+                ready = cv.wait(ready).expect("wait");
+            }
+            drop(ready);
+            t.join().expect("child");
+        });
+    }
+
+    /// Deadlocks are reported, not hung on.
+    #[test]
+    fn deadlock_is_detected() {
+        let result = std::panic::catch_unwind(|| {
+            super::model(|| {
+                let pair = Arc::new((Mutex::new(false), Condvar::new()));
+                let (m, cv) = &*pair;
+                let flag = m.lock().expect("lock");
+                // Nobody will ever notify: this must be caught as deadlock.
+                let _ = cv.wait(flag);
+            });
+        });
+        let err = result.expect_err("deadlock must fail the model");
+        let msg = err.downcast_ref::<String>().cloned().unwrap_or_default();
+        assert!(msg.contains("deadlock"), "unexpected failure: {msg}");
+    }
+}
