@@ -44,6 +44,7 @@ struct Args {
     json: bool,
     serial: bool,
     bench_json: bool,
+    bench_gate: bool,
     impair: Option<String>,
     stream: bool,
     check: bool,
@@ -58,6 +59,7 @@ fn parse_args() -> Args {
         json: false,
         serial: false,
         bench_json: false,
+        bench_gate: false,
         impair: None,
         stream: false,
         check: false,
@@ -84,6 +86,7 @@ fn parse_args() -> Args {
             "--json" => args.json = true,
             "--serial" => args.serial = true,
             "--bench-json" => args.bench_json = true,
+            "--bench-gate" => args.bench_gate = true,
             "--impair" => args.impair = Some(it.next().expect("--impair needs a scenario name")),
             "--stream" => args.stream = true,
             "--check" => args.check = true,
@@ -94,7 +97,8 @@ fn parse_args() -> Args {
                      [--span-secs N] [--seed N] [--json] [--serial] [--bench-json]\n\
                      repro --impair <scenario|list> [--span-secs N] [--seed N] [--json] [--serial]\n\
                      repro --stream [--check | --bless] [--serial]   (streaming-collector snapshots)\n\
-                     repro --check | --bless   (verify / regenerate the golden traces in tests/golden/)"
+                     repro --check | --bless   (verify / regenerate the golden traces in tests/golden/)\n\
+                     repro --bench-gate   (fail if engine events/s regresses past tests/bench_baseline.json)"
                 );
                 std::process::exit(0);
             }
@@ -634,7 +638,13 @@ struct BenchArtifact {
 #[derive(Serialize)]
 struct BenchEngine {
     events_processed: u64,
+    /// Events over the *minimum* per-iteration engine wall time across
+    /// `min_of_iters` warm runs. On the noisy single-core VM hosts this
+    /// project is benchmarked on, a single run's wall clock carries ±10%
+    /// of steal/frequency jitter; the minimum statistic is repeatable to
+    /// a few tenths of a percent.
     events_per_sec: f64,
+    min_of_iters: u64,
     peak_queue_depth: u64,
 }
 
@@ -643,15 +653,21 @@ struct BenchReport {
     date: String,
     span_secs: u64,
     seed: u64,
+    /// Physical parallelism reported by the host OS.
+    host_cores: u64,
+    /// Worker count the pool actually uses after applying the
+    /// `PROBENET_THREADS` override (`probenet_sim::effective_threads`).
+    threads_effective: u64,
     pool_threads: u64,
     artifacts: Vec<BenchArtifact>,
     serial_wall_ms: f64,
     parallel_wall_ms: f64,
-    /// On a single-core host (`pool_threads: 1`) the pool degenerates to
-    /// inline execution, so this ratio measures run-to-run variance (warm
-    /// caches on the second pass), not parallel speedup — the 1.05 in
-    /// BENCH_2026-08-05.json is exactly that.
-    speedup_parallel_over_serial: f64,
+    /// `null` on single-core hosts: with one core the pool degenerates to
+    /// inline execution and the serial/pooled ratio only measures
+    /// run-to-run variance (warm caches on the second pass), not parallel
+    /// speedup — `parallelism_note` says so in the emitted JSON.
+    speedup_parallel_over_serial: Option<f64>,
+    parallelism_note: Option<String>,
     /// Collector ingest throughput across 8 concurrent sessions.
     stream_ingest: StreamIngest,
     engine: BenchEngine,
@@ -664,6 +680,95 @@ struct BenchReport {
 
 fn ms(d: Duration) -> f64 {
     d.as_secs_f64() * 1e3
+}
+
+/// Iterations for the min-statistic engine measurement. Each δ = 50 ms
+/// span-600 iteration is tens of milliseconds, so this stays cheap even
+/// in CI while leaving plenty of samples for the minimum to stabilize.
+const ENGINE_BENCH_ITERS: usize = 12;
+
+/// Serial engine throughput on the representative δ = 50 ms INRIA→UMd
+/// run: events over the minimum per-iteration engine wall across `iters`
+/// warm runs (one discarded warm-up run first). The minimum filters out
+/// VM steal/frequency noise that inflates any averaging statistic.
+fn engine_throughput(span_secs: u64, seed: u64, iters: usize) -> BenchEngine {
+    let scenario = probenet_core::PaperScenario::inria_umd(seed);
+    let config =
+        probenet_netdyn::ExperimentConfig::paper(probenet_sim::SimDuration::from_millis(50))
+            .with_count((span_secs * 1000 / 50) as usize);
+    scenario.run(&config); // warm-up: allocator pools, page cache
+    let mut best = f64::INFINITY;
+    let mut events = 0u64;
+    let mut peak = 0u64;
+    for _ in 0..iters.max(1) {
+        let stats = scenario.run(&config).engine_stats;
+        events = stats.events_processed;
+        peak = stats.peak_queue_depth as u64;
+        best = best.min(stats.wall.as_secs_f64());
+    }
+    BenchEngine {
+        events_processed: events,
+        events_per_sec: events as f64 / best,
+        min_of_iters: iters.max(1) as u64,
+        peak_queue_depth: peak,
+    }
+}
+
+/// Committed engine-throughput floor for `--bench-gate`.
+#[derive(serde::Deserialize)]
+struct BenchBaseline {
+    span_secs: u64,
+    seed: u64,
+    /// Min-statistic serial engine throughput committed after the event
+    /// queue overhaul (see EXPERIMENTS.md for methodology).
+    engine_events_per_sec: f64,
+    /// Fractional drop tolerated before the gate fails (0.30 = 30%),
+    /// sized for cross-host variance: CI runners and the development VM
+    /// differ in absolute speed far more than any real regression hides.
+    max_regression: f64,
+}
+
+/// `--bench-gate`: re-measure serial engine throughput with the same
+/// min-statistic methodology as `--bench-json` and fail (exit 1) if it
+/// dropped more than `max_regression` below the committed baseline.
+fn bench_gate() -> i32 {
+    let path = "tests/bench_baseline.json";
+    let body = match std::fs::read_to_string(path) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-gate: cannot read {path}: {e}");
+            return 2;
+        }
+    };
+    let baseline: BenchBaseline = match serde_json::from_str(&body) {
+        Ok(b) => b,
+        Err(e) => {
+            eprintln!("bench-gate: cannot parse {path}: {e}");
+            return 2;
+        }
+    };
+    let engine = engine_throughput(baseline.span_secs, baseline.seed, ENGINE_BENCH_ITERS);
+    let floor = baseline.engine_events_per_sec * (1.0 - baseline.max_regression);
+    println!(
+        "bench-gate: measured {:.2} M events/s (min of {} runs, span {} s, seed {}) \
+         | baseline {:.2} M | floor {:.2} M",
+        engine.events_per_sec / 1e6,
+        engine.min_of_iters,
+        baseline.span_secs,
+        baseline.seed,
+        baseline.engine_events_per_sec / 1e6,
+        floor / 1e6,
+    );
+    if engine.events_per_sec < floor {
+        println!(
+            "bench-gate: FAIL — engine throughput regressed more than {:.0}% below {path}",
+            baseline.max_regression * 100.0
+        );
+        1
+    } else {
+        println!("bench-gate: OK");
+        0
+    }
 }
 
 /// Time a serial and a pooled full-artifact pass and write
@@ -684,20 +789,33 @@ fn bench(args: &Args) {
     }
 
     // Engine throughput, measured on a representative δ = 50 ms run.
-    let scenario = probenet_core::PaperScenario::inria_umd(args.seed);
-    let config =
-        probenet_netdyn::ExperimentConfig::paper(probenet_sim::SimDuration::from_millis(50))
-            .with_count((args.span_secs * 1000 / 50) as usize);
-    let stats = scenario.run(&config).engine_stats;
+    let engine = engine_throughput(args.span_secs, args.seed, ENGINE_BENCH_ITERS);
 
     // Streaming ingest: 8 producer sessions through one collector, blocking
     // push, so the drop counter is structurally (and assertedly) zero.
     let ingest = stream_ingest_throughput(8, 150_000);
 
+    let host_cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1) as u64;
+    let (speedup, note) = if host_cores == 1 {
+        (
+            None,
+            Some(
+                "single-core host: the pool degenerates to inline execution, so a \
+                 serial/pooled wall ratio would measure cache warmth, not speedup"
+                    .to_string(),
+            ),
+        )
+    } else {
+        (Some(ms(serial_wall) / ms(parallel_wall)), None)
+    };
     let report = BenchReport {
         date: today_utc(),
         span_secs: args.span_secs,
         seed: args.seed,
+        host_cores,
+        threads_effective: probenet_sim::effective_threads() as u64,
         pool_threads: threads as u64,
         artifacts: serial
             .iter()
@@ -708,13 +826,10 @@ fn bench(args: &Args) {
             .collect(),
         serial_wall_ms: ms(serial_wall),
         parallel_wall_ms: ms(parallel_wall),
-        speedup_parallel_over_serial: ms(serial_wall) / ms(parallel_wall),
+        speedup_parallel_over_serial: speedup,
+        parallelism_note: note,
         stream_ingest: ingest,
-        engine: BenchEngine {
-            events_processed: stats.events_processed,
-            events_per_sec: stats.events_per_sec(),
-            peak_queue_depth: stats.peak_queue_depth as u64,
-        },
+        engine,
         pre_optimization_serial_wall_ms: PRE_OPTIMIZATION_SERIAL_WALL_MS,
         speedup_vs_pre_optimization: PRE_OPTIMIZATION_SERIAL_WALL_MS / ms(serial_wall),
     };
@@ -900,6 +1015,9 @@ fn main() {
     }
     if let Some(name) = args.impair.clone() {
         std::process::exit(impair(&args, &name));
+    }
+    if args.bench_gate {
+        std::process::exit(bench_gate());
     }
     if args.bench_json {
         bench(&args);

@@ -87,7 +87,7 @@ impl PaperScenario {
         )
         .generate(&mut rng, horizon);
 
-        let (series, engine) = SimExperiment::new(
+        let (series, run) = SimExperiment::new(
             config.clone(),
             self.path.clone(),
             self.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15),
@@ -96,15 +96,12 @@ impl PaperScenario {
         .with_cross_traffic(bidx, Direction::Inbound, inbound)
         .run();
 
-        let now = engine.now();
-        let bottleneck_utilization = engine
-            .port(bidx, Direction::Outbound)
-            .stats
-            .utilization(now);
+        let now = run.now;
+        let bottleneck_utilization = run.port(bidx, Direction::Outbound).utilization(now);
         let mut probe_overflow = 0u64;
         let mut probe_random = 0u64;
         let mut probe_impair = 0u64;
-        for d in engine.drops() {
+        for d in &run.drops {
             if d.class == FlowClass::Probe {
                 match d.reason {
                     DropReason::BufferOverflow | DropReason::EarlyDrop => probe_overflow += 1,
@@ -116,10 +113,10 @@ impl PaperScenario {
                 }
             }
         }
-        let engine_stats = engine.stats();
-        // Hand the engine back for the next run on this worker thread to
-        // reuse its allocations.
-        probenet_netdyn::recycle_engine(engine);
+        let engine_stats = run.stats;
+        // Hand the run back so a serial engine's allocations can be reused
+        // by the next run on this worker thread.
+        probenet_netdyn::recycle_run(run);
         ExperimentOutput {
             series,
             mu_bps: mu,

@@ -21,17 +21,10 @@ use std::sync::Mutex;
 
 /// Worker-thread cap: the `PROBENET_THREADS` environment variable when set
 /// to a positive integer, otherwise [`std::thread::available_parallelism`].
+/// Shared with the partitioned simulation engine so one knob governs both
+/// layers of parallelism.
 pub fn max_threads() -> usize {
-    if let Ok(raw) = std::env::var("PROBENET_THREADS") {
-        if let Ok(n) = raw.trim().parse::<usize>() {
-            if n >= 1 {
-                return n;
-            }
-        }
-    }
-    std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(1)
+    probenet_sim::effective_threads()
 }
 
 /// Apply `f` to every item on the bounded pool and return the results in

@@ -7,7 +7,10 @@
 
 use std::cell::RefCell;
 
-use probenet_sim::{Direction, Engine, Path, SimTime};
+use probenet_sim::{
+    run_partitioned, CrossAttachment, Delivery, Direction, Engine, EngineStats, FlowClass,
+    InjectionPlan, Path, PortStats, ProbeInjection, SimTime,
+};
 use probenet_traffic::Arrival;
 
 use crate::config::ExperimentConfig;
@@ -26,6 +29,46 @@ thread_local! {
 /// depend on whether a run recycled.
 pub fn recycle_engine(engine: Engine) {
     ENGINE_CACHE.with(|cache| *cache.borrow_mut() = Some(engine));
+}
+
+/// Network-side outcome of a simulated experiment: what happened inside
+/// the path, independent of whether the run was serial or partitioned.
+#[derive(Debug)]
+pub struct SimRun {
+    /// Final simulated time.
+    pub now: SimTime,
+    /// Engine work counters (summed over partitions).
+    pub stats: EngineStats,
+    /// Every drop, probes and cross traffic alike.
+    pub drops: Vec<probenet_sim::DropRecord>,
+    /// Per-port statistics in global port order (outbound `0..links`, then
+    /// inbound `0..links`).
+    pub port_stats: Vec<PortStats>,
+    /// Number of links on the path.
+    pub links: usize,
+    /// How many partitions the run actually used.
+    pub partitions: usize,
+    /// The serial engine, when one was used (kept so it can be recycled).
+    engine: Option<Engine>,
+}
+
+impl SimRun {
+    /// Statistics of one port.
+    pub fn port(&self, link: usize, direction: Direction) -> &PortStats {
+        let idx = match direction {
+            Direction::Outbound => link,
+            Direction::Inbound => self.links + link,
+        };
+        &self.port_stats[idx]
+    }
+}
+
+/// Recycle the engine behind `run`, if it was a serial run (see
+/// [`recycle_engine`]). Partitioned runs have nothing to cache.
+pub fn recycle_run(run: SimRun) {
+    if let Some(engine) = run.engine {
+        recycle_engine(engine);
+    }
 }
 
 /// A cached engine for `path` (reset to `seed`), or a fresh one.
@@ -62,6 +105,12 @@ pub struct SimExperiment {
     pub cross_traffic: Vec<CrossTrafficBinding>,
     /// Seed for the simulator's randomness (link loss).
     pub seed: u64,
+    /// Partition count for the conservative-parallel engine. `None` (the
+    /// default) defers to [`probenet_sim::effective_threads`] —
+    /// `PROBENET_THREADS` or the host's parallelism; `Some(n)` pins it,
+    /// which tests use to compare widths without touching the environment.
+    /// Results are bit-identical at every width.
+    pub partitions: Option<usize>,
 }
 
 impl SimExperiment {
@@ -72,7 +121,14 @@ impl SimExperiment {
             path,
             cross_traffic: Vec::new(),
             seed,
+            partitions: None,
         }
+    }
+
+    /// Pin the partition count (see [`SimExperiment::partitions`]).
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.partitions = Some(partitions);
+        self
     }
 
     /// Attach a cross-traffic stream to one queue.
@@ -91,8 +147,9 @@ impl SimExperiment {
     }
 
     /// Run to completion and collect the RTT series. Also returns the
-    /// engine for callers that want queue statistics or drop records.
-    pub fn run(self) -> (RttSeries, Engine) {
+    /// network-side outcome for callers that want queue statistics or drop
+    /// records.
+    pub fn run(self) -> (RttSeries, SimRun) {
         self.run_with_sink(|_| {})
     }
 
@@ -102,24 +159,12 @@ impl SimExperiment {
     /// (`probenet-stream`): the sink sees exactly the records the series
     /// will contain, so a streaming fold over the sink matches a batch
     /// analysis of the returned series byte-for-byte.
-    pub fn run_with_sink<F: FnMut(&RttRecord)>(self, mut sink: F) -> (RttSeries, Engine) {
-        let mut engine = checkout_engine(&self.path, self.seed);
-        let cross_total: usize = self.cross_traffic.iter().map(|b| b.arrivals.len()).sum();
-        engine.reserve(self.config.count, cross_total);
-        for binding in self.cross_traffic {
-            engine.attach_cross_traffic(
-                binding.link,
-                binding.direction,
-                binding.arrivals.iter().map(|a| a.into_pair()),
-            );
-        }
+    pub fn run_with_sink<F: FnMut(&RttRecord)>(self, mut sink: F) -> (RttSeries, SimRun) {
+        let width = self
+            .partitions
+            .unwrap_or_else(probenet_sim::effective_threads)
+            .max(1);
         let wire = self.config.wire_bytes();
-        for n in 0..self.config.count as u64 {
-            let at = SimTime::ZERO + self.config.interval * n;
-            engine.inject_probe(at, wire, n);
-        }
-        engine.run();
-
         let mut records: Vec<RttRecord> = (0..self.config.count as u64)
             .map(|n| RttRecord {
                 seq: n,
@@ -128,13 +173,19 @@ impl SimExperiment {
                 rtt: None,
             })
             .collect();
-        for d in engine.probe_deliveries() {
-            // Impairments can duplicate probes; the receiver keeps the first
-            // copy of each sequence number. Deliveries are in completion
-            // order, so first-seen means earliest-delivered.
-            if records[d.seq as usize].rtt.is_some() {
-                continue;
+        // Impairments can duplicate probes; the receiver keeps the
+        // earliest-delivered copy of each sequence number (ties broken by
+        // packet id). This selection is order-independent, so serial and
+        // partitioned runs fill identical records no matter how their
+        // delivery logs happen to be ordered.
+        let mut best: Vec<Option<(u64, u64)>> = vec![None; self.config.count];
+        let mut fill = |records: &mut Vec<RttRecord>, d: &Delivery| {
+            let key = (d.delivered_at.as_nanos(), d.id.0);
+            let slot = &mut best[d.seq as usize];
+            if slot.is_some_and(|prev| prev <= key) {
+                return;
             }
+            *slot = Some(key);
             let rtt = measured_rtt(
                 d.injected_at,
                 d.delivered_at,
@@ -149,7 +200,86 @@ impl SimExperiment {
                 )
                 .as_nanos()
             });
-        }
+        };
+
+        let run = if width <= 1 {
+            let mut engine = checkout_engine(&self.path, self.seed);
+            let cross_total: usize = self.cross_traffic.iter().map(|b| b.arrivals.len()).sum();
+            engine.reserve(self.config.count, cross_total);
+            for binding in &self.cross_traffic {
+                engine.attach_cross_traffic(
+                    binding.link,
+                    binding.direction,
+                    binding.arrivals.iter().map(|a| a.into_pair()),
+                );
+            }
+            for n in 0..self.config.count as u64 {
+                let at = SimTime::ZERO + self.config.interval * n;
+                engine.inject_probe(at, wire, n);
+            }
+            engine.run();
+            for d in engine.probe_deliveries() {
+                fill(&mut records, d);
+            }
+            let links = self.path.links.len();
+            let port_stats = (0..links)
+                .map(|l| engine.port(l, Direction::Outbound).stats.clone())
+                .chain((0..links).map(|l| engine.port(l, Direction::Inbound).stats.clone()))
+                .collect();
+            SimRun {
+                now: engine.now(),
+                stats: engine.stats(),
+                drops: engine.drops().to_vec(),
+                port_stats,
+                links,
+                partitions: 1,
+                engine: Some(engine),
+            }
+        } else {
+            // The plan mirrors the serial injection order exactly (cross
+            // bindings first, then probes), so `with_serial_ids` reproduces
+            // the serial engine's packet ids.
+            let plan = InjectionPlan {
+                cross: self
+                    .cross_traffic
+                    .iter()
+                    .map(|b| CrossAttachment {
+                        link: b.link,
+                        direction: b.direction,
+                        arrivals: b.arrivals.iter().map(|a| a.into_pair()).collect(),
+                        base_id: 0,
+                    })
+                    .collect(),
+                probes: (0..self.config.count as u64)
+                    .map(|n| ProbeInjection {
+                        at: SimTime::ZERO + self.config.interval * n,
+                        size: wire,
+                        seq: n,
+                        ttl: probenet_sim::DEFAULT_TTL,
+                        id: 0,
+                    })
+                    .collect(),
+            }
+            .with_serial_ids();
+            let out = run_partitioned(&self.path, self.seed, &plan, width);
+            for d in out
+                .deliveries
+                .iter()
+                .filter(|d| d.class == FlowClass::Probe)
+            {
+                fill(&mut records, d);
+            }
+            SimRun {
+                now: out.now,
+                stats: out.stats,
+                drops: out.drops,
+                port_stats: out.port_stats,
+                links: self.path.links.len(),
+                partitions: out.partitions,
+                engine: None,
+            }
+        };
+
         for record in &records {
             sink(record);
         }
@@ -159,7 +289,7 @@ impl SimExperiment {
             self.config.clock_resolution,
             records,
         );
-        (series, engine)
+        (series, run)
     }
 }
 
@@ -222,7 +352,7 @@ mod tests {
         // Offered cross load alone ≈ 1.3 µ: the finite buffer must drop.
         let cross = PeriodicStream::every(SimDuration::from_millis(24), PacketSize::Constant(512))
             .generate(&mut StdRng::seed_from_u64(5), SimDuration::from_secs(10));
-        let (series, engine) = SimExperiment::new(cfg, flat_path(128_000), 1)
+        let (series, run) = SimExperiment::new(cfg, flat_path(128_000), 1)
             .with_cross_traffic(0, Direction::Outbound, cross)
             .run();
         assert!(
@@ -230,7 +360,7 @@ mod tests {
             "ulp {}",
             series.loss_probability()
         );
-        assert!(!engine.drops().is_empty());
+        assert!(!run.drops.is_empty());
     }
 
     #[test]
@@ -251,6 +381,35 @@ mod tests {
         for (i, rec) in series.records.iter().enumerate() {
             assert_eq!(rec.seq, i as u64);
             assert_eq!(rec.sent_at, (i as u64) * 10_000_000);
+        }
+    }
+
+    #[test]
+    fn partitioned_driver_matches_serial_byte_for_byte() {
+        let run_at = |width: usize| {
+            let cfg = ExperimentConfig::quick(SimDuration::from_millis(20), 250);
+            let mix = InternetMix::calibrated(128_000, 0.6, 0.2, 3.0);
+            let out = mix.generate(&mut StdRng::seed_from_u64(9), SimDuration::from_secs(6));
+            let back = mix.generate(&mut StdRng::seed_from_u64(10), SimDuration::from_secs(6));
+            SimExperiment::new(cfg, probenet_sim::Path::inria_umd_1992(), 4)
+                .with_cross_traffic(5, Direction::Outbound, out)
+                .with_cross_traffic(5, Direction::Inbound, back)
+                .with_partitions(width)
+                .run()
+        };
+        let (serial_series, serial_run) = run_at(1);
+        for width in [2usize, 4, 8] {
+            let (series, run) = run_at(width);
+            assert!(run.partitions > 1, "width {width} did not partition");
+            assert_eq!(series.records, serial_series.records, "width {width}");
+            assert_eq!(run.now, serial_run.now, "width {width}");
+            let stats = |r: &SimRun| {
+                r.port_stats
+                    .iter()
+                    .map(|s| (s.arrivals, s.served, s.overflow_drops, s.busy_time))
+                    .collect::<Vec<_>>()
+            };
+            assert_eq!(stats(&run), stats(&serial_run), "width {width}");
         }
     }
 

@@ -8,13 +8,39 @@
 //! the round-trip series `rtt_n`. Probes that overflow a finite buffer, are
 //! randomly lost on a link, or exceed their TTL never come back — exactly
 //! the `rtt_n = 0` convention of the paper's Section 3.
+//!
+//! ## Hot path
+//!
+//! Packets live in a generation-checked [`PacketArena`]; events carry 8-byte
+//! [`PacketRef`] handles, so a queue entry is 32 bytes and admission moves a
+//! handle instead of cloning the packet. Same-instant hops (router
+//! forwarding, the echo turnaround, TTL replies) are dispatched inline
+//! rather than round-tripped through the event queue, and the run loop
+//! drains whole time buckets via [`EventQueue::begin_bucket`]. All
+//! randomness that affects admission is drawn from **per-port** RNG streams
+//! (disjoint from the impairment streams), so a port's random-loss/RED
+//! decisions depend only on its own arrival sequence — the property that
+//! lets a partitioned run reproduce the serial one exactly.
+//!
+//! ## Partitioned operation
+//!
+//! An engine can own a contiguous sub-range of the path's nodes
+//! ([`Engine::new_partition`]). It then processes only events at its own
+//! nodes and ports; a packet crossing the boundary is placed in an outbox
+//! ([`Engine::take_outboxes`]) instead of the local queue, and remote
+//! packets enter through [`Engine::deliver_remote`]. Cross-boundary
+//! arrivals are ordered by a content-derived lane (the packet id, which is
+//! itself derived from injection order or the generating port/node — never
+//! from a global counter), so the merged execution is independent of the
+//! partition count; see DESIGN.md §13.
 
-use std::collections::HashMap;
+use std::ops::Range;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::event::EventQueue;
+use crate::arena::{PacketArena, PacketRef};
+use crate::event::{EventQueue, LOCAL_LANE};
 use crate::impair::{port_stream_seed, Fate, ImpairmentState};
 use crate::packet::{
     Delivery, Direction, DropReason, DropRecord, FlowClass, Packet, PacketId, TtlExceeded,
@@ -30,29 +56,41 @@ use crate::trace::{TraceEvent, TraceKind};
 /// offending datagram).
 pub const TTL_REPLY_SIZE: u32 = 56;
 
+/// Bit marking a packet id generated at runtime (duplicates, TTL replies)
+/// rather than assigned at injection. Runtime ids are derived from the
+/// generating site and a per-site counter, so they are identical in serial
+/// and partitioned runs.
+const RUNTIME_ID_BIT: u64 = 1 << 62;
+/// Additional bit marking TTL-exceeded replies among runtime ids.
+const REPLY_ID_BIT: u64 = 1 << 61;
+/// Shift of the generating port/node index within a runtime id.
+const ID_SITE_SHIFT: u32 = 40;
+
 #[derive(Debug)]
 enum Ev {
     /// A packet reaches a port's queue.
-    Arrive { port: usize, packet: Packet },
+    Arrive { port: u32, r: PacketRef },
     /// A port's server finishes transmitting its head packet.
-    TxDone { port: usize },
+    TxDone { port: u32 },
     /// A packet arrives at a node after crossing a link.
-    NodeArrival { node: usize, packet: Packet },
+    NodeArrival { node: u32, r: PacketRef },
     /// A link's propagation delay changes (a route change re-homing this
     /// hop onto a longer or shorter physical path).
-    SetPropagation { link: usize, value: SimDuration },
+    SetPropagation { link: u32, value: SimDuration },
     /// A packet (re-)enters a port's queue downstream of the fault
     /// injectors: reorder-deferred packets and duplicate copies, which must
     /// not run the impairment pipeline a second time.
-    Admit { port: usize, packet: Packet },
+    Admit { port: u32, r: PacketRef },
 }
 
 /// Counters describing how much work a run did, for performance
 /// instrumentation (none of these feed back into simulation results).
 #[derive(Debug, Clone, Copy, Default)]
 pub struct EngineStats {
-    /// Events popped and handled over the engine's lifetime (since
-    /// construction or the last [`Engine::reset`]).
+    /// Logical events handled over the engine's lifetime (since
+    /// construction or the last [`Engine::reset`]): events popped from the
+    /// queue **plus** same-instant hops dispatched inline, so totals stay
+    /// comparable with earlier engine versions that queued every hop.
     pub events_processed: u64,
     /// High-water mark of the pending-event queue.
     pub peak_queue_depth: usize,
@@ -72,28 +110,52 @@ impl EngineStats {
     }
 }
 
-/// Discrete-event simulator for one probed path.
+/// A packet that crossed a partition boundary: it arrives at `node` (owned
+/// by a neighboring partition) at instant `at`.
+#[derive(Debug)]
+pub struct RemoteArrival {
+    /// Arrival instant at the receiving node.
+    pub at: SimTime,
+    /// The receiving node (owned by the neighbor).
+    pub node: usize,
+    /// The packet itself, moved out of the sender's arena.
+    pub packet: Packet,
+}
+
+/// Discrete-event simulator for one probed path (or one partition of it).
 #[derive(Debug)]
 pub struct Engine {
     path: Path,
+    /// Nodes this engine owns: the full range for a serial engine, a
+    /// contiguous sub-range for a partition. Port `j` outbound lives at
+    /// node `j`; port `j` inbound lives at node `j + 1`.
+    owned: Range<usize>,
     /// `ports[i]` for `i < L` transmits link `i` outbound (from node `i`);
     /// `ports[L + i]` transmits link `i` inbound (from node `i + 1`).
     ports: Vec<Port>,
     /// Fault-injector state, one per port, each with its own RNG stream
     /// derived from the master seed (see [`crate::impair`]).
     impair: Vec<ImpairmentState>,
+    /// Admission randomness (random loss, RED), one independent stream per
+    /// port, seeded after the impairment streams. Per-port streams make a
+    /// port's decisions a function of its own arrival sequence alone.
+    port_rng: Vec<StdRng>,
     events: EventQueue<Ev>,
-    rng: StdRng,
+    arena: PacketArena,
     next_id: u64,
+    /// Per-port counter feeding duplicate-copy ids.
+    dup_seq: Vec<u64>,
+    /// Per-node counter feeding TTL-exceeded reply ids.
+    reply_seq: Vec<u64>,
     deliveries: Vec<Delivery>,
     drops: Vec<DropRecord>,
     ttl_replies: Vec<TtlExceeded>,
-    /// Origin node of in-flight TTL-exceeded replies, keyed by packet id.
-    pending_ttl: HashMap<PacketId, usize>,
-    /// Echo instants of in-flight probes, keyed by packet id.
-    pending_echo: HashMap<PacketId, SimTime>,
     /// Closed-loop window flows; `Packet::flow` is an index + 1 here.
     flows: Vec<FlowState>,
+    /// Boundary crossings toward lower-numbered nodes, in send order.
+    outbox_west: Vec<RemoteArrival>,
+    /// Boundary crossings toward higher-numbered nodes, in send order.
+    outbox_east: Vec<RemoteArrival>,
     trace: Option<Vec<TraceEvent>>,
     /// Events handled and wall time spent in the run loops.
     events_processed: u64,
@@ -168,7 +230,30 @@ impl Engine {
     /// Identical seeds and identical injection sequences produce identical
     /// traces, bit for bit.
     pub fn new(path: Path, seed: u64) -> Self {
+        let owned = 0..path.nodes.len();
+        Engine::with_owned(path, seed, owned)
+    }
+
+    /// A partition engine owning the contiguous node range `owned` of
+    /// `path`. It shares the global port/node indexing (and therefore the
+    /// per-port RNG streams) with a serial engine over the same path, but
+    /// must only be fed events for its own nodes; boundary crossings land
+    /// in the outboxes.
+    ///
+    /// # Panics
+    /// Panics if the range is empty or out of bounds.
+    pub fn new_partition(path: Path, seed: u64, owned: Range<usize>) -> Self {
+        assert!(
+            !owned.is_empty() && owned.end <= path.nodes.len(),
+            "invalid partition range {owned:?} for {} nodes",
+            path.nodes.len()
+        );
+        Engine::with_owned(path, seed, owned)
+    }
+
+    fn with_owned(path: Path, seed: u64, owned: Range<usize>) -> Self {
         let links = path.links.len();
+        let nodes = path.nodes.len();
         let mut ports = Vec::with_capacity(links * 2);
         for spec in &path.links {
             ports.push(Port::new(spec.clone()));
@@ -179,19 +264,27 @@ impl Engine {
         let impair = (0..links * 2)
             .map(|i| ImpairmentState::new(port_stream_seed(seed, i)))
             .collect();
+        // Admission streams sit after the 2L impairment streams.
+        let port_rng = (0..links * 2)
+            .map(|i| StdRng::seed_from_u64(port_stream_seed(seed, links * 2 + i)))
+            .collect();
         let mut engine = Engine {
             path,
+            owned,
             ports,
             impair,
+            port_rng,
             events: EventQueue::new(),
-            rng: StdRng::seed_from_u64(seed),
+            arena: PacketArena::new(),
             next_id: 0,
+            dup_seq: vec![0; links * 2],
+            reply_seq: vec![0; nodes],
             deliveries: Vec::new(),
             drops: Vec::new(),
             ttl_replies: Vec::new(),
-            pending_ttl: HashMap::new(),
-            pending_echo: HashMap::new(),
             flows: Vec::new(),
+            outbox_west: Vec::new(),
+            outbox_east: Vec::new(),
             trace: None,
             events_processed: 0,
             run_wall: std::time::Duration::ZERO,
@@ -210,7 +303,7 @@ impl Engine {
                 self.events.schedule(
                     shift.at,
                     Ev::SetPropagation {
-                        link,
+                        link: link as u32,
                         value: shift.propagation,
                     },
                 );
@@ -220,14 +313,15 @@ impl Engine {
 
     /// Return the engine to the state [`Engine::new`] would produce for the
     /// same path and the given `seed`, **reusing** every buffer allocation:
-    /// ports, event queue, delivery/drop/trace vectors and pending maps are
-    /// cleared in place rather than reallocated. A reset engine produces
+    /// ports, event queue, arena, delivery/drop/trace vectors are cleared
+    /// in place rather than reallocated. A reset engine produces
     /// bit-identical traces to a freshly constructed one.
     ///
     /// Scheduled propagation changes mutate the path during a run; the
     /// original link parameters are restored here from the (immutable) port
     /// specs.
     pub fn reset(&mut self, seed: u64) {
+        let links = self.path.links.len();
         for (i, spec) in self.path.links.iter_mut().enumerate() {
             *spec = self.ports[i].spec.clone();
         }
@@ -237,15 +331,20 @@ impl Engine {
         for (i, st) in self.impair.iter_mut().enumerate() {
             st.reset(port_stream_seed(seed, i));
         }
+        for (i, rng) in self.port_rng.iter_mut().enumerate() {
+            *rng = StdRng::seed_from_u64(port_stream_seed(seed, links * 2 + i));
+        }
         self.events.clear();
-        self.rng = StdRng::seed_from_u64(seed);
+        self.arena.clear();
         self.next_id = 0;
+        self.dup_seq.fill(0);
+        self.reply_seq.fill(0);
         self.deliveries.clear();
         self.drops.clear();
         self.ttl_replies.clear();
-        self.pending_ttl.clear();
-        self.pending_echo.clear();
         self.flows.clear();
+        self.outbox_west.clear();
+        self.outbox_east.clear();
         if let Some(t) = &mut self.trace {
             t.clear();
         }
@@ -261,7 +360,7 @@ impl Engine {
         // Every cross packet and most probes produce a delivery record.
         self.deliveries.reserve(probes + cross);
         self.drops.reserve(probes / 4 + cross / 4);
-        self.pending_echo.reserve(probes.min(1024));
+        self.arena.reserve(probes + cross);
     }
 
     /// Work counters for this engine (see [`EngineStats`]).
@@ -278,9 +377,20 @@ impl Engine {
         &self.path
     }
 
+    /// The contiguous node range this engine owns (the whole path for a
+    /// serial engine).
+    pub fn owned_nodes(&self) -> Range<usize> {
+        self.owned.clone()
+    }
+
     /// Current simulated time.
     pub fn now(&self) -> SimTime {
         self.events.now()
+    }
+
+    /// Timestamp of the engine's next pending event, if any.
+    pub fn next_event_time(&self) -> Option<SimTime> {
+        self.events.peek_time()
     }
 
     /// Index into the port array for (`link`, `direction`).
@@ -307,16 +417,20 @@ impl Engine {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
-    fn record(&mut self, at: SimTime, port: Option<usize>, packet: &Packet, kind: TraceKind) {
-        if let Some(t) = &mut self.trace {
-            t.push(TraceEvent {
-                at,
-                port,
-                packet: packet.id,
-                class: packet.class,
-                seq: packet.seq,
-                kind,
-            });
+    fn record(&mut self, at: SimTime, port: Option<usize>, r: PacketRef, kind: TraceKind) {
+        if self.trace.is_some() {
+            let p = self.arena.get(r);
+            let (packet, class, seq) = (p.id, p.class, p.seq);
+            if let Some(t) = &mut self.trace {
+                t.push(TraceEvent {
+                    at,
+                    port,
+                    packet,
+                    class,
+                    seq,
+                    kind,
+                });
+            }
         }
     }
 
@@ -335,8 +449,25 @@ impl Engine {
     /// As [`Engine::inject_probe`] but with an explicit TTL — the primitive
     /// behind route discovery.
     pub fn inject_probe_with_ttl(&mut self, at: SimTime, size: u32, seq: u64, ttl: u8) {
+        let id = self.fresh_id();
+        self.inject_probe_with_id(at, size, seq, ttl, id);
+    }
+
+    /// As [`Engine::inject_probe_with_ttl`] but with an explicit packet id,
+    /// bypassing the engine's injection counter. Partitioned runs use this
+    /// to assign the exact ids a serial engine would have produced for the
+    /// same injection sequence.
+    pub fn inject_probe_with_id(
+        &mut self,
+        at: SimTime,
+        size: u32,
+        seq: u64,
+        ttl: u8,
+        id: PacketId,
+    ) {
+        debug_assert!(id.0 < LOCAL_LANE, "packet id too large for lane keying");
         let packet = Packet {
-            id: self.fresh_id(),
+            id,
             class: FlowClass::Probe,
             flow: 0,
             size,
@@ -345,8 +476,10 @@ impl Engine {
             ttl,
             direction: Direction::Outbound,
             corrupted: false,
+            echoed_at: None,
         };
-        self.events.schedule(at, Ev::Arrive { port: 0, packet });
+        let r = self.arena.alloc(packet);
+        self.events.schedule(at, Ev::Arrive { port: 0, r });
     }
 
     /// Register a closed-loop window flow and launch its initial window at
@@ -414,6 +547,7 @@ impl Engine {
     }
 
     fn inject_window_packet(&mut self, flow: u32, at: SimTime) {
+        let id = self.fresh_id();
         let state = &mut self.flows[flow as usize - 1];
         let seq = state.next_seq;
         state.next_seq += 1;
@@ -421,7 +555,7 @@ impl Engine {
         let reverse = state.spec.reverse;
         let size = state.spec.data_bytes;
         let packet = Packet {
-            id: self.fresh_id(),
+            id,
             class: FlowClass::Window,
             flow,
             size,
@@ -434,6 +568,7 @@ impl Engine {
                 Direction::Outbound
             },
             corrupted: false,
+            echoed_at: None,
         };
         let port = if reverse {
             // Sender at the far end: first hop is the last link, inbound.
@@ -441,8 +576,15 @@ impl Engine {
         } else {
             0
         };
-        self.events
-            .schedule(at.max(self.events.now()), Ev::Arrive { port, packet });
+        let at = at.max(self.events.now());
+        let r = self.arena.alloc(packet);
+        self.events.schedule(
+            at,
+            Ev::Arrive {
+                port: port as u32,
+                r,
+            },
+        );
     }
 
     /// Attach a pre-generated cross-traffic arrival sequence to the queue of
@@ -455,19 +597,60 @@ impl Engine {
     {
         let port = self.port_index(link, direction);
         for (i, (at, size)) in arrivals.into_iter().enumerate() {
-            let packet = Packet {
-                id: self.fresh_id(),
-                class: FlowClass::Cross,
-                flow: 0,
-                size,
-                seq: i as u64,
-                injected_at: at,
-                ttl: DEFAULT_TTL,
-                direction,
-                corrupted: false,
-            };
-            self.events.schedule(at, Ev::Arrive { port, packet });
+            let id = self.fresh_id();
+            self.attach_cross_packet(port, at, size, i as u64, direction, id);
         }
+    }
+
+    /// As [`Engine::attach_cross_traffic`] but with explicit packet ids
+    /// `base_id, base_id + 1, …`, bypassing the injection counter — the
+    /// partitioned-run counterpart that reproduces serial id assignment.
+    pub fn attach_cross_traffic_with_base_id<I>(
+        &mut self,
+        link: usize,
+        direction: Direction,
+        arrivals: I,
+        base_id: u64,
+    ) where
+        I: IntoIterator<Item = (SimTime, u32)>,
+    {
+        let port = self.port_index(link, direction);
+        for (i, (at, size)) in arrivals.into_iter().enumerate() {
+            let id = PacketId(base_id + i as u64);
+            self.attach_cross_packet(port, at, size, i as u64, direction, id);
+        }
+    }
+
+    fn attach_cross_packet(
+        &mut self,
+        port: usize,
+        at: SimTime,
+        size: u32,
+        seq: u64,
+        direction: Direction,
+        id: PacketId,
+    ) {
+        debug_assert!(id.0 < LOCAL_LANE, "packet id too large for lane keying");
+        let packet = Packet {
+            id,
+            class: FlowClass::Cross,
+            flow: 0,
+            size,
+            seq,
+            injected_at: at,
+            ttl: DEFAULT_TTL,
+            direction,
+            corrupted: false,
+            echoed_at: None,
+        };
+        let r = self.arena.alloc(packet);
+        self.events.schedule(
+            at,
+            Ev::Arrive {
+                port: port as u32,
+                r,
+            },
+        );
     }
 
     /// Schedule a change of link `link`'s one-way propagation delay at
@@ -480,18 +663,60 @@ impl Engine {
     /// Panics if the link index is out of range.
     pub fn schedule_propagation_change(&mut self, link: usize, at: SimTime, value: SimDuration) {
         assert!(link < self.path.links.len(), "link index out of range");
-        self.events.schedule(at, Ev::SetPropagation { link, value });
+        self.events.schedule(
+            at,
+            Ev::SetPropagation {
+                link: link as u32,
+                value,
+            },
+        );
+    }
+
+    /// Accept a packet that crossed a partition boundary from a neighbor.
+    /// The arrival is keyed by the packet id, so the receiving queue orders
+    /// simultaneous boundary arrivals identically to a serial run.
+    ///
+    /// # Panics
+    /// Panics (debug) if the arrival's node is not owned by this engine or
+    /// lies in the simulated past.
+    pub fn deliver_remote(&mut self, arrival: RemoteArrival) {
+        debug_assert!(
+            self.owned.contains(&arrival.node),
+            "remote arrival at node {} outside owned range {:?}",
+            arrival.node,
+            self.owned
+        );
+        let lane = arrival.packet.id.0;
+        debug_assert!(lane < LOCAL_LANE, "packet id too large for lane keying");
+        let r = self.arena.alloc(arrival.packet);
+        self.events.schedule_keyed(
+            arrival.at,
+            lane,
+            Ev::NodeArrival {
+                node: arrival.node as u32,
+                r,
+            },
+        );
+    }
+
+    /// Take the boundary crossings produced since the last call:
+    /// `(westbound, eastbound)` — packets headed to lower- and
+    /// higher-numbered nodes respectively, in send order.
+    pub fn take_outboxes(&mut self) -> (Vec<RemoteArrival>, Vec<RemoteArrival>) {
+        (
+            std::mem::take(&mut self.outbox_west),
+            std::mem::take(&mut self.outbox_east),
+        )
     }
 
     /// Run until no events remain.
     pub fn run(&mut self) {
         let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
-        let mut handled = 0u64;
-        while let Some((at, ev)) = self.events.pop() {
-            self.handle(at, ev);
-            handled += 1;
+        while self.events.begin_bucket() {
+            while let Some((at, ev)) = self.events.pop_in_bucket() {
+                self.handle(at, ev);
+            }
         }
-        self.events_processed += handled;
         self.run_wall += started.elapsed();
         self.finalize_ports();
     }
@@ -500,12 +725,9 @@ impl Engine {
     /// queued. Port statistics are folded up to the last processed event.
     pub fn run_until(&mut self, horizon: SimTime) {
         let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
-        let mut handled = 0u64;
         while let Some((at, ev)) = self.events.pop_until(horizon) {
             self.handle(at, ev);
-            handled += 1;
         }
-        self.events_processed += handled;
         self.run_wall += started.elapsed();
         self.finalize_ports();
     }
@@ -518,27 +740,37 @@ impl Engine {
     }
 
     fn handle(&mut self, at: SimTime, ev: Ev) {
+        self.events_processed += 1;
         match ev {
-            Ev::Arrive { port, packet } => self.on_arrive(at, port, packet),
-            Ev::TxDone { port } => self.on_tx_done(at, port),
-            Ev::NodeArrival { node, packet } => self.on_node_arrival(at, node, packet),
+            Ev::Arrive { port, r } => self.on_arrive(at, port as usize, r),
+            Ev::TxDone { port } => self.on_tx_done(at, port as usize),
+            Ev::NodeArrival { node, r } => self.on_node_arrival(at, node as usize, r),
             Ev::SetPropagation { link, value } => {
-                self.path.links[link].propagation = value;
+                self.path.links[link as usize].propagation = value;
             }
-            Ev::Admit { port, packet } => self.admit(at, port, packet),
+            Ev::Admit { port, r } => self.admit(at, port as usize, r),
         }
+    }
+
+    /// Handle a same-instant hop inline instead of round-tripping it
+    /// through the event queue; counted as a logical event so
+    /// `events_processed` stays comparable across engine versions.
+    fn dispatch_arrive(&mut self, at: SimTime, port: usize, r: PacketRef) {
+        self.events_processed += 1;
+        self.on_arrive(at, port, r);
     }
 
     /// A packet reaches a port: run the link's fault injectors first, then
     /// hand the survivors to [`Engine::admit`]. Inert specs skip straight
     /// to admission without touching the impairment RNG stream, so paths
     /// built before the impairment layer behave bit-identically.
-    fn on_arrive(&mut self, at: SimTime, port: usize, mut packet: Packet) {
-        if !self.ports[port].spec.impair.is_inert() {
+    fn on_arrive(&mut self, at: SimTime, port: usize, r: PacketRef) {
+        if !self.ports[port].impair_inert {
             // Window data and control replies stay single-copy: their
-            // accounting (ack clocking, pending-TTL bookkeeping) assumes
-            // exactly one instance of each packet in the network.
-            let dup_eligible = matches!(packet.class, FlowClass::Probe | FlowClass::Cross);
+            // accounting (ack clocking, reply bookkeeping) assumes exactly
+            // one instance of each packet in the network.
+            let dup_eligible =
+                matches!(self.arena.get(r).class, FlowClass::Probe | FlowClass::Cross);
             // `ports` and `impair` are distinct fields, so the spec borrow
             // and the mutable state borrow do not conflict.
             let fate = self.impair[port].evaluate(&self.ports[port].spec.impair, at, dup_eligible);
@@ -548,9 +780,9 @@ impl Engine {
                         DropReason::LinkDown => TraceKind::LinkDownDrop,
                         _ => TraceKind::BurstDrop,
                     };
-                    self.record(at, Some(port), &packet, kind);
+                    self.record(at, Some(port), r, kind);
                     self.ports[port].note_impair_drop();
-                    self.note_drop(at, port, &packet, reason);
+                    self.note_drop(at, port, r, reason);
                     return;
                 }
                 Fate::Forward {
@@ -558,72 +790,96 @@ impl Engine {
                     duplicate,
                     defer,
                 } => {
-                    if corrupt && !packet.corrupted {
-                        packet.corrupted = true;
-                        self.record(at, Some(port), &packet, TraceKind::CorruptMark);
+                    if corrupt && !self.arena.get(r).corrupted {
+                        self.arena.get_mut(r).corrupted = true;
+                        self.record(at, Some(port), r, TraceKind::CorruptMark);
                     }
                     if let Some(offset) = duplicate {
-                        let copy = Packet {
-                            id: self.fresh_id(),
-                            ..packet.clone()
-                        };
-                        self.record(at, Some(port), &copy, TraceKind::Duplicated);
-                        self.events
-                            .schedule(at + offset, Ev::Admit { port, packet: copy });
+                        // The copy's id is derived from the duplicating
+                        // port and a per-port counter, not a global one, so
+                        // it is identical in serial and partitioned runs.
+                        let id = PacketId(
+                            RUNTIME_ID_BIT | ((port as u64) << ID_SITE_SHIFT) | self.dup_seq[port],
+                        );
+                        self.dup_seq[port] += 1;
+                        let mut copy = self.arena.get(r).clone();
+                        copy.id = id;
+                        let cr = self.arena.alloc(copy);
+                        self.record(at, Some(port), cr, TraceKind::Duplicated);
+                        self.events.schedule(
+                            at + offset,
+                            Ev::Admit {
+                                port: port as u32,
+                                r: cr,
+                            },
+                        );
                     }
                     if let Some(delay) = defer {
-                        self.record(at, Some(port), &packet, TraceKind::Deferred);
-                        self.events.schedule(at + delay, Ev::Admit { port, packet });
+                        self.record(at, Some(port), r, TraceKind::Deferred);
+                        self.events.schedule(
+                            at + delay,
+                            Ev::Admit {
+                                port: port as u32,
+                                r,
+                            },
+                        );
                         return;
                     }
                 }
             }
         }
-        self.admit(at, port, packet);
+        self.admit(at, port, r);
     }
 
     /// Admission into a port's queue, downstream of the fault injectors.
-    fn admit(&mut self, at: SimTime, port: usize, packet: Packet) {
+    fn admit(&mut self, at: SimTime, port: usize, r: PacketRef) {
         // Random loss models a faulty interface on the link: the packet is
-        // destroyed before it can be queued (paper ref [17]).
+        // destroyed before it can be queued (paper ref [17]). Lossless
+        // links draw nothing, keeping each port's stream in lockstep with
+        // its own arrival sequence.
         let p = self.ports[port].spec.random_loss;
-        if p > 0.0 && self.rng.gen::<f64>() < p {
-            self.record(at, Some(port), &packet, TraceKind::RandomDrop);
+        if p > 0.0 && self.port_rng[port].gen::<f64>() < p {
+            self.record(at, Some(port), r, TraceKind::RandomDrop);
             self.ports[port].note_random_drop();
-            self.note_drop(at, port, &packet, DropReason::RandomLoss);
+            self.note_drop(at, port, r, DropReason::RandomLoss);
             return;
         }
-        let uniform: f64 = self.rng.gen();
-        match self.ports[port].offer(at, packet.clone(), uniform) {
+        let size = self.arena.get(r).size;
+        let rng = &mut self.port_rng[port];
+        match self.ports[port].offer(at, r, size, || rng.gen()) {
             Admission::StartService(d) => {
-                self.record(at, Some(port), &packet, TraceKind::Enqueue);
-                self.record(at, Some(port), &packet, TraceKind::TxStart);
-                self.events.schedule(at + d, Ev::TxDone { port });
+                self.record(at, Some(port), r, TraceKind::Enqueue);
+                self.record(at, Some(port), r, TraceKind::TxStart);
+                self.events
+                    .schedule(at + d, Ev::TxDone { port: port as u32 });
             }
             Admission::Queued => {
-                self.record(at, Some(port), &packet, TraceKind::Enqueue);
+                self.record(at, Some(port), r, TraceKind::Enqueue);
             }
             Admission::Overflow => {
-                self.record(at, Some(port), &packet, TraceKind::OverflowDrop);
-                self.note_drop(at, port, &packet, DropReason::BufferOverflow);
+                self.record(at, Some(port), r, TraceKind::OverflowDrop);
+                self.note_drop(at, port, r, DropReason::BufferOverflow);
             }
             Admission::EarlyDrop => {
-                self.record(at, Some(port), &packet, TraceKind::EarlyDrop);
-                self.note_drop(at, port, &packet, DropReason::EarlyDrop);
+                self.record(at, Some(port), r, TraceKind::EarlyDrop);
+                self.note_drop(at, port, r, DropReason::EarlyDrop);
             }
         }
     }
 
     fn on_tx_done(&mut self, at: SimTime, port: usize) {
-        let (packet, next) = self.ports[port].complete(at);
-        self.record(at, Some(port), &packet, TraceKind::TxDone);
+        let (r, next) = self.ports[port].complete(at);
+        self.record(at, Some(port), r, TraceKind::TxDone);
         if let Some(d) = next {
-            self.events.schedule(at + d, Ev::TxDone { port });
+            self.events
+                .schedule(at + d, Ev::TxDone { port: port as u32 });
         }
-        match packet.class {
+        match self.arena.get(r).class {
             FlowClass::Cross => {
                 // Cross traffic leaves the system after its attachment queue;
                 // its only role is to compete for the server (Figure 3).
+                let delivered_at = at + self.ports[port].spec.propagation;
+                let packet = self.arena.take(r);
                 self.deliveries.push(Delivery {
                     id: packet.id,
                     class: packet.class,
@@ -631,7 +887,7 @@ impl Engine {
                     seq: packet.seq,
                     injected_at: packet.injected_at,
                     echoed_at: None,
-                    delivered_at: at + self.ports[port].spec.propagation,
+                    delivered_at,
                 });
             }
             FlowClass::Probe | FlowClass::Control | FlowClass::Window => {
@@ -641,94 +897,137 @@ impl Engine {
                 } else {
                     (port - links, port - links) // inbound over link `port-links`
                 };
-                let prop = self.path.links[link].propagation;
-                self.events
-                    .schedule(at + prop, Ev::NodeArrival { node, packet });
+                let t = at + self.path.links[link].propagation;
+                if self.owned.contains(&node) {
+                    let lane = self.arena.get(r).id.0;
+                    debug_assert!(lane < LOCAL_LANE, "packet id too large for lane keying");
+                    self.events.schedule_keyed(
+                        t,
+                        lane,
+                        Ev::NodeArrival {
+                            node: node as u32,
+                            r,
+                        },
+                    );
+                } else {
+                    // Boundary crossing: hand the packet to the neighbor.
+                    let arrival = RemoteArrival {
+                        at: t,
+                        node,
+                        packet: self.arena.take(r),
+                    };
+                    if node < self.owned.start {
+                        self.outbox_west.push(arrival);
+                    } else {
+                        self.outbox_east.push(arrival);
+                    }
+                }
             }
         }
     }
 
-    fn on_node_arrival(&mut self, at: SimTime, node: usize, mut packet: Packet) {
+    fn on_node_arrival(&mut self, at: SimTime, node: usize, r: PacketRef) {
         let last = self.path.nodes.len() - 1;
+        let (corrupted, direction, class, flow) = {
+            let p = self.arena.get(r);
+            (p.corrupted, p.direction, p.class, p.flow)
+        };
         // Routers forward corrupted packets (they only checksum the IP
         // header); the first endpoint that decodes the payload sees the bad
         // wire checksum and discards the packet.
-        if packet.corrupted {
-            let at_endpoint = match packet.direction {
+        if corrupted {
+            let at_endpoint = match direction {
                 Direction::Outbound => node == last,
                 Direction::Inbound => node == 0,
             };
             if at_endpoint {
-                self.record(at, None, &packet, TraceKind::ChecksumDrop);
-                self.pending_echo.remove(&packet.id);
-                if packet.class == FlowClass::Control {
-                    self.pending_ttl.remove(&packet.id);
-                }
-                self.note_drop(at, usize::MAX, &packet, DropReason::Corrupted);
+                self.record(at, None, r, TraceKind::ChecksumDrop);
+                self.note_drop(at, usize::MAX, r, DropReason::Corrupted);
                 return;
             }
         }
-        let reverse_flow =
-            packet.class == FlowClass::Window && self.flows[packet.flow as usize - 1].spec.reverse;
-        match packet.direction {
+        let reverse_flow = class == FlowClass::Window && self.flows[flow as usize - 1].spec.reverse;
+        match direction {
             Direction::Outbound => {
                 if node == last {
                     if reverse_flow {
                         // The far end is this flow's home: ACK received.
-                        self.deliver(at, packet);
+                        self.deliver(at, r);
                         return;
                     }
-                    // Echo host: turn the packet around immediately (§2).
-                    // Window data is acknowledged with an ACK-sized packet.
-                    self.record(at, None, &packet, TraceKind::Echoed);
-                    self.pending_echo.insert(packet.id, at);
-                    packet.direction = Direction::Inbound;
-                    if packet.class == FlowClass::Window {
-                        packet.size = self.flows[packet.flow as usize - 1].spec.ack_bytes;
+                    // Echo host: turn the packet around immediately (§2),
+                    // stamping the echo instant into the packet. Window
+                    // data is acknowledged with an ACK-sized packet.
+                    self.record(at, None, r, TraceKind::Echoed);
+                    let ack_bytes = if class == FlowClass::Window {
+                        Some(self.flows[flow as usize - 1].spec.ack_bytes)
+                    } else {
+                        None
+                    };
+                    {
+                        let p = self.arena.get_mut(r);
+                        p.echoed_at = Some(at);
+                        p.direction = Direction::Inbound;
+                        if let Some(size) = ack_bytes {
+                            p.size = size;
+                        }
                     }
                     let port = self.port_index(node - 1, Direction::Inbound);
-                    self.events.schedule(at, Ev::Arrive { port, packet });
+                    self.dispatch_arrive(at, port, r);
                     return;
                 }
                 // Intermediate router: forwarding decrements TTL.
-                packet.ttl = packet.ttl.saturating_sub(1);
-                if packet.ttl == 0 {
-                    self.expire_ttl(at, node, packet);
+                let ttl = {
+                    let p = self.arena.get_mut(r);
+                    p.ttl = p.ttl.saturating_sub(1);
+                    p.ttl
+                };
+                if ttl == 0 {
+                    self.expire_ttl(at, node, r);
                     return;
                 }
                 let port = self.port_index(node, Direction::Outbound);
-                self.events.schedule(at, Ev::Arrive { port, packet });
+                self.dispatch_arrive(at, port, r);
             }
             Direction::Inbound => {
                 if node == 0 {
                     if reverse_flow {
                         // Node 0 echoes the reverse flow's data as an ACK.
-                        self.record(at, None, &packet, TraceKind::Echoed);
-                        self.pending_echo.insert(packet.id, at);
-                        packet.direction = Direction::Outbound;
-                        packet.size = self.flows[packet.flow as usize - 1].spec.ack_bytes;
+                        self.record(at, None, r, TraceKind::Echoed);
+                        let ack_bytes = self.flows[flow as usize - 1].spec.ack_bytes;
+                        {
+                            let p = self.arena.get_mut(r);
+                            p.echoed_at = Some(at);
+                            p.direction = Direction::Outbound;
+                            p.size = ack_bytes;
+                        }
                         let port = self.port_index(0, Direction::Outbound);
-                        self.events.schedule(at, Ev::Arrive { port, packet });
+                        self.dispatch_arrive(at, port, r);
                         return;
                     }
-                    self.deliver(at, packet);
+                    self.deliver(at, r);
                     return;
                 }
-                packet.ttl = packet.ttl.saturating_sub(1);
-                if packet.ttl == 0 {
-                    self.expire_ttl(at, node, packet);
+                let ttl = {
+                    let p = self.arena.get_mut(r);
+                    p.ttl = p.ttl.saturating_sub(1);
+                    p.ttl
+                };
+                if ttl == 0 {
+                    self.expire_ttl(at, node, r);
                     return;
                 }
                 let port = self.port_index(node - 1, Direction::Inbound);
-                self.events.schedule(at, Ev::Arrive { port, packet });
+                self.dispatch_arrive(at, port, r);
             }
         }
     }
 
-    fn expire_ttl(&mut self, at: SimTime, node: usize, packet: Packet) {
-        self.record(at, None, &packet, TraceKind::TtlExpired);
+    fn expire_ttl(&mut self, at: SimTime, node: usize, r: PacketRef) {
+        self.record(at, None, r, TraceKind::TtlExpired);
         // Routers drop the packet; for probes they answer with a
         // time-exceeded message routed back through the regular queues.
+        let packet = self.arena.take(r);
         self.drops.push(DropRecord {
             id: packet.id,
             class: packet.class,
@@ -738,58 +1037,57 @@ impl Engine {
             reason: DropReason::TtlExpired,
         });
         if packet.class == FlowClass::Window {
-            self.pending_echo.remove(&packet.id);
             self.on_window_loss(packet.flow, at);
             return;
         }
         if packet.class != FlowClass::Probe {
             return;
         }
+        // Reply ids are derived from the expiring node and a per-node
+        // counter — identical in serial and partitioned runs. The origin
+        // node rides in `flow`, so the reply needs no engine-side lookup
+        // table when it is finally delivered (possibly in a different
+        // partition).
+        let id = PacketId(
+            RUNTIME_ID_BIT | REPLY_ID_BIT | ((node as u64) << ID_SITE_SHIFT) | self.reply_seq[node],
+        );
+        self.reply_seq[node] += 1;
         let reply = Packet {
-            id: self.fresh_id(),
+            id,
             class: FlowClass::Control,
-            flow: 0,
+            flow: node as u32,
             size: TTL_REPLY_SIZE,
             seq: packet.seq,
             injected_at: packet.injected_at,
             ttl: DEFAULT_TTL,
             direction: Direction::Inbound,
             corrupted: false,
+            echoed_at: None,
         };
-        self.pending_ttl.insert(reply.id, node);
+        let rr = self.arena.alloc(reply);
         let port = self.port_index(node - 1, Direction::Inbound);
-        self.events.schedule(
-            at,
-            Ev::Arrive {
-                port,
-                packet: reply,
-            },
-        );
+        self.dispatch_arrive(at, port, rr);
     }
 
-    fn deliver(&mut self, at: SimTime, packet: Packet) {
-        self.record(at, None, &packet, TraceKind::Delivered);
+    fn deliver(&mut self, at: SimTime, r: PacketRef) {
+        self.record(at, None, r, TraceKind::Delivered);
+        let packet = self.arena.take(r);
         match packet.class {
             FlowClass::Control => {
-                let node = self
-                    .pending_ttl
-                    .remove(&packet.id)
-                    .expect("control packet without pending TTL record");
                 self.ttl_replies.push(TtlExceeded {
                     probe_seq: packet.seq,
-                    node,
+                    node: packet.flow as usize,
                     received_at: at,
                 });
             }
             _ => {
-                let echoed_at = self.pending_echo.remove(&packet.id);
                 self.deliveries.push(Delivery {
                     id: packet.id,
                     class: packet.class,
                     flow: packet.flow,
                     seq: packet.seq,
                     injected_at: packet.injected_at,
-                    echoed_at,
+                    echoed_at: packet.echoed_at,
                     delivered_at: at,
                 });
                 // Ack-clocking: a delivered acknowledgement opens the
@@ -801,7 +1099,8 @@ impl Engine {
         }
     }
 
-    fn note_drop(&mut self, at: SimTime, port: usize, packet: &Packet, reason: DropReason) {
+    fn note_drop(&mut self, at: SimTime, port: usize, r: PacketRef, reason: DropReason) {
+        let packet = self.arena.take(r);
         self.drops.push(DropRecord {
             id: packet.id,
             class: packet.class,
@@ -815,7 +1114,6 @@ impl Engine {
         // AIMD flows), and fresh data sent when the window allows; the
         // loss-detection timeout is idealized to zero.
         if packet.class == FlowClass::Window {
-            self.pending_echo.remove(&packet.id);
             self.on_window_loss(packet.flow, at);
         }
     }
@@ -1148,7 +1446,7 @@ mod tests {
         e.run();
         let stats = e.stats();
         // Each probe generates at least Arrive + TxDone per direction plus
-        // node arrivals: well over 4 events.
+        // node arrivals: well over 4 logical events.
         assert!(stats.events_processed >= 200, "{stats:?}");
         assert!(stats.peak_queue_depth >= 50, "{stats:?}");
     }
@@ -1164,5 +1462,25 @@ mod tests {
         let now = e.now();
         let util = e.port(0, Direction::Outbound).stats.utilization(now);
         assert!(util > 0.95, "outbound utilization {util}");
+    }
+
+    #[test]
+    fn runtime_ids_are_site_derived() {
+        // A TTL-expired probe yields a Control reply whose id encodes the
+        // expiring node, not a global counter — the property that keeps
+        // partitioned runs id-identical to serial ones.
+        let path = Path::inria_umd_1992();
+        let mut e = Engine::new(path, 5);
+        e.inject_probe_with_ttl(SimTime::ZERO, 32, 1, 2);
+        e.run();
+        assert_eq!(e.ttl_replies().len(), 1);
+        let reply_drop = e
+            .drops()
+            .iter()
+            .find(|d| d.reason == DropReason::TtlExpired)
+            .expect("probe must expire");
+        assert_eq!(reply_drop.seq, 1);
+        // The reply delivered back carries the origin node.
+        assert_eq!(e.ttl_replies()[0].node, 2);
     }
 }

@@ -16,9 +16,11 @@
 //! * **Integer time.** All simulated time is in integer nanoseconds
 //!   ([`SimTime`]/[`SimDuration`]); there is no floating-point drift and no
 //!   platform-dependent rounding.
-//! * **Determinism.** The event queue breaks timestamp ties by insertion
-//!   order, and all randomness flows from a single seed: the same inputs
-//!   produce the same trace, bit for bit.
+//! * **Determinism.** The event queue breaks timestamp ties deterministically
+//!   (packet-id lanes for link crossings, insertion order otherwise), and all
+//!   randomness flows from per-port streams derived from a single seed: the
+//!   same inputs produce the same results, bit for bit — serial or
+//!   partitioned ([`parallel::run_partitioned`]).
 //! * **Fault injection.** Links can drop packets at random (the paper's
 //!   faulty-interface-card losses) independently of buffer overflow.
 //! * **Route discovery.** Packets carry a TTL; routers answer expired probes
@@ -46,16 +48,19 @@
 //! assert_eq!(delivered + dropped, 100);
 //! ```
 
+pub mod arena;
 pub mod engine;
 pub mod event;
 pub mod impair;
 pub mod packet;
+pub mod parallel;
 pub mod path;
 pub mod queue;
 pub mod time;
 pub mod trace;
 
-pub use engine::{discover_route, Engine, EngineStats, WindowFlow, TTL_REPLY_SIZE};
+pub use arena::{PacketArena, PacketRef};
+pub use engine::{discover_route, Engine, EngineStats, RemoteArrival, WindowFlow, TTL_REPLY_SIZE};
 pub use event::{reference::BinaryHeapQueue, EventQueue};
 pub use impair::{
     DuplicateSpec, FlapWindow, GilbertElliott, ImpairmentSpec, ReorderSpec, RouteShift,
@@ -63,6 +68,10 @@ pub use impair::{
 pub use packet::{
     Delivery, Direction, DropReason, DropRecord, FlowClass, Packet, PacketId, TtlExceeded,
     DEFAULT_TTL,
+};
+pub use parallel::{
+    effective_threads, run_partitioned, CrossAttachment, InjectionPlan, ParallelOutcome,
+    ProbeInjection,
 };
 pub use path::{figure3_model, BufferLimit, LinkSpec, Path, PathBuilder, QueuePolicy};
 pub use queue::{Admission, Port, PortStats};

@@ -73,6 +73,12 @@ pub struct Packet {
     /// that decodes the packet detects the bad wire checksum and discards
     /// it ([`DropReason::Corrupted`]).
     pub corrupted: bool,
+    /// Instant the echo host turned this packet around, stamped into the
+    /// packet itself so the state travels with it. Carrying the echo time
+    /// in-band (instead of a source-side lookup table) is what lets a
+    /// partitioned run deliver the packet in a different partition from
+    /// the one that echoed it without any shared mutable state.
+    pub echoed_at: Option<SimTime>,
 }
 
 /// Record of a packet that completed its round trip (or one-way journey for

@@ -4,10 +4,15 @@
 //! buffer plus a transmitter serving packets at the link rate. This is the
 //! "single server queue with finite buffer and FIFO service discipline" of
 //! the paper's Figure 3, instantiated once per hop and direction.
+//!
+//! Ports hold [`PacketRef`] handles into the engine's [`crate::arena`]
+//! rather than packets by value: admitting a packet moves 12 bytes instead
+//! of cloning the struct, and the packet itself stays in one place from
+//! injection to delivery.
 
 use std::collections::VecDeque;
 
-use crate::packet::Packet;
+use crate::arena::PacketRef;
 #[cfg(test)]
 use crate::path::BufferLimit;
 use crate::path::{LinkSpec, QueuePolicy};
@@ -63,10 +68,15 @@ impl PortStats {
 pub struct Port {
     /// The static link parameters this port serves.
     pub spec: LinkSpec,
-    queue: VecDeque<Packet>,
+    /// Cached `spec.impair.is_inert()` — read on every arrival; the spec's
+    /// impairment set is fixed for the port's lifetime.
+    pub impair_inert: bool,
+    /// `(handle, wire size)` — the size rides beside the handle so byte
+    /// accounting and service times never touch the arena.
+    queue: VecDeque<(PacketRef, u32)>,
     queued_bytes: u64,
     /// Packet currently being transmitted, if any.
-    in_service: Option<Packet>,
+    in_service: Option<(PacketRef, u32)>,
     service_started: SimTime,
     last_change: SimTime,
     /// RED state: EWMA of the queue length (packets), updated per arrival.
@@ -96,6 +106,7 @@ impl Port {
     /// A fresh idle port for the given link.
     pub fn new(spec: LinkSpec) -> Self {
         Port {
+            impair_inert: spec.impair.is_inert(),
             spec,
             queue: VecDeque::new(),
             queued_bytes: 0,
@@ -143,14 +154,20 @@ impl Port {
         self.last_change = now;
     }
 
-    /// Offer `packet` to the queue at instant `now`. `uniform` is one
-    /// uniform(0,1) sample supplied by the caller, consumed only by RED
-    /// (pass anything, e.g. `1.0`, for drop-tail ports — a value of 1.0
-    /// never early-drops).
+    /// Offer the packet behind `r` (of wire size `size`) to the queue at
+    /// instant `now`. `red_uniform` supplies one uniform(0,1) sample *only
+    /// if* RED's probabilistic branch needs it — drop-tail ports never
+    /// invoke it, so their admission consumes no randomness at all.
     ///
     /// Random-loss is **not** applied here — the engine decides that before
     /// calling, so the port stays a pure FIFO queue.
-    pub fn offer(&mut self, now: SimTime, packet: Packet, uniform: f64) -> Admission {
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        r: PacketRef,
+        size: u32,
+        red_uniform: impl FnOnce() -> f64,
+    ) -> Admission {
         self.stats.arrivals += 1;
         if let QueuePolicy::Red {
             min_threshold,
@@ -175,7 +192,7 @@ impl Port {
                     / (max_threshold - min_threshold);
                 // Count correction spaces early drops ~uniformly.
                 let pa = pb / (1.0 - (self.since_drop as f64 * pb).min(0.999));
-                if uniform < pa {
+                if red_uniform() < pa {
                     self.stats.early_drops += 1;
                     self.since_drop = 0;
                     return Admission::EarlyDrop;
@@ -185,14 +202,14 @@ impl Port {
         let admitted = self
             .spec
             .buffer
-            .admits(self.queue.len(), self.queued_bytes, packet.size);
+            .admits(self.queue.len(), self.queued_bytes, size);
         if !admitted {
             self.stats.overflow_drops += 1;
             return Admission::Overflow;
         }
         self.integrate(now);
-        self.queued_bytes += packet.size as u64;
-        self.queue.push_back(packet);
+        self.queued_bytes += size as u64;
+        self.queue.push_back((r, size));
         let occ = self.occupancy();
         if occ > self.stats.max_occupancy {
             self.stats.max_occupancy = occ;
@@ -209,23 +226,23 @@ impl Port {
     /// or `None` if the queue is empty.
     fn start_next(&mut self, now: SimTime) -> Option<SimDuration> {
         debug_assert!(self.in_service.is_none());
-        let pkt = self.queue.pop_front()?;
-        self.queued_bytes -= pkt.size as u64;
-        let d = SimDuration::transmission(pkt.size, self.spec.bandwidth_bps);
-        self.in_service = Some(pkt);
+        let (r, size) = self.queue.pop_front()?;
+        self.queued_bytes -= size as u64;
+        let d = SimDuration::transmission(size, self.spec.bandwidth_bps);
+        self.in_service = Some((r, size));
         self.service_started = now;
         Some(d)
     }
 
     /// Complete the in-flight transmission at instant `now`.
     ///
-    /// Returns the transmitted packet and, if another packet immediately
-    /// enters service, its transmission time (the caller schedules the next
-    /// `TxDone`).
+    /// Returns the transmitted packet's handle and, if another packet
+    /// immediately enters service, its transmission time (the caller
+    /// schedules the next `TxDone`).
     ///
     /// # Panics
     /// Panics if no packet was in service — a scheduling bug.
-    pub fn complete(&mut self, now: SimTime) -> (Packet, Option<SimDuration>) {
+    pub fn complete(&mut self, now: SimTime) -> (PacketRef, Option<SimDuration>) {
         assert!(
             self.in_service.is_some(),
             "TxDone for an idle port: scheduling bug"
@@ -233,15 +250,15 @@ impl Port {
         // Fold the busy span into the occupancy integral while the departing
         // packet still counts toward the occupancy.
         self.integrate(now);
-        let pkt = self.in_service.take().expect("checked above");
+        let (r, size) = self.in_service.take().expect("checked above");
         self.stats.served += 1;
-        self.stats.bytes_served += pkt.size as u64;
+        self.stats.bytes_served += size as u64;
         self.stats.busy_time += now - self.service_started;
         let next = self.start_next(now);
         if next.is_some() {
             self.service_started = now;
         }
-        (pkt, next)
+        (r, next)
     }
 
     /// Record a random-loss drop (bookkeeping only; the packet never enters
@@ -268,7 +285,8 @@ impl Port {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::packet::{Direction, FlowClass, PacketId};
+    use crate::arena::PacketArena;
+    use crate::packet::{Direction, FlowClass, Packet, PacketId};
 
     fn pkt(id: u64, size: u32) -> Packet {
         Packet {
@@ -281,7 +299,14 @@ mod tests {
             ttl: 64,
             direction: Direction::Outbound,
             corrupted: false,
+            echoed_at: None,
         }
+    }
+
+    /// Allocate a test packet and offer it with a drop-tail uniform.
+    fn offer(a: &mut PacketArena, p: &mut Port, at: SimTime, id: u64, size: u32) -> Admission {
+        let r = a.alloc(pkt(id, size));
+        p.offer(at, r, size, || 1.0)
     }
 
     fn port(buffer: BufferLimit) -> Port {
@@ -290,8 +315,9 @@ mod tests {
 
     #[test]
     fn first_packet_starts_service_immediately() {
+        let mut a = PacketArena::new();
         let mut p = port(BufferLimit::Packets(10));
-        match p.offer(SimTime::ZERO, pkt(0, 32), 1.0) {
+        match offer(&mut a, &mut p, SimTime::ZERO, 0, 32) {
             Admission::StartService(d) => assert_eq!(d, SimDuration::from_millis(2)),
             other => panic!("expected StartService, got {other:?}"),
         }
@@ -301,27 +327,28 @@ mod tests {
 
     #[test]
     fn fifo_order_and_back_to_back_service() {
+        let mut a = PacketArena::new();
         let mut p = port(BufferLimit::Packets(10));
         let t0 = SimTime::ZERO;
         assert!(matches!(
-            p.offer(t0, pkt(0, 32), 1.0),
+            offer(&mut a, &mut p, t0, 0, 32),
             Admission::StartService(_)
         ));
-        assert_eq!(p.offer(t0, pkt(1, 32), 1.0), Admission::Queued);
-        assert_eq!(p.offer(t0, pkt(2, 32), 1.0), Admission::Queued);
+        assert_eq!(offer(&mut a, &mut p, t0, 1, 32), Admission::Queued);
+        assert_eq!(offer(&mut a, &mut p, t0, 2, 32), Admission::Queued);
 
         let t1 = SimTime::from_millis(2);
         let (done, next) = p.complete(t1);
-        assert_eq!(done.id, PacketId(0));
+        assert_eq!(a.get(done).id, PacketId(0));
         assert_eq!(next, Some(SimDuration::from_millis(2)));
 
         let t2 = SimTime::from_millis(4);
         let (done, next) = p.complete(t2);
-        assert_eq!(done.id, PacketId(1));
+        assert_eq!(a.get(done).id, PacketId(1));
         assert_eq!(next, Some(SimDuration::from_millis(2)));
 
         let (done, next) = p.complete(SimTime::from_millis(6));
-        assert_eq!(done.id, PacketId(2));
+        assert_eq!(a.get(done).id, PacketId(2));
         assert_eq!(next, None);
         assert!(!p.busy());
         assert_eq!(p.stats.served, 3);
@@ -332,15 +359,16 @@ mod tests {
     #[test]
     fn drop_tail_on_packet_limit() {
         // Buffer of 2 packets + 1 in service = at most 3 in system.
+        let mut a = PacketArena::new();
         let mut p = port(BufferLimit::Packets(2));
         let t = SimTime::ZERO;
         assert!(matches!(
-            p.offer(t, pkt(0, 32), 1.0),
+            offer(&mut a, &mut p, t, 0, 32),
             Admission::StartService(_)
         ));
-        assert_eq!(p.offer(t, pkt(1, 32), 1.0), Admission::Queued);
-        assert_eq!(p.offer(t, pkt(2, 32), 1.0), Admission::Queued);
-        assert_eq!(p.offer(t, pkt(3, 32), 1.0), Admission::Overflow);
+        assert_eq!(offer(&mut a, &mut p, t, 1, 32), Admission::Queued);
+        assert_eq!(offer(&mut a, &mut p, t, 2, 32), Admission::Queued);
+        assert_eq!(offer(&mut a, &mut p, t, 3, 32), Admission::Overflow);
         assert_eq!(p.stats.overflow_drops, 1);
         assert_eq!(p.stats.arrivals, 4);
         assert_eq!(p.stats.max_occupancy, 3);
@@ -348,28 +376,30 @@ mod tests {
 
     #[test]
     fn drop_tail_on_byte_limit() {
+        let mut a = PacketArena::new();
         let mut p = port(BufferLimit::Bytes(64));
         let t = SimTime::ZERO;
         // First goes straight into service — queue bytes stay 0.
         assert!(matches!(
-            p.offer(t, pkt(0, 60), 1.0),
+            offer(&mut a, &mut p, t, 0, 60),
             Admission::StartService(_)
         ));
-        assert_eq!(p.offer(t, pkt(1, 40), 1.0), Admission::Queued);
+        assert_eq!(offer(&mut a, &mut p, t, 1, 40), Admission::Queued);
         assert_eq!(p.queued_bytes(), 40);
         // 40 + 32 > 64: reject.
-        assert_eq!(p.offer(t, pkt(2, 32), 1.0), Admission::Overflow);
+        assert_eq!(offer(&mut a, &mut p, t, 2, 32), Admission::Overflow);
         // But a 24-byte packet still fits exactly.
-        assert_eq!(p.offer(t, pkt(3, 24), 1.0), Admission::Queued);
+        assert_eq!(offer(&mut a, &mut p, t, 3, 24), Admission::Queued);
         assert_eq!(p.queued_bytes(), 64);
     }
 
     #[test]
     fn occupancy_integral_measures_mean_queue() {
+        let mut a = PacketArena::new();
         let mut p = port(BufferLimit::Unbounded);
         // One 32-byte packet at t=0, served at t=2ms, then idle to t=4ms.
         assert!(matches!(
-            p.offer(SimTime::ZERO, pkt(0, 32), 1.0),
+            offer(&mut a, &mut p, SimTime::ZERO, 0, 32),
             Admission::StartService(_)
         ));
         p.complete(SimTime::from_millis(2));
@@ -390,12 +420,13 @@ mod tests {
 
     #[test]
     fn overflow_does_not_perturb_queue_state() {
+        let mut a = PacketArena::new();
         let mut p = port(BufferLimit::Packets(1));
         let t = SimTime::ZERO;
-        p.offer(t, pkt(0, 32), 1.0);
-        p.offer(t, pkt(1, 32), 1.0);
+        offer(&mut a, &mut p, t, 0, 32);
+        offer(&mut a, &mut p, t, 1, 32);
         let occ_before = p.occupancy();
-        assert_eq!(p.offer(t, pkt(2, 32), 1.0), Admission::Overflow);
+        assert_eq!(offer(&mut a, &mut p, t, 2, 32), Admission::Overflow);
         assert_eq!(p.occupancy(), occ_before);
         assert_eq!(p.queued_bytes(), 32);
     }
@@ -410,10 +441,12 @@ mod tests {
 
     #[test]
     fn red_admits_everything_while_queue_is_short() {
+        let mut a = PacketArena::new();
         let mut p = red_port(40);
         // Never let the EWMA reach min_threshold (10): short bursts.
         for i in 0..5 {
-            let adm = p.offer(SimTime::ZERO, pkt(i, 32), 0.0);
+            let r = a.alloc(pkt(i, 32));
+            let adm = p.offer(SimTime::ZERO, r, 32, || 0.0);
             assert_ne!(adm, Admission::EarlyDrop, "packet {i}: {adm:?}");
         }
         assert_eq!(p.stats.early_drops, 0);
@@ -425,6 +458,7 @@ mod tests {
         // with no service completions push the average past min_threshold
         // and, with an unlucky uniform, drop early while the 40-slot
         // buffer still has plenty of room.
+        let mut a = PacketArena::new();
         let mut p = Port::new(
             LinkSpec::new(128_000, SimDuration::ZERO)
                 .with_buffer(BufferLimit::Packets(40))
@@ -437,7 +471,8 @@ mod tests {
         );
         let mut early = 0;
         for i in 0..35 {
-            if p.offer(SimTime::ZERO, pkt(i, 32), 0.0) == Admission::EarlyDrop {
+            let r = a.alloc(pkt(i, 32));
+            if p.offer(SimTime::ZERO, r, 32, || 0.0) == Admission::EarlyDrop {
                 early += 1;
             }
         }
@@ -452,12 +487,14 @@ mod tests {
 
     #[test]
     fn red_with_lucky_uniform_never_drops_below_max_threshold() {
+        let mut a = PacketArena::new();
         let mut p = red_port(40);
         // uniform = 1.0 defeats the probabilistic branch; only the hard
         // max_threshold (EWMA >= 20) cutoff can drop.
         let mut admitted = 0;
         for i in 0..40 {
-            match p.offer(SimTime::ZERO, pkt(i, 32), 1.0) {
+            let r = a.alloc(pkt(i, 32));
+            match p.offer(SimTime::ZERO, r, 32, || 1.0) {
                 Admission::EarlyDrop => break,
                 _ => admitted += 1,
             }

@@ -1,4 +1,4 @@
-//! The five `probenet-lint` rules.
+//! The six `probenet-lint` rules.
 //!
 //! Each rule has a stable kebab-case id (used in diagnostics and in
 //! `probenet-lint: allow(<id>)` escape comments), a one-line summary, and
@@ -144,6 +144,31 @@ splitting a u48 into u16/u32 halves), annotate it:
     // probenet-lint: allow(truncating-cast-in-wire) checksum folds mod 2^16
     !(sum as u16)",
     },
+    RuleInfo {
+        id: "unordered-partition-merge",
+        summary: "cross-partition merges must declare their fixed partition order",
+        explain: "\
+The parallel engine's contract is byte-identity with the serial run at any
+`PROBENET_THREADS` (DESIGN.md §13): after the partitions quiesce, their
+per-partition results are concatenated into one outcome, and that merge is
+only reproducible if it iterates partitions in a fixed order independent
+of thread completion. An `.extend(..)`/`.append(..)` that collects
+per-partition data in whatever order workers finish silently reorders
+deliveries and breaks every downstream golden artifact.
+
+The rule fires on `.extend(`/`.extend_from_slice(`/`.append(` inside
+partition-merge contexts: functions whose name mentions `partition`, or
+merge functions in the parallel module.
+
+Fix: iterate the partition results by ascending partition index (or
+another order fixed at partition time), then declare it:
+
+    // probenet-lint: allow(unordered-partition-merge) merged in fixed ascending partition-index order
+    deliveries.extend(e.deliveries().iter().cloned());
+
+The annotation is the declaration — an undeclared merge is assumed
+scheduling-dependent until proven otherwise.",
+    },
 ];
 
 /// Look up a rule by id.
@@ -210,6 +235,7 @@ pub fn check_file(path: &str, s: &Scrubbed, ctx: &FileContext) -> Vec<Violation>
         ambient_rng(path, idx, line, ctx, &mut out);
         order_sensitive_float_fold(path, idx, line, ctx, &mut out);
         truncating_cast_in_wire(path, idx, line, ctx, &mut out);
+        unordered_partition_merge(path, idx, line, ctx, &mut out);
     }
     out
 }
@@ -429,6 +455,42 @@ fn order_sensitive_float_fold(
                 format!(
                     "float `.fold({init}, ..)` in `{fn_name}` — reduction order must be fixed \
                      for bitwise merge equality; annotate why the order is deterministic"
+                ),
+            );
+        }
+    }
+}
+
+fn unordered_partition_merge(
+    path: &str,
+    idx: usize,
+    line: &str,
+    ctx: &FileContext,
+    out: &mut Vec<Violation>,
+) {
+    const RULE: &str = "unordered-partition-merge";
+    let fn_name = ctx.fn_at(idx);
+    // Partition-merge context: a function reducing per-partition results.
+    // Mailbox posts, wire encoders etc. use the same Vec verbs but combine
+    // data from a single partition, so they stay out of scope.
+    let in_scope = fn_name.contains("partition")
+        || (file_name(path) == "parallel.rs" && fn_name.contains("merge"));
+    if !in_scope {
+        return;
+    }
+    for call in [".extend(", ".extend_from_slice(", ".append("] {
+        if line.contains(call) {
+            push(
+                out,
+                ctx,
+                RULE,
+                path,
+                idx,
+                format!(
+                    "cross-partition `{}..)` in `{fn_name}` — the merged output feeds \
+                     byte-compared artifacts, so the reduction must iterate partitions in a \
+                     fixed order; declare it with an allow annotation naming that order",
+                    call.trim_end_matches('(')
                 ),
             );
         }

@@ -125,6 +125,41 @@ fn truncating_cast_fires_and_is_silenced() {
 }
 
 #[test]
+fn unordered_partition_merge_fires_and_is_silenced() {
+    let hits = lint_as(
+        "crates/sim/src/parallel.rs",
+        "unordered_partition_merge_violation.rs",
+    );
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["unordered-partition-merge"],
+        "expected exactly one partition-merge violation, got {hits:?}"
+    );
+    assert_eq!(hits[0].1, 10, "violation should anchor to the extend line");
+
+    let allowed = lint_as(
+        "crates/sim/src/parallel.rs",
+        "unordered_partition_merge_allowed.rs",
+    );
+    assert!(
+        allowed.is_empty(),
+        "allow directive should silence: {allowed:?}"
+    );
+}
+
+#[test]
+fn partition_merge_rule_ignores_single_partition_verbs() {
+    // A mailbox post extends a Vec with one partition's batch; the fn name
+    // carries no partition-merge context, so the rule must stay quiet.
+    let src = "pub fn post(inbox: &mut Vec<u64>, msgs: Vec<u64>) {\n    inbox.extend(msgs);\n}\n";
+    let hits = lint_source("crates/sim/src/parallel.rs", src);
+    assert!(
+        hits.is_empty(),
+        "single-partition extend must not fire: {hits:?}"
+    );
+}
+
+#[test]
 fn cast_rule_is_scoped_to_wire_and_report_files() {
     // The same lossy cast outside the wire/report scope is not this rule's
     // business (clippy::cast_possible_truncation covers it at warn level).
@@ -206,6 +241,7 @@ fn cli_list_names_all_rules() {
         "ambient-rng",
         "order-sensitive-float-fold",
         "truncating-cast-in-wire",
+        "unordered-partition-merge",
     ] {
         assert!(stdout.contains(id), "--list missing {id}: {stdout}");
     }

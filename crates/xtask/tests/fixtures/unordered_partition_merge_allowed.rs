@@ -1,0 +1,13 @@
+// The same merge with its partition order declared.
+pub struct Outcome {
+    deliveries: Vec<u64>,
+}
+
+pub fn merge_partitions(parts: Vec<Vec<u64>>) -> Outcome {
+    let mut deliveries = Vec::new();
+    for p in &parts {
+        // probenet-lint: allow(unordered-partition-merge) merged in fixed ascending partition-index order
+        deliveries.extend(p.iter().copied());
+    }
+    Outcome { deliveries }
+}

@@ -1,0 +1,13 @@
+// Minimal violation: per-partition results merged without a declared
+// partition order.
+pub struct Outcome {
+    deliveries: Vec<u64>,
+}
+
+pub fn merge_partitions(parts: Vec<Vec<u64>>) -> Outcome {
+    let mut deliveries = Vec::new();
+    for p in &parts {
+        deliveries.extend(p.iter().copied());
+    }
+    Outcome { deliveries }
+}

@@ -36,11 +36,12 @@ fn bursty_scenario_reproduces_paper_loss_findings() {
     );
 
     // δ = 500 ms: successive probes almost never share a Bad period, so
-    // losses pass the lag-1 independence test.
+    // losses pass the lag-1 independence test. 10 minutes of probing keeps
+    // the conditional-probability estimate out of small-sample noise.
     let slow = sc.run(
         1993,
         SimDuration::from_millis(500),
-        SimDuration::from_secs(300),
+        SimDuration::from_secs(600),
     );
     let slow_loss = analyze_losses(&slow.series);
     assert!(slow_loss.lost > 0, "δ=500ms: expected some losses");
