@@ -49,6 +49,8 @@ struct Args {
     stream: bool,
     check: bool,
     bless: bool,
+    emit_frames: Option<String>,
+    merge: Option<Vec<String>>,
 }
 
 fn parse_args() -> Args {
@@ -64,9 +66,36 @@ fn parse_args() -> Args {
         stream: false,
         check: false,
         bless: false,
+        emit_frames: None,
+        merge: None,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
+        // `repro merge f1 f2 ...` — collect the frame files; trailing flags
+        // (--check/--bless) fall through to the normal flag loop.
+        if a == "merge" && args.merge.is_none() {
+            let mut files = Vec::new();
+            let mut rest = None;
+            for v in it.by_ref() {
+                if v.starts_with("--") {
+                    rest = Some(v);
+                    break;
+                }
+                files.push(v);
+            }
+            args.merge = Some(files);
+            if let Some(flag) = rest {
+                match flag.as_str() {
+                    "--check" => args.check = true,
+                    "--bless" => args.bless = true,
+                    other => {
+                        eprintln!("unknown argument: {other}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            continue;
+        }
         match a.as_str() {
             "--artifact" => args.artifact = it.next().expect("--artifact needs a value"),
             "--span-secs" => {
@@ -91,12 +120,16 @@ fn parse_args() -> Args {
             "--stream" => args.stream = true,
             "--check" => args.check = true,
             "--bless" => args.bless = true,
+            "--emit-frames" => {
+                args.emit_frames = Some(it.next().expect("--emit-frames needs a path prefix"))
+            }
             "--help" | "-h" => {
                 println!(
                     "repro [--artifact all|table1|table2|table3|fig1|fig2|fig4|fig5|fig6|fig8|fig9|model|campaign] \
                      [--span-secs N] [--seed N] [--json] [--serial] [--bench-json]\n\
                      repro --impair <scenario|list> [--span-secs N] [--seed N] [--json] [--serial]\n\
-                     repro --stream [--check | --bless] [--serial]   (streaming-collector snapshots)\n\
+                     repro --stream [--check | --bless] [--serial] [--emit-frames <prefix>]   (streaming-collector snapshots)\n\
+                     repro merge <frames.bin>... [--check | --bless]   (fold collector frame files)\n\
                      repro --check | --bless   (verify / regenerate the golden traces in tests/golden/)\n\
                      repro --bench-gate   (fail if engine events/s regresses past tests/bench_baseline.json)"
                 );
@@ -926,44 +959,147 @@ fn impair(a: &Args, name: &str) -> i32 {
 /// serially and on the pool — verify both renderings are byte-identical,
 /// then print them, diff them against `tests/golden/stream-snapshots.json`
 /// (`--check`), or rewrite that artifact (`--bless`).
+///
+/// The same report also backs the fleet artifacts: its sessions are split
+/// round-robin across [`GOLDEN_FRAME_SHARDS`] simulated collectors and
+/// encoded as snapshot-frame streams. `--bless` writes those shards next
+/// to the JSON golden; `--check` re-encodes and diffs them, then folds the
+/// *on-disk* shards through `probenet-merged` and requires the folded
+/// report to be byte-identical to the single-process rendering;
+/// `--emit-frames <prefix>` writes the shards to `<prefix>-c<i>.bin`.
 fn stream_cmd(a: &Args) -> i32 {
     let threads = if a.serial {
         1
     } else {
         probenet_core::sched::max_threads()
     };
-    let serial = stream_report();
+    let report = stream_collector_report(1);
+    let mut serial = report.to_json();
+    serial.push('\n');
     let pooled = stream_report_threads(threads);
     if serial != pooled {
         println!("stream: FAIL — pool({threads}) report differs from serial");
         return 1;
     }
+    let shards = frame_shards(&report, GOLDEN_FRAME_SHARDS);
+    if let Some(prefix) = &a.emit_frames {
+        for (i, shard) in shards.iter().enumerate() {
+            let path = format!("{prefix}-c{i}.bin");
+            std::fs::write(&path, shard).expect("write frame shard");
+            println!("stream: wrote {path} ({} bytes)", shard.len());
+        }
+    }
     let path = stream_golden_path();
     if a.bless {
         std::fs::write(&path, serial.as_bytes()).expect("write stream golden");
         println!("stream: blessed {path}");
+        for (i, shard) in shards.iter().enumerate() {
+            let shard_path = stream_frames_path(i);
+            std::fs::write(&shard_path, shard).expect("write golden frame shard");
+            println!("stream: blessed {shard_path} ({} bytes)", shard.len());
+        }
         return 0;
     }
     if a.check {
-        return match std::fs::read_to_string(&path) {
-            Ok(golden) if golden == serial => {
-                println!("stream: OK ({path})");
-                0
-            }
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == serial => println!("stream: OK ({path})"),
             Ok(_) => {
                 println!(
                     "stream: MISMATCH against {path} — behavior drifted; \
                      rerun with --stream --bless if the change is intended"
                 );
-                1
+                return 1;
             }
             Err(e) => {
                 println!("stream: cannot read {path}: {e}");
+                return 1;
+            }
+        }
+        let shard_paths: Vec<String> = (0..GOLDEN_FRAME_SHARDS).map(stream_frames_path).collect();
+        for (shard, shard_path) in shards.iter().zip(&shard_paths) {
+            match std::fs::read(shard_path) {
+                Ok(golden) if &golden == shard => println!("stream: OK ({shard_path})"),
+                Ok(_) => {
+                    println!(
+                        "stream: MISMATCH against {shard_path} — frame encoding drifted; \
+                         rerun with --stream --bless if the change is intended"
+                    );
+                    return 1;
+                }
+                Err(e) => {
+                    println!("stream: cannot read {shard_path}: {e}");
+                    return 1;
+                }
+            }
+        }
+        // The fleet-merge determinism contract: folding the checked-in
+        // shards must reproduce the single-process report byte-for-byte.
+        let merged = match probenet_merged::merge_files(&shard_paths) {
+            Ok(r) => r,
+            Err(e) => {
+                println!("stream: FAIL — merging golden frame shards: {e}");
+                return 1;
+            }
+        };
+        let mut merged_json = merged.to_json();
+        merged_json.push('\n');
+        if merged_json != serial {
+            println!(
+                "stream: FAIL — report merged from golden frame shards differs \
+                 from the single-process report"
+            );
+            return 1;
+        }
+        println!(
+            "stream: OK (merged {} frame shards byte-identical to single-process report)",
+            shard_paths.len()
+        );
+        return 0;
+    }
+    print!("{serial}");
+    0
+}
+
+/// `repro merge <frames.bin>...`: fold collector frame files through the
+/// fleet merge service and print the report — or diff it against the
+/// streaming golden (`--check`) / rewrite that golden (`--bless`).
+fn merge_cmd(a: &Args, files: &[String]) -> i32 {
+    if files.is_empty() {
+        eprintln!("repro merge: needs at least one frame file");
+        return 2;
+    }
+    let report = match probenet_merged::merge_files(files) {
+        Ok(r) => r,
+        Err(e) => {
+            println!("merge: FAIL — {e}");
+            return 1;
+        }
+    };
+    let mut rendered = report.to_json();
+    rendered.push('\n');
+    let path = stream_golden_path();
+    if a.bless {
+        std::fs::write(&path, rendered.as_bytes()).expect("write stream golden");
+        println!("merge: blessed {path}");
+        return 0;
+    }
+    if a.check {
+        return match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == rendered => {
+                println!("merge: OK — folded report matches {path}");
+                0
+            }
+            Ok(_) => {
+                println!("merge: MISMATCH — folded report differs from {path}");
+                1
+            }
+            Err(e) => {
+                println!("merge: cannot read {path}: {e}");
                 1
             }
         };
     }
-    print!("{serial}");
+    print!("{rendered}");
     0
 }
 
@@ -1007,6 +1143,9 @@ fn check_goldens(bless: bool) -> i32 {
 
 fn main() {
     let args = parse_args();
+    if let Some(files) = args.merge.clone() {
+        std::process::exit(merge_cmd(&args, &files));
+    }
     if args.stream {
         std::process::exit(stream_cmd(&args));
     }

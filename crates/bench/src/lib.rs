@@ -269,12 +269,23 @@ pub fn golden_report(seed: u64) -> String {
 // ---------------------------------------------------------------------------
 
 use probenet_stream::{
-    BankConfig, Collector, CollectorConfig, SessionKey, SessionProducer, StreamRecord,
+    BankConfig, Collector, CollectorConfig, CollectorReport, SessionKey, SessionProducer,
+    StreamRecord,
 };
+use probenet_wire::snapshot::SessionFrame;
 
 /// Path of the checked-in streaming-collector snapshot artifact.
 pub fn stream_golden_path() -> String {
     format!("{}/stream-snapshots.json", golden_dir())
+}
+
+/// Number of simulated collectors the checked-in frame shards model: the
+/// golden sessions are split round-robin across this many frame streams.
+pub const GOLDEN_FRAME_SHARDS: usize = 2;
+
+/// Path of one checked-in collector frame-stream shard.
+pub fn stream_frames_path(shard: usize) -> String {
+    format!("{}/stream-frames-c{shard}.bin", golden_dir())
 }
 
 /// The streaming golden sessions: every `(seed, δ, span)` combination of
@@ -300,6 +311,14 @@ pub fn stream_session_tasks() -> Vec<(u64, u64, u64)> {
 /// whatever `threads` or the producer/collector interleaving — the same
 /// determinism contract `repro --check` enforces for the batch goldens.
 pub fn stream_report_threads(threads: usize) -> String {
+    let mut body = stream_collector_report(threads).to_json();
+    body.push('\n');
+    body
+}
+
+/// The report behind [`stream_report_threads`], before JSON rendering —
+/// the fleet tooling encodes its sessions as snapshot frames.
+pub fn stream_collector_report(threads: usize) -> CollectorReport {
     let sc = impairment_scenario(GOLDEN_SCENARIO).expect("pinned scenario exists");
     let tasks = stream_session_tasks();
     let series_by_task = probenet_core::sched::par_map_threads(
@@ -340,9 +359,20 @@ pub fn stream_report_threads(threads: usize) -> String {
     for h in handles {
         h.join().expect("producer thread");
     }
-    let mut body = running.join().to_json();
-    body.push('\n');
-    body
+    running.join()
+}
+
+/// Split a report's sessions round-robin across `shards` simulated
+/// collectors and encode each collector's back-to-back frame stream —
+/// the whole-session sharding whose `probenet-merged` fold is
+/// byte-identical to the single-process report.
+pub fn frame_shards(report: &CollectorReport, shards: usize) -> Vec<Vec<u8>> {
+    assert!(shards > 0, "at least one shard");
+    let mut out = vec![Vec::new(); shards];
+    for (i, session) in report.sessions.iter().enumerate() {
+        out[i % shards].extend_from_slice(&SessionFrame::from_report(session).encode());
+    }
+    out
 }
 
 /// [`stream_report_threads`] on a single thread — the canonical rendering

@@ -1,0 +1,374 @@
+//! # probenet-merged
+//!
+//! The fleet merge service: N collectors each stream their sessions'
+//! [`SessionFrame`]s (the versioned binary snapshot format in
+//! `probenet_wire::snapshot`) over a byte-stream transport — an in-process
+//! channel, a file, a Unix socket or TCP — and the service folds them into
+//! one fleet-wide [`CollectorReport`].
+//!
+//! ## Determinism contract
+//!
+//! The folded report is **byte-identical to a single-process
+//! [`Collector`](probenet_stream::Collector)** over the same records
+//! whenever each session's records lived wholly on one collector (the
+//! whole-session sharding the differential suite `tests/merge_equiv.rs`
+//! and the CI golden check pin): the service only *unions* sessions, in
+//! ascending key order — the same `BTreeMap` order the collector's report
+//! uses — and every per-session bank round-trips bit-for-bit through the
+//! frame codec.
+//!
+//! When one session's records were split *across* collectors, the shards
+//! are folded via [`EstimatorBank::merge`](probenet_stream::EstimatorBank::merge)
+//! in ascending `first_seq` order. Integer state (loss metrics, histogram
+//! and sketch counts) still matches the single-process fold exactly; the
+//! float accumulators reassociate, so those agree to the documented ε
+//! (DESIGN.md §11) — and the fold is bit-identical to merging the same
+//! banks in memory, which the property suite pins.
+//!
+//! Ingest order never matters: frames are grouped by key into a sorted
+//! map, and same-key shards are sorted by `first_seq` before folding, so
+//! any arrival interleaving (file order, socket accept order) produces
+//! the same report.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::io::Read;
+use std::net::TcpListener;
+use std::path::Path;
+use std::sync::mpsc::Receiver;
+
+use probenet_stream::{CollectorReport, SessionKey, SessionReport};
+use probenet_wire::snapshot::SessionFrame;
+use probenet_wire::WireError;
+
+/// Errors raised while ingesting or folding collector frames.
+#[derive(Debug)]
+pub enum MergeError {
+    /// A frame stream failed to decode.
+    Wire(WireError),
+    /// A transport failed (file, socket).
+    Io(std::io::Error),
+    /// Two shards of one session disagree on the bank layout, so their
+    /// estimators cannot be folded.
+    ConfigMismatch {
+        /// The session whose shards disagree.
+        key: String,
+    },
+    /// Two shards of one session claim the same `first_seq`, which would
+    /// make the fold order depend on arrival order.
+    AmbiguousShardOrder {
+        /// The session with ambiguous shards.
+        key: String,
+        /// The duplicated first sequence number.
+        first_seq: u64,
+    },
+    /// Summed per-shard counters overflowed `u64`.
+    CountOverflow {
+        /// The session whose counters overflowed.
+        key: String,
+    },
+}
+
+impl fmt::Display for MergeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MergeError::Wire(e) => write!(f, "frame decode failed: {e}"),
+            MergeError::Io(e) => write!(f, "transport failed: {e}"),
+            MergeError::ConfigMismatch { key } => {
+                write!(f, "session {key}: shards disagree on bank config")
+            }
+            MergeError::AmbiguousShardOrder { key, first_seq } => {
+                write!(f, "session {key}: two shards claim first_seq {first_seq}")
+            }
+            MergeError::CountOverflow { key } => {
+                write!(f, "session {key}: record counters overflow")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MergeError {}
+
+impl From<WireError> for MergeError {
+    fn from(e: WireError) -> Self {
+        MergeError::Wire(e)
+    }
+}
+
+impl From<std::io::Error> for MergeError {
+    fn from(e: std::io::Error) -> Self {
+        MergeError::Io(e)
+    }
+}
+
+/// Accumulates frames from any number of collectors and folds them into
+/// one deterministic fleet-wide report.
+#[derive(Default)]
+pub struct MergeService {
+    sessions: BTreeMap<SessionKey, Vec<SessionFrame>>,
+    frames: u64,
+}
+
+impl MergeService {
+    /// An empty service.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Frames ingested so far.
+    pub fn frames(&self) -> u64 {
+        self.frames
+    }
+
+    /// Add one already-decoded frame.
+    pub fn ingest_frame(&mut self, frame: SessionFrame) {
+        self.frames += 1;
+        self.sessions
+            .entry(frame.key.clone())
+            .or_default()
+            .push(frame);
+    }
+
+    /// Decode and add a back-to-back frame stream (one collector's whole
+    /// output). Returns the number of frames ingested.
+    pub fn ingest_bytes(&mut self, data: &[u8]) -> Result<usize, MergeError> {
+        let frames = probenet_wire::snapshot::decode_frames(data)?;
+        let n = frames.len();
+        for f in frames {
+            self.ingest_frame(f);
+        }
+        Ok(n)
+    }
+
+    /// Read a transport to EOF and ingest its frame stream.
+    pub fn ingest_reader<R: Read>(&mut self, reader: &mut R) -> Result<usize, MergeError> {
+        let mut buf = Vec::new();
+        reader.read_to_end(&mut buf)?;
+        self.ingest_bytes(&buf)
+    }
+
+    /// Fold everything into the fleet-wide report: sessions in ascending
+    /// key order (the collector's own report order), same-key shards by
+    /// ascending `first_seq`.
+    pub fn into_report(self) -> Result<CollectorReport, MergeError> {
+        let mut sessions = Vec::with_capacity(self.sessions.len());
+        for (key, mut shards) in self.sessions {
+            shards.sort_by_key(|f| f.first_seq);
+            for pair in shards.windows(2) {
+                if pair[0].first_seq == pair[1].first_seq {
+                    return Err(MergeError::AmbiguousShardOrder {
+                        key: key.to_string(),
+                        first_seq: pair[0].first_seq,
+                    });
+                }
+            }
+            let mut shards = shards.into_iter();
+            let head = shards.next().expect("every keyed entry holds a shard");
+            let mut bank = head.bank;
+            let mut records = head.records;
+            let mut dropped = head.dropped;
+            let mut interim = head.interim;
+            for shard in shards {
+                if shard.bank.config() != bank.config() {
+                    return Err(MergeError::ConfigMismatch {
+                        key: key.to_string(),
+                    });
+                }
+                bank.merge(&shard.bank);
+                records = records
+                    .checked_add(shard.records)
+                    .ok_or(MergeError::CountOverflow {
+                        key: key.to_string(),
+                    })?;
+                dropped = dropped
+                    .checked_add(shard.dropped)
+                    .ok_or(MergeError::CountOverflow {
+                        key: key.to_string(),
+                    })?;
+                // Interim snapshots keep shard-local record offsets; they
+                // concatenate in fold order.
+                interim.extend(shard.interim);
+            }
+            sessions.push(SessionReport {
+                snapshot: bank.snapshot(),
+                key,
+                records,
+                dropped,
+                interim,
+                bank,
+            });
+        }
+        Ok(CollectorReport { sessions })
+    }
+}
+
+/// Fold frame files (one per collector) into a report.
+pub fn merge_files<P: AsRef<Path>>(paths: &[P]) -> Result<CollectorReport, MergeError> {
+    let mut service = MergeService::new();
+    for p in paths {
+        let bytes = std::fs::read(p)?;
+        service.ingest_bytes(&bytes)?;
+    }
+    service.into_report()
+}
+
+/// In-process transport: drain byte-stream chunks (each one collector's
+/// complete frame stream) from a channel until every sender is dropped,
+/// then fold.
+pub fn serve_channel(rx: Receiver<Vec<u8>>) -> Result<CollectorReport, MergeError> {
+    let mut service = MergeService::new();
+    while let Ok(chunk) = rx.recv() {
+        service.ingest_bytes(&chunk)?;
+    }
+    service.into_report()
+}
+
+/// TCP transport: accept exactly `expect` connections, read each to EOF,
+/// fold. Connection accept order does not affect the report (see the
+/// determinism contract in the crate docs).
+pub fn serve_tcp(listener: &TcpListener, expect: usize) -> Result<CollectorReport, MergeError> {
+    let mut service = MergeService::new();
+    for _ in 0..expect {
+        let (mut conn, _) = listener.accept()?;
+        service.ingest_reader(&mut conn)?;
+    }
+    service.into_report()
+}
+
+/// Unix-socket transport: accept exactly `expect` connections, read each
+/// to EOF, fold.
+#[cfg(unix)]
+pub fn serve_unix(
+    listener: &std::os::unix::net::UnixListener,
+    expect: usize,
+) -> Result<CollectorReport, MergeError> {
+    let mut service = MergeService::new();
+    for _ in 0..expect {
+        let (mut conn, _) = listener.accept()?;
+        service.ingest_reader(&mut conn)?;
+    }
+    service.into_report()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use probenet_stream::{BankConfig, EstimatorBank, StreamRecord};
+
+    fn bank_over(range: std::ops::Range<u64>, seed: u64) -> EstimatorBank {
+        let mut bank = EstimatorBank::new(BankConfig::bolot(20.0, 72, 1_000_000));
+        for i in range {
+            let mix = i.wrapping_add(seed).wrapping_mul(0x9e3779b97f4a7c15);
+            bank.push(&StreamRecord {
+                seq: i,
+                sent_at_ns: i * 20_000_000,
+                rtt_ns: if mix % 8 == 0 {
+                    None
+                } else {
+                    Some(100_000_000 + mix % 50_000_000)
+                },
+            });
+        }
+        bank
+    }
+
+    fn frame(name: &str, seed: u64, range: std::ops::Range<u64>) -> SessionFrame {
+        SessionFrame {
+            key: SessionKey::new(name, 20, seed),
+            first_seq: range.start,
+            records: range.end - range.start,
+            dropped: 0,
+            bank: bank_over(range, seed),
+            interim: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn whole_session_union_is_key_sorted() {
+        let mut svc = MergeService::new();
+        // Ingest out of key order, via the byte-stream path.
+        let mut stream = frame("zeta", 2, 0..50).encode();
+        stream.extend_from_slice(&frame("alpha", 1, 0..50).encode());
+        svc.ingest_bytes(&stream).expect("ingest");
+        let report = svc.into_report().expect("fold");
+        assert_eq!(report.sessions.len(), 2);
+        assert_eq!(report.sessions[0].key.path, "alpha");
+        assert_eq!(report.sessions[1].key.path, "zeta");
+    }
+
+    #[test]
+    fn split_session_folds_in_first_seq_order() {
+        // Shards arrive tail-first; the fold must still equal the in-memory
+        // merge in sequence order.
+        let mut svc = MergeService::new();
+        svc.ingest_frame(frame("split", 9, 120..300));
+        svc.ingest_frame(frame("split", 9, 0..120));
+        let report = svc.into_report().expect("fold");
+        assert_eq!(report.sessions.len(), 1);
+        assert_eq!(report.sessions[0].records, 300);
+
+        let mut expected = bank_over(0..120, 9);
+        expected.merge(&bank_over(120..300, 9));
+        assert_eq!(
+            report.sessions[0].bank.wire_state(),
+            expected.wire_state(),
+            "fold must be bit-identical to the in-memory merge"
+        );
+    }
+
+    #[test]
+    fn ambiguous_shard_order_is_rejected() {
+        let mut svc = MergeService::new();
+        svc.ingest_frame(frame("dup", 1, 0..50));
+        svc.ingest_frame(frame("dup", 1, 0..60));
+        assert!(matches!(
+            svc.into_report(),
+            Err(MergeError::AmbiguousShardOrder { .. })
+        ));
+    }
+
+    #[test]
+    fn config_mismatch_is_a_typed_error_not_a_panic() {
+        let mut svc = MergeService::new();
+        svc.ingest_frame(frame("mix", 1, 0..50));
+        let mut other = frame("mix", 1, 50..90);
+        other.bank = {
+            let mut b = EstimatorBank::new(BankConfig::bolot(20.0, 72, 0));
+            for i in 50..90u64 {
+                b.push(&StreamRecord {
+                    seq: i,
+                    sent_at_ns: i * 20_000_000,
+                    rtt_ns: Some(100_000_000),
+                });
+            }
+            b
+        };
+        svc.ingest_frame(other);
+        assert!(matches!(
+            svc.into_report(),
+            Err(MergeError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn channel_transport_matches_direct_ingest() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let streams: Vec<Vec<u8>> = vec![
+            frame("chan", 1, 0..40).encode(),
+            frame("chan2", 2, 0..40).encode(),
+        ];
+        let handle = std::thread::spawn(move || serve_channel(rx));
+        for s in streams.clone() {
+            tx.send(s).expect("send");
+        }
+        drop(tx);
+        let via_channel = handle.join().expect("join").expect("fold");
+
+        let mut svc = MergeService::new();
+        for s in &streams {
+            svc.ingest_bytes(s).expect("ingest");
+        }
+        let direct = svc.into_report().expect("fold");
+        assert_eq!(via_channel.to_json(), direct.to_json());
+    }
+}

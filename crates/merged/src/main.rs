@@ -1,0 +1,210 @@
+//! `probenet-merged` — the fleet merge daemon CLI.
+//!
+//! Ingests snapshot-frame streams from N collectors (files, TCP, or a Unix
+//! socket), folds them with [`probenet_merged::MergeService`], and emits
+//! the fleet-wide report. `--check` compares the folded report against a
+//! golden JSON byte-for-byte (the CI smoke job feeds it the blessed
+//! per-collector frame shards and the single-process stream golden).
+
+use std::net::TcpListener;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use probenet_merged::{merge_files, serve_tcp, MergeError};
+use probenet_stream::CollectorReport;
+
+const USAGE: &str = "\
+probenet-merged: fold collectors' snapshot frames into one fleet report
+
+USAGE:
+    probenet-merged --files <frames.bin>... [--check <golden.json> | --bless <out.json>]
+    probenet-merged --listen <addr> --expect <n> [--check <golden.json> | --bless <out.json>]
+    probenet-merged --unix <path> --expect <n> [--check <golden.json> | --bless <out.json>]
+
+OPTIONS:
+    --files <f>...     read each file as one collector's frame stream
+    --listen <addr>    accept TCP connections, one per collector
+    --unix <path>      accept Unix-socket connections, one per collector
+    --expect <n>       number of collector connections to accept (sockets only)
+    --check <golden>   compare the folded report to a golden JSON; exit 1 on drift
+    --bless <out>      write the folded report JSON to <out>
+    --help             print this help
+";
+
+enum Source {
+    Files(Vec<PathBuf>),
+    Tcp { addr: String, expect: usize },
+    Unix { path: PathBuf, expect: usize },
+}
+
+enum Sink {
+    Print,
+    Check(PathBuf),
+    Bless(PathBuf),
+}
+
+struct Args {
+    source: Source,
+    sink: Sink,
+}
+
+fn parse_args(argv: &[String]) -> Result<Args, String> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    let mut listen: Option<String> = None;
+    let mut unix: Option<PathBuf> = None;
+    let mut expect: Option<usize> = None;
+    let mut check: Option<PathBuf> = None;
+    let mut bless: Option<PathBuf> = None;
+
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{flag} needs a value"))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--help" | "-h" => return Err(String::new()),
+            "--files" => {
+                // Consume every following operand up to the next flag.
+                while argv.get(i + 1).is_some_and(|v| !v.starts_with("--")) {
+                    i += 1;
+                    files.push(PathBuf::from(&argv[i]));
+                }
+                if files.is_empty() {
+                    return Err("--files needs at least one path".into());
+                }
+            }
+            "--listen" => listen = Some(value(&mut i, "--listen")?),
+            "--unix" => unix = Some(PathBuf::from(value(&mut i, "--unix")?)),
+            "--expect" => {
+                let v = value(&mut i, "--expect")?;
+                expect = Some(
+                    v.parse::<usize>()
+                        .map_err(|_| format!("--expect: not a count: {v}"))?,
+                );
+            }
+            "--check" => check = Some(PathBuf::from(value(&mut i, "--check")?)),
+            "--bless" => bless = Some(PathBuf::from(value(&mut i, "--bless")?)),
+            other => return Err(format!("unknown argument: {other}")),
+        }
+        i += 1;
+    }
+
+    let source = match (files.is_empty(), listen, unix) {
+        (false, None, None) => Source::Files(files),
+        (true, Some(addr), None) => Source::Tcp {
+            addr,
+            expect: expect.ok_or_else(|| "--listen requires --expect".to_string())?,
+        },
+        (true, None, Some(path)) => Source::Unix {
+            path,
+            expect: expect.ok_or_else(|| "--unix requires --expect".to_string())?,
+        },
+        (true, None, None) => return Err("pick a source: --files, --listen, or --unix".into()),
+        _ => return Err("pick exactly one source: --files, --listen, or --unix".into()),
+    };
+    let sink = match (check, bless) {
+        (None, None) => Sink::Print,
+        (Some(p), None) => Sink::Check(p),
+        (None, Some(p)) => Sink::Bless(p),
+        (Some(_), Some(_)) => return Err("--check and --bless are mutually exclusive".into()),
+    };
+    Ok(Args { source, sink })
+}
+
+fn fold(source: Source) -> Result<CollectorReport, MergeError> {
+    match source {
+        Source::Files(paths) => merge_files(&paths),
+        Source::Tcp { addr, expect } => {
+            let listener = TcpListener::bind(&addr)?;
+            eprintln!(
+                "probenet-merged: listening on {}, expecting {expect} collector(s)",
+                listener.local_addr()?
+            );
+            serve_tcp(&listener, expect)
+        }
+        Source::Unix { path, expect } => serve_unix_source(&path, expect),
+    }
+}
+
+#[cfg(unix)]
+fn serve_unix_source(path: &std::path::Path, expect: usize) -> Result<CollectorReport, MergeError> {
+    // A stale socket file from a previous run would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = std::os::unix::net::UnixListener::bind(path)?;
+    eprintln!(
+        "probenet-merged: listening on {}, expecting {expect} collector(s)",
+        path.display()
+    );
+    let report = probenet_merged::serve_unix(&listener, expect);
+    let _ = std::fs::remove_file(path);
+    report
+}
+
+#[cfg(not(unix))]
+fn serve_unix_source(
+    _path: &std::path::Path,
+    _expect: usize,
+) -> Result<CollectorReport, MergeError> {
+    Err(MergeError::Io(std::io::Error::new(
+        std::io::ErrorKind::Unsupported,
+        "unix sockets are not available on this platform",
+    )))
+}
+
+fn run(args: Args) -> Result<ExitCode, String> {
+    let report = fold(args.source).map_err(|e| e.to_string())?;
+    let rendered = format!("{}\n", report.to_json());
+    match args.sink {
+        Sink::Print => {
+            print!("{rendered}");
+            Ok(ExitCode::SUCCESS)
+        }
+        Sink::Check(golden) => {
+            let want = std::fs::read_to_string(&golden)
+                .map_err(|e| format!("read {}: {e}", golden.display()))?;
+            if want == rendered {
+                eprintln!("probenet-merged: report matches {}", golden.display());
+                Ok(ExitCode::SUCCESS)
+            } else {
+                eprintln!(
+                    "probenet-merged: folded report drifts from {} ({} vs {} bytes); \
+                     re-bless with `repro --stream --bless` if the change is intended",
+                    golden.display(),
+                    rendered.len(),
+                    want.len()
+                );
+                Ok(ExitCode::FAILURE)
+            }
+        }
+        Sink::Bless(out) => {
+            std::fs::write(&out, rendered).map_err(|e| format!("write {}: {e}", out.display()))?;
+            eprintln!("probenet-merged: wrote {}", out.display());
+            Ok(ExitCode::SUCCESS)
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    match parse_args(&argv) {
+        Ok(args) => match run(args) {
+            Ok(code) => code,
+            Err(msg) => {
+                eprintln!("probenet-merged: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        Err(msg) => {
+            if msg.is_empty() {
+                print!("{USAGE}");
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("probenet-merged: {msg}\n\n{USAGE}");
+                ExitCode::from(2)
+            }
+        }
+    }
+}

@@ -44,6 +44,32 @@ impl Histogram {
         h
     }
 
+    /// Rebuild a histogram from raw parts, for deserialization.
+    ///
+    /// Total counterpart to [`Histogram::new`]: hostile inputs come back as
+    /// `Err` instead of a panic, so wire decoders stay panic-free.
+    pub fn from_parts(
+        lo: f64,
+        hi: f64,
+        counts: Vec<u64>,
+        underflow: u64,
+        overflow: u64,
+    ) -> Result<Self, &'static str> {
+        if !(lo.is_finite() && hi.is_finite() && lo < hi) {
+            return Err("histogram: bad range");
+        }
+        if counts.is_empty() {
+            return Err("histogram: zero bins");
+        }
+        Ok(Histogram {
+            lo,
+            hi,
+            counts,
+            underflow,
+            overflow,
+        })
+    }
+
     /// Bin width.
     pub fn bin_width(&self) -> f64 {
         (self.hi - self.lo) / self.counts.len() as f64

@@ -40,7 +40,7 @@ pub use independence::{
     chi2_2x2, lag1_independence, lag1_independence_from_counts, ljung_box, runs_test,
     runs_test_from_counts, two_sided_normal_p, Chi2Test, LjungBoxTest, RunsTest,
 };
-pub use moments::{correlation, ols, Moments};
+pub use moments::{correlation, ols, Moments, MomentsState};
 pub use peaks::{find_peaks, find_relative_peaks, smooth, Peak};
 pub use quantile::P2Quantile;
 pub use special::{digamma, gamma_cdf, ln_gamma, reg_lower_gamma, trigamma};

@@ -102,6 +102,55 @@ impl Moments {
         }
     }
 
+    /// The raw accumulator state, for serialization. Field-for-field with
+    /// the internal representation, so `from_state(state())` is bit-exact.
+    pub fn state(&self) -> MomentsState {
+        MomentsState {
+            n: self.n,
+            mean: self.mean,
+            m2: self.m2,
+            min: self.min,
+            max: self.max,
+        }
+    }
+
+    /// Rebuild from a previously captured [`MomentsState`].
+    ///
+    /// Total: hostile states are rejected instead of producing an
+    /// accumulator whose accessors could emit NaN into serialized reports.
+    /// An empty state must be canonical (the exact [`Moments::new`] values);
+    /// a non-empty state must be finite with `m2 ≥ 0` and `min ≤ max`.
+    pub fn from_state(s: MomentsState) -> Result<Self, &'static str> {
+        if s.n == 0 {
+            let canonical = s.mean == 0.0
+                && s.mean.is_sign_positive()
+                && s.m2 == 0.0
+                && s.m2.is_sign_positive()
+                && s.min == f64::INFINITY
+                && s.max == f64::NEG_INFINITY;
+            if !canonical {
+                return Err("moments: non-canonical empty state");
+            }
+        } else {
+            if !(s.mean.is_finite() && s.m2.is_finite() && s.min.is_finite() && s.max.is_finite()) {
+                return Err("moments: non-finite accumulator");
+            }
+            if s.m2 < 0.0 {
+                return Err("moments: negative m2");
+            }
+            if s.min > s.max {
+                return Err("moments: min above max");
+            }
+        }
+        Ok(Moments {
+            n: s.n,
+            mean: s.mean,
+            m2: s.m2,
+            min: s.min,
+            max: s.max,
+        })
+    }
+
     /// Merge another accumulator (parallel Welford combination).
     pub fn merge(&mut self, other: &Moments) {
         if other.n == 0 {
@@ -121,6 +170,22 @@ impl Moments {
         self.min = self.min.min(other.min);
         self.max = self.max.max(other.max);
     }
+}
+
+/// The raw [`Moments`] accumulator state: exactly the internal fields, in
+/// declaration order, so codecs can round-trip an accumulator bit-for-bit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MomentsState {
+    /// Number of observations.
+    pub n: u64,
+    /// Running mean (Welford).
+    pub mean: f64,
+    /// Sum of squared deviations from the running mean.
+    pub m2: f64,
+    /// Smallest observation (`+inf` when `n == 0`).
+    pub min: f64,
+    /// Largest observation (`-inf` when `n == 0`).
+    pub max: f64,
 }
 
 /// Sample Pearson correlation of two equal-length series.

@@ -61,6 +61,42 @@ impl WindowedAcf {
         self.evicted
     }
 
+    /// The held samples in ring order (oldest first), for serialization.
+    pub fn samples(&self) -> impl Iterator<Item = f64> + '_ {
+        self.buf.iter().copied()
+    }
+
+    /// Rebuild a window from its capacity, eviction count and held samples.
+    ///
+    /// Total: the constructor's `window >= 2` contract and the ring
+    /// invariants (`len ≤ window`, evictions only start once the ring is
+    /// full, finite samples) are checked instead of asserted, and the
+    /// buffer is allocated from the samples actually present — a hostile
+    /// `window` cannot force a huge reservation.
+    pub fn from_samples(
+        window: usize,
+        evicted: u64,
+        samples: Vec<f64>,
+    ) -> Result<Self, &'static str> {
+        if window < 2 {
+            return Err("acf: window below two samples");
+        }
+        if samples.len() > window {
+            return Err("acf: more samples than the window holds");
+        }
+        if evicted > 0 && samples.len() != window {
+            return Err("acf: evictions from a non-full window");
+        }
+        if samples.iter().any(|v| !v.is_finite()) {
+            return Err("acf: non-finite sample");
+        }
+        Ok(WindowedAcf {
+            window,
+            buf: samples.into(),
+            evicted,
+        })
+    }
+
     /// Fold `other` (a later segment of the same series) into `self`:
     /// keep the last `window` samples of the concatenation. Associative,
     /// because "last `W` of a concatenation" only depends on the trailing

@@ -4,12 +4,12 @@
 
 use crate::acf::WindowedAcf;
 use crate::fnv::fnv1a_u64s;
-use crate::lindley::{StreamingWorkload, WorkloadSnapshot};
-use crate::loss::{LossSnapshot, StreamingLoss};
-use crate::phase::{PhaseDensity, PhaseSnapshot};
+use crate::lindley::{StreamingWorkload, WorkloadSnapshot, WorkloadWireState};
+use crate::loss::{LossSnapshot, LossWireState, StreamingLoss};
+use crate::phase::{PhaseDensity, PhaseSnapshot, PhaseWireState};
 use crate::quantile::LogQuantileSketch;
 use crate::record::StreamRecord;
-use probenet_stats::{Histogram, Moments};
+use probenet_stats::{Histogram, Moments, MomentsState};
 use serde::{Deserialize, Serialize};
 
 /// Layout and model parameters of an [`EstimatorBank`]. Two banks merge only
@@ -43,6 +43,84 @@ pub struct BankConfig {
     pub phase_hi_ms: f64,
     /// Phase grid bins per axis.
     pub phase_bins: usize,
+}
+
+/// The complete raw state of an [`EstimatorBank`], as per-estimator wire
+/// states plus the shared config — the in-memory bridge the snapshot wire
+/// codec (`probenet-wire`) encodes and decodes. `from_wire_state(wire_state())`
+/// reproduces the bank bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BankWireState {
+    /// Layout and model parameters (drives every derived layout below).
+    pub config: BankConfig,
+    /// Loss-process segment summary.
+    pub loss: LossWireState,
+    /// Delivered-RTT moments accumulator (ms).
+    pub moments: MomentsState,
+    /// Delivered-RTT histogram bin counts (layout derived from config).
+    pub rtt_counts: Vec<u64>,
+    /// RTT histogram underflow gutter.
+    pub rtt_underflow: u64,
+    /// RTT histogram overflow gutter.
+    pub rtt_overflow: u64,
+    /// Quantile sketch bucket counts (ns domain).
+    pub sketch_counts: Vec<u64>,
+    /// Samples evicted from the ACF ring.
+    pub acf_evicted: u64,
+    /// ACF ring contents, oldest first (ms).
+    pub acf_samples: Vec<f64>,
+    /// Workload estimator state (params duplicate the config).
+    pub workload: WorkloadWireState,
+    /// Phase-density grid state (layout duplicates the config).
+    pub phase: PhaseWireState,
+}
+
+impl BankConfig {
+    /// The workload histogram bin count this config derives — exactly the
+    /// [`StreamingWorkload::new`] layout rule, exposed so decoders can
+    /// verify a claimed bin count without allocating it first.
+    pub fn workload_bins(&self) -> usize {
+        let resolution_ms = self.clock_resolution_ns as f64 / 1e6;
+        let bin = resolution_ms.max(0.5);
+        ((self.workload_max_ms / bin).ceil() as usize).max(10)
+    }
+
+    /// Check every constructor precondition the bank's estimators assert,
+    /// returning `Err` instead of panicking — the total-decoder gate for
+    /// configs arriving off the wire.
+    pub fn validate(&self) -> Result<(), &'static str> {
+        if !self.delta_ms.is_finite() {
+            return Err("config: bad delta");
+        }
+        if !(self.mu_bps.is_finite() && self.mu_bps > 0.0) {
+            return Err("config: bad mu");
+        }
+        if !(self.workload_max_ms.is_finite() && self.workload_max_ms > 0.0) {
+            return Err("config: bad workload range");
+        }
+        if !(self.rtt_lo_ms.is_finite()
+            && self.rtt_hi_ms.is_finite()
+            && self.rtt_lo_ms < self.rtt_hi_ms)
+        {
+            return Err("config: bad rtt range");
+        }
+        if self.rtt_bins == 0 {
+            return Err("config: zero rtt bins");
+        }
+        if self.acf_window < 2 {
+            return Err("config: acf window below two");
+        }
+        if !(self.phase_lo_ms.is_finite()
+            && self.phase_hi_ms.is_finite()
+            && self.phase_lo_ms < self.phase_hi_ms)
+        {
+            return Err("config: bad phase range");
+        }
+        if self.phase_bins == 0 {
+            return Err("config: zero phase bins");
+        }
+        Ok(())
+    }
 }
 
 impl BankConfig {
@@ -224,6 +302,117 @@ impl EstimatorBank {
     /// The windowed ACF ring.
     pub fn acf(&self) -> &WindowedAcf {
         &self.acf
+    }
+
+    /// The bank's complete raw state, for serialization.
+    pub fn wire_state(&self) -> BankWireState {
+        BankWireState {
+            config: self.config.clone(),
+            loss: self.loss.wire_state(),
+            moments: self.moments.state(),
+            rtt_counts: self.rtt_hist.counts().to_vec(),
+            rtt_underflow: self.rtt_hist.underflow(),
+            rtt_overflow: self.rtt_hist.overflow(),
+            sketch_counts: self.sketch.counts().to_vec(),
+            acf_evicted: self.acf.evicted(),
+            acf_samples: self.acf.samples().collect(),
+            workload: self.workload.wire_state(),
+            phase: self.phase.wire_state(),
+        }
+    }
+
+    /// Rebuild a bank from a previously captured [`BankWireState`].
+    ///
+    /// Total, and deliberately strict: beyond each estimator's own checks,
+    /// the layouts duplicated in the workload/phase states must equal the
+    /// config-derived ones (otherwise a later `merge` with a freshly built
+    /// bank would panic), and the delivered-probe count must agree across
+    /// every estimator fed from it — which is what makes a decoded bank's
+    /// `snapshot()` safe (the sketch is non-empty whenever the moments
+    /// are, so its `quantile()` lookups cannot fail).
+    pub fn from_wire_state(s: BankWireState) -> Result<Self, &'static str> {
+        s.config.validate()?;
+        let config = s.config;
+
+        // Workload params are fully derived from the config; a frame that
+        // disagrees with its own config is corrupt.
+        let w = &s.workload;
+        if w.delta_ms != config.delta_ms
+            || w.mu_bps != config.mu_bps
+            || w.p_bits != f64::from(config.wire_bytes) * 8.0
+            || w.hist_hi != config.workload_max_ms
+            || w.hist_counts.len() != config.workload_bins()
+        {
+            return Err("bank: workload state disagrees with config");
+        }
+        let p = &s.phase;
+        if p.lo != config.phase_lo_ms || p.hi != config.phase_hi_ms || p.bins != config.phase_bins {
+            return Err("bank: phase state disagrees with config");
+        }
+        if s.rtt_counts.len() != config.rtt_bins {
+            return Err("bank: rtt histogram shape mismatch");
+        }
+
+        // The same records feed every estimator, so their boundary views
+        // must agree: the workload and phase trackers hold the identical
+        // first/last RTTs, and the loss flags are their loss indicators.
+        if s.workload.first != s.phase.first || s.workload.last != s.phase.last {
+            return Err("bank: boundary records disagree");
+        }
+        if s.workload.first.map(|r| r.is_none()) != s.loss.first
+            || s.workload.last.map(|r| r.is_none()) != s.loss.last
+        {
+            return Err("bank: boundary records disagree with loss flags");
+        }
+        if s.workload.pairs != s.phase.pairs {
+            return Err("bank: pair counts disagree");
+        }
+
+        let loss = StreamingLoss::from_wire_state(s.loss)?;
+        let moments = Moments::from_state(s.moments)?;
+        let rtt_hist = Histogram::from_parts(
+            config.rtt_lo_ms,
+            config.rtt_hi_ms,
+            s.rtt_counts,
+            s.rtt_underflow,
+            s.rtt_overflow,
+        )?;
+        let sketch = LogQuantileSketch::from_counts(s.sketch_counts)?;
+        let acf = WindowedAcf::from_samples(config.acf_window, s.acf_evicted, s.acf_samples)?;
+        let workload = StreamingWorkload::from_wire_state(s.workload)?;
+        let phase = PhaseDensity::from_wire_state(s.phase)?;
+
+        // Every delivered probe reaches the moments, histogram, sketch and
+        // ACF ring exactly once.
+        let received = loss.sent() - loss.lost();
+        if moments.count() != received || sketch.total() != received {
+            return Err("bank: delivered-count mismatch");
+        }
+        let mut hist_offered = rtt_hist.underflow().checked_add(rtt_hist.overflow());
+        for &c in rtt_hist.counts() {
+            hist_offered = hist_offered.and_then(|t| t.checked_add(c));
+        }
+        if hist_offered.ok_or("bank: rtt count overflow")? != received {
+            return Err("bank: delivered-count mismatch");
+        }
+        let acf_seen = acf
+            .evicted()
+            .checked_add(acf.len() as u64)
+            .ok_or("bank: acf count overflow")?;
+        if acf_seen != received {
+            return Err("bank: delivered-count mismatch");
+        }
+
+        Ok(EstimatorBank {
+            config,
+            loss,
+            moments,
+            rtt_hist,
+            sketch,
+            acf,
+            workload,
+            phase,
+        })
     }
 
     /// Current summary of every estimator.

@@ -19,7 +19,7 @@
 use crate::bank::{BankConfig, BankSnapshot, EstimatorBank};
 use crate::record::{SessionKey, StreamRecord};
 use crate::spsc::{self, Consumer, Producer};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::thread;
 use std::time::Duration;
 
@@ -78,7 +78,7 @@ struct SessionSlot {
 }
 
 /// A periodic snapshot taken mid-stream.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct InterimSnapshot {
     /// Records folded into the session when the snapshot was taken.
     pub at_records: u64,

@@ -54,14 +54,14 @@ pub mod record;
 pub mod spsc;
 
 pub use acf::WindowedAcf;
-pub use bank::{BankConfig, BankSnapshot, EstimatorBank, RttSummary};
+pub use bank::{BankConfig, BankSnapshot, BankWireState, EstimatorBank, RttSummary};
 pub use collector::{
     Collector, CollectorConfig, CollectorReport, InterimSnapshot, RunningCollector,
     SessionProducer, SessionReport,
 };
 pub use fnv::fnv1a_u64s;
-pub use lindley::{StreamingWorkload, WorkloadSnapshot};
-pub use loss::{Chi2Snapshot, LossSnapshot, RunsTestSnapshot, StreamingLoss};
-pub use phase::{PhaseDensity, PhaseSnapshot};
+pub use lindley::{StreamingWorkload, WorkloadSnapshot, WorkloadWireState};
+pub use loss::{Chi2Snapshot, LossSnapshot, LossWireState, RunsTestSnapshot, StreamingLoss};
+pub use phase::{PhaseDensity, PhaseSnapshot, PhaseWireState};
 pub use quantile::LogQuantileSketch;
 pub use record::{SessionKey, StreamRecord};

@@ -57,6 +57,36 @@ pub struct WorkloadSnapshot {
     pub hist_fnv1a: String,
 }
 
+/// The raw [`StreamingWorkload`] state: parameters, histogram parts and
+/// pairing state, exposed so the wire layer can round-trip an estimator
+/// bit-for-bit. The histogram's lower edge is always `0.0` by construction
+/// and is not carried.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WorkloadWireState {
+    /// Probe interval δ in ms.
+    pub delta_ms: f64,
+    /// Assumed bottleneck rate μ in bits/s.
+    pub mu_bps: f64,
+    /// Probe wire size in bits.
+    pub p_bits: f64,
+    /// Histogram upper edge (`max_ms`).
+    pub hist_hi: f64,
+    /// Histogram bin counts.
+    pub hist_counts: Vec<u64>,
+    /// Histogram underflow gutter.
+    pub hist_underflow: u64,
+    /// Histogram overflow gutter.
+    pub hist_overflow: u64,
+    /// Running clamped workload sum in bytes.
+    pub b_sum: f64,
+    /// Consecutive delivered pairs observed.
+    pub pairs: u64,
+    /// RTT of the segment's first record (`None` until one arrives).
+    pub first: Option<Option<u64>>,
+    /// RTT of the segment's last record.
+    pub last: Option<Option<u64>>,
+}
+
 impl StreamingWorkload {
     /// A new estimator with the batch analyzer's histogram layout:
     /// `[0, max_ms)` split into `max(ceil(max_ms / max(resolution, 0.5 ms)),
@@ -151,6 +181,81 @@ impl StreamingWorkload {
             return 0.0;
         }
         self.b_sum / self.pairs as f64
+    }
+
+    /// The raw estimator state, for serialization. Field-for-field with the
+    /// internal representation, so `from_wire_state(wire_state())` is exact.
+    pub fn wire_state(&self) -> WorkloadWireState {
+        WorkloadWireState {
+            delta_ms: self.delta_ms,
+            mu_bps: self.mu_bps,
+            p_bits: self.p_bits,
+            hist_hi: self.hist.hi(),
+            hist_counts: self.hist.counts().to_vec(),
+            hist_underflow: self.hist.underflow(),
+            hist_overflow: self.hist.overflow(),
+            b_sum: self.b_sum,
+            pairs: self.pairs,
+            first: self.first,
+            last: self.last,
+        }
+    }
+
+    /// Rebuild from a previously captured [`WorkloadWireState`].
+    ///
+    /// Total: parameter sanity, histogram layout, pair accounting and the
+    /// workload sum's invariants are all checked (overflow-checked where
+    /// counts are summed), so a hostile state cannot produce an estimator
+    /// whose `snapshot()` or `merge()` would panic or emit NaN.
+    pub fn from_wire_state(s: WorkloadWireState) -> Result<Self, &'static str> {
+        if !(s.mu_bps.is_finite() && s.mu_bps > 0.0) {
+            return Err("workload: bad mu");
+        }
+        if !s.delta_ms.is_finite() {
+            return Err("workload: bad delta");
+        }
+        if !(s.p_bits.is_finite() && s.p_bits >= 0.0) {
+            return Err("workload: bad packet size");
+        }
+        if !(s.b_sum.is_finite() && s.b_sum >= 0.0) {
+            return Err("workload: bad workload sum");
+        }
+        let hist = Histogram::from_parts(
+            0.0,
+            s.hist_hi,
+            s.hist_counts,
+            s.hist_underflow,
+            s.hist_overflow,
+        )?;
+        let mut offered = hist.underflow().checked_add(hist.overflow());
+        for &c in hist.counts() {
+            offered = offered.and_then(|t| t.checked_add(c));
+        }
+        if offered.ok_or("workload: histogram count overflow")? != s.pairs {
+            return Err("workload: pair accounting mismatch");
+        }
+        match (s.first, s.last) {
+            (Some(_), Some(_)) => {}
+            (None, None) => {
+                if s.pairs != 0 {
+                    return Err("workload: pairs without records");
+                }
+            }
+            _ => return Err("workload: inconsistent boundary records"),
+        }
+        if s.pairs == 0 && s.b_sum != 0.0 {
+            return Err("workload: workload sum without pairs");
+        }
+        Ok(StreamingWorkload {
+            delta_ms: s.delta_ms,
+            mu_bps: s.mu_bps,
+            p_bits: s.p_bits,
+            hist,
+            b_sum: s.b_sum,
+            pairs: s.pairs,
+            first: s.first,
+            last: s.last,
+        })
     }
 
     /// Current summary.

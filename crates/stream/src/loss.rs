@@ -90,6 +90,34 @@ pub struct Chi2Snapshot {
     pub p_value: f64,
 }
 
+/// The raw [`StreamingLoss`] segment summary: exactly the internal fields,
+/// exposed so the wire layer can round-trip an estimator bit-for-bit.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LossWireState {
+    /// Probes seen.
+    pub sent: u64,
+    /// Probes lost.
+    pub lost: u64,
+    /// Lag-1 `delivered → delivered` transitions.
+    pub n00: u64,
+    /// Lag-1 `delivered → lost` transitions.
+    pub n01: u64,
+    /// Lag-1 `lost → delivered` transitions.
+    pub n10: u64,
+    /// Lag-1 `lost → lost` transitions.
+    pub n11: u64,
+    /// First flag of the segment (`None` when empty).
+    pub first: Option<bool>,
+    /// Last flag of the segment (`None` when empty).
+    pub last: Option<bool>,
+    /// Closed loss run starting at the segment's first record.
+    pub head_run: u64,
+    /// Open loss run ending at the segment's last record.
+    pub tail_run: u64,
+    /// Interior runs: `closed[k]` runs of `k + 1` consecutive losses.
+    pub closed: Vec<u64>,
+}
+
 impl StreamingLoss {
     /// An empty estimator.
     pub fn new() -> Self {
@@ -209,6 +237,122 @@ impl StreamingLoss {
         self.sent += other.sent;
         self.lost += other.lost;
         self.last = other.last;
+    }
+
+    /// The raw segment-summary state, for serialization. Field-for-field
+    /// with the internal representation (including any trailing zeros in
+    /// the closed-run vector), so `from_wire_state(wire_state())` is exact.
+    pub fn wire_state(&self) -> LossWireState {
+        LossWireState {
+            sent: self.sent,
+            lost: self.lost,
+            n00: self.n00,
+            n01: self.n01,
+            n10: self.n10,
+            n11: self.n11,
+            first: self.first,
+            last: self.last,
+            head_run: self.head_run,
+            tail_run: self.tail_run,
+            closed: self.closed.clone(),
+        }
+    }
+
+    /// Rebuild from a previously captured [`LossWireState`].
+    ///
+    /// Total: every segment-summary invariant the monoid maintains is
+    /// re-checked (with overflow-checked arithmetic), so a hostile state
+    /// either comes back `Err` or yields an estimator whose `snapshot()`
+    /// and `merge()` behave exactly like one built by `push()`.
+    pub fn from_wire_state(s: LossWireState) -> Result<Self, &'static str> {
+        if s.sent == 0 {
+            let canonical = s.lost == 0
+                && s.n00 == 0
+                && s.n01 == 0
+                && s.n10 == 0
+                && s.n11 == 0
+                && s.first.is_none()
+                && s.last.is_none()
+                && s.head_run == 0
+                && s.tail_run == 0
+                && s.closed.is_empty();
+            return if canonical {
+                Ok(StreamingLoss::default())
+            } else {
+                Err("loss: non-canonical empty state")
+            };
+        }
+        let (first, last) = match (s.first, s.last) {
+            (Some(f), Some(l)) => (f, l),
+            _ => return Err("loss: missing boundary flags"),
+        };
+        if s.lost > s.sent {
+            return Err("loss: lost exceeds sent");
+        }
+        // Lag-1 transitions: exactly one per adjacent pair.
+        let transitions = s
+            .n00
+            .checked_add(s.n01)
+            .and_then(|t| t.checked_add(s.n10))
+            .and_then(|t| t.checked_add(s.n11))
+            .ok_or("loss: transition count overflow")?;
+        if transitions != s.sent - 1 {
+            return Err("loss: transition count mismatch");
+        }
+        // Every lost record either opens the segment or follows a
+        // transition into the loss state — and dually for deliveries.
+        if s.n01 + s.n11 + u64::from(first) != s.lost {
+            return Err("loss: loss-entry count mismatch");
+        }
+        if s.n00 + s.n10 + u64::from(!first) != s.sent - s.lost {
+            return Err("loss: delivery-entry count mismatch");
+        }
+        // Boundary runs are consistent with the boundary flags.
+        if (s.tail_run > 0) != last {
+            return Err("loss: tail run disagrees with last flag");
+        }
+        if !first && s.head_run != 0 {
+            return Err("loss: head run without a leading loss");
+        }
+        let all_lost = s.lost == s.sent;
+        if all_lost {
+            // One still-open run spanning the whole segment.
+            if s.head_run != 0 || s.tail_run != s.sent || !s.closed.is_empty() {
+                return Err("loss: all-lost run accounting mismatch");
+            }
+        } else if first && s.head_run == 0 {
+            return Err("loss: leading loss run never closed");
+        }
+        // Every loss belongs to exactly one run: head + tail + interior.
+        let mut run_losses = s
+            .head_run
+            .checked_add(s.tail_run)
+            .ok_or("loss: run length overflow")?;
+        for (i, &c) in s.closed.iter().enumerate() {
+            let len = (i as u64)
+                .checked_add(1)
+                .and_then(|l| l.checked_mul(c))
+                .ok_or("loss: run length overflow")?;
+            run_losses = run_losses
+                .checked_add(len)
+                .ok_or("loss: run length overflow")?;
+        }
+        if run_losses != s.lost {
+            return Err("loss: run mass mismatch");
+        }
+        Ok(StreamingLoss {
+            sent: s.sent,
+            lost: s.lost,
+            n00: s.n00,
+            n01: s.n01,
+            n10: s.n10,
+            n11: s.n11,
+            first: s.first,
+            last: s.last,
+            head_run: s.head_run,
+            tail_run: s.tail_run,
+            closed: s.closed,
+        })
     }
 
     /// Current loss metrics — bit-identical to

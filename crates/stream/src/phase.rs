@@ -50,6 +50,28 @@ pub struct PhaseSnapshot {
     pub grid_fnv1a: String,
 }
 
+/// The raw [`PhaseDensity`] state: grid layout, counts and pairing state,
+/// exposed so the wire layer can round-trip an estimator bit-for-bit.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseWireState {
+    /// Grid lower edge (ms).
+    pub lo: f64,
+    /// Grid upper edge (ms).
+    pub hi: f64,
+    /// Bins per axis.
+    pub bins: usize,
+    /// Row-major `bins × bins` cell counts.
+    pub grid: Vec<u64>,
+    /// Consecutive delivered pairs observed.
+    pub pairs: u64,
+    /// Pairs with either coordinate outside `[lo, hi)`.
+    pub out_of_range: u64,
+    /// RTT of the segment's first record (`None` until one arrives).
+    pub first: Option<Option<u64>>,
+    /// RTT of the segment's last record.
+    pub last: Option<Option<u64>>,
+}
+
 impl PhaseDensity {
     /// A new grid over `[lo_ms, hi_ms)` per axis with `bins × bins` cells.
     ///
@@ -148,6 +170,72 @@ impl PhaseDensity {
     /// can re-bin batch phase-plot points with the identical rule.
     pub fn cell_of(&self, x_ms: f64, y_ms: f64) -> Option<(usize, usize)> {
         Some((self.axis_bin(x_ms)?, self.axis_bin(y_ms)?))
+    }
+
+    /// The raw grid state, for serialization. Field-for-field with the
+    /// internal representation, so `from_wire_state(wire_state())` is exact.
+    pub fn wire_state(&self) -> PhaseWireState {
+        PhaseWireState {
+            lo: self.lo,
+            hi: self.hi,
+            bins: self.bins,
+            grid: self.grid.clone(),
+            pairs: self.pairs,
+            out_of_range: self.out_of_range,
+            first: self.first,
+            last: self.last,
+        }
+    }
+
+    /// Rebuild from a previously captured [`PhaseWireState`].
+    ///
+    /// Total: layout sanity, grid shape and the pair mass balance
+    /// (`Σ grid + out_of_range == pairs`, overflow-checked) are verified,
+    /// so a hostile state either comes back `Err` or behaves exactly like
+    /// a grid built by `push()`.
+    pub fn from_wire_state(s: PhaseWireState) -> Result<Self, &'static str> {
+        if !(s.lo.is_finite() && s.hi.is_finite() && s.lo < s.hi) {
+            return Err("phase: bad range");
+        }
+        if s.bins == 0 {
+            return Err("phase: zero bins");
+        }
+        let cells = s
+            .bins
+            .checked_mul(s.bins)
+            .ok_or("phase: grid size overflow")?;
+        if s.grid.len() != cells {
+            return Err("phase: grid shape mismatch");
+        }
+        let mut binned = 0u64;
+        for &c in &s.grid {
+            binned = binned.checked_add(c).ok_or("phase: count overflow")?;
+        }
+        let mass = binned
+            .checked_add(s.out_of_range)
+            .ok_or("phase: count overflow")?;
+        if mass != s.pairs {
+            return Err("phase: pair mass mismatch");
+        }
+        match (s.first, s.last) {
+            (Some(_), Some(_)) => {}
+            (None, None) => {
+                if s.pairs != 0 {
+                    return Err("phase: pairs without records");
+                }
+            }
+            _ => return Err("phase: inconsistent boundary records"),
+        }
+        Ok(PhaseDensity {
+            lo: s.lo,
+            hi: s.hi,
+            bins: s.bins,
+            grid: s.grid,
+            pairs: s.pairs,
+            out_of_range: s.out_of_range,
+            first: s.first,
+            last: s.last,
+        })
     }
 
     /// Current summary.

@@ -25,6 +25,9 @@ use serde::{Deserialize, Serialize};
 const SUB_BITS: u32 = 7;
 /// Values below this are their own bucket (exact).
 const LINEAR_MAX: u64 = 1 << SUB_BITS; // 128
+/// The densest possible sketch: the linear range plus one group of
+/// `2^SUB_BITS` sub-buckets per remaining octave of the `u64` range.
+const MAX_BUCKETS: usize = LINEAR_MAX as usize + (64 - SUB_BITS as usize) * LINEAR_MAX as usize;
 
 /// Mergeable log-linear quantile sketch over `u64` samples (nanoseconds in
 /// this workspace). Memory is O(1): at most 7 424 buckets (≈58 KiB) cover
@@ -78,6 +81,32 @@ impl LogQuantileSketch {
     /// Number of samples recorded.
     pub fn total(&self) -> u64 {
         self.total
+    }
+
+    /// The raw bucket counts, for serialization. The total is always the
+    /// sum of the counts, so the counts alone round-trip a sketch exactly.
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Rebuild a sketch from raw bucket counts.
+    ///
+    /// Total: rejects (with overflow-checked summation) any counts vector
+    /// no sequence of `push`/`merge` calls could have produced — more
+    /// buckets than the layout has, or trailing empty buckets, which both
+    /// operations trim by construction.
+    pub fn from_counts(counts: Vec<u64>) -> Result<Self, &'static str> {
+        if counts.len() > MAX_BUCKETS {
+            return Err("sketch: more buckets than the layout has");
+        }
+        if counts.last() == Some(&0) {
+            return Err("sketch: trailing empty bucket");
+        }
+        let mut total = 0u64;
+        for &c in &counts {
+            total = total.checked_add(c).ok_or("sketch: count overflow")?;
+        }
+        Ok(LogQuantileSketch { counts, total })
     }
 
     /// Fold `other` into `self`. Exact and associative: bucket counts are

@@ -271,3 +271,136 @@ proptest! {
         prop_assert_eq!(streaming.std_dev(), batch.std_dev());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Snapshot wire format: round-trip and merge-commutation properties. The
+// codec itself lives in `probenet_wire::snapshot` (a dev-only dependency
+// here); these properties pin it against the live estimator types.
+// ---------------------------------------------------------------------------
+
+use probenet_stream::SessionKey;
+use probenet_wire::snapshot::SessionFrame;
+
+fn frame_of(rtts: &[Option<u64>], offset: usize, first_seq: u64) -> SessionFrame {
+    SessionFrame {
+        key: SessionKey::new("prop/session", 20, 1993),
+        first_seq,
+        records: rtts.len() as u64,
+        dropped: 0,
+        bank: bank_of(rtts, offset),
+        interim: Vec::new(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// `decode(encode(frame))` is the identity, bit-exactly: every
+    /// estimator's wire state (float accumulators compared through
+    /// `to_bits`-faithful `PartialEq`), a byte-identical re-encode, and an
+    /// identical re-rendered snapshot.
+    #[test]
+    fn frame_round_trip_is_bit_exact(rtts in rtts_strategy()) {
+        let frame = frame_of(&rtts, 0, 0);
+        let bytes = frame.encode();
+        let (decoded, used) = SessionFrame::decode(&bytes).expect("round-trip decodes");
+        prop_assert_eq!(used, bytes.len());
+        prop_assert_eq!(&decoded.key, &frame.key);
+        prop_assert_eq!(decoded.records, frame.records);
+        prop_assert_eq!(decoded.dropped, frame.dropped);
+        prop_assert_eq!(decoded.bank.wire_state(), frame.bank.wire_state());
+        prop_assert_eq!(decoded.encode(), bytes);
+        prop_assert_eq!(
+            serde_json::to_string(&decoded.bank.snapshot()).unwrap(),
+            serde_json::to_string(&frame.bank.snapshot()).unwrap()
+        );
+    }
+
+    /// Merging two banks that each made a wire round-trip is bit-identical
+    /// to merging the originals in memory — the fleet daemon's fold adds
+    /// no error beyond `EstimatorBank::merge` itself.
+    #[test]
+    fn merge_commutes_with_the_codec(rtts in rtts_strategy(), cut in 0usize..1000) {
+        let i = cut % (rtts.len() + 1);
+        let (da, _) = SessionFrame::decode(&frame_of(&rtts[..i], 0, 0).encode())
+            .expect("left shard decodes");
+        let (db, _) = SessionFrame::decode(&frame_of(&rtts[i..], i, i as u64).encode())
+            .expect("right shard decodes");
+        let mut wire = da.bank;
+        wire.merge(&db.bank);
+
+        let mut mem = bank_of(&rtts[..i], 0);
+        mem.merge(&bank_of(&rtts[i..], i));
+
+        prop_assert_eq!(wire.wire_state(), mem.wire_state());
+        prop_assert_eq!(
+            serde_json::to_string(&wire.snapshot()).unwrap(),
+            serde_json::to_string(&mem.snapshot()).unwrap()
+        );
+    }
+
+    /// Every per-estimator wire-state constructor inverts its accessor
+    /// exactly — rebuilt estimators report the same state they were built
+    /// from (the frame codec is a pure transport on top of these).
+    #[test]
+    fn estimator_wire_states_round_trip(rtts in rtts_strategy()) {
+        // Loss.
+        let mut loss = StreamingLoss::new();
+        for r in &rtts {
+            loss.push(r.is_none());
+        }
+        let ls = loss.wire_state();
+        let loss2 = StreamingLoss::from_wire_state(ls.clone()).expect("valid loss state");
+        prop_assert_eq!(loss2.wire_state(), ls);
+        prop_assert_eq!(
+            serde_json::to_string(&loss2.snapshot()).unwrap(),
+            serde_json::to_string(&loss.snapshot()).unwrap()
+        );
+
+        let delivered: Vec<u64> = rtts.iter().filter_map(|&r| r).collect();
+
+        // Sketch.
+        let mut sketch = LogQuantileSketch::new();
+        for &v in &delivered {
+            sketch.push(v);
+        }
+        let sketch2 = LogQuantileSketch::from_counts(sketch.counts().to_vec())
+            .expect("valid sketch counts");
+        prop_assert_eq!(&sketch2, &sketch);
+
+        // ACF ring.
+        let mut acf = WindowedAcf::new(64);
+        for &v in &delivered {
+            acf.push(v as f64 / 1e6);
+        }
+        let acf2 = WindowedAcf::from_samples(acf.window(), acf.evicted(), acf.samples().collect())
+            .expect("valid acf samples");
+        prop_assert_eq!(acf2.samples().collect::<Vec<_>>(), acf.samples().collect::<Vec<_>>());
+        prop_assert_eq!(acf2.evicted(), acf.evicted());
+        prop_assert_eq!(acf2.snapshot(20), acf.snapshot(20));
+
+        // Workload (Lindley recursion state).
+        let mut w = StreamingWorkload::new(20.0, 72, 1_000_000, 128_000.0, 100.0);
+        for &r in &rtts {
+            w.push(r);
+        }
+        let ws = w.wire_state();
+        let w2 = StreamingWorkload::from_wire_state(ws.clone()).expect("valid workload state");
+        prop_assert_eq!(w2.wire_state(), ws);
+        prop_assert_eq!(w2.mean_workload_bytes().to_bits(), w.mean_workload_bytes().to_bits());
+
+        // Moments.
+        let mut m = Moments::new();
+        for &v in &delivered {
+            m.push(v as f64 / 1e6);
+        }
+        let m2 = Moments::from_state(m.state()).expect("valid moments state");
+        prop_assert_eq!(m2.state(), m.state());
+
+        // The whole bank, through `BankWireState`.
+        let bank = bank_of(&rtts, 0);
+        let state = bank.wire_state();
+        let bank2 = EstimatorBank::from_wire_state(state.clone()).expect("valid bank state");
+        prop_assert_eq!(bank2.wire_state(), state);
+    }
+}

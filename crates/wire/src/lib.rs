@@ -9,6 +9,9 @@
 //!   enough to frame probe datagrams.
 //! * [`icmp`] — echo request/reply and time-exceeded messages (ping and
 //!   traceroute semantics).
+//! * [`snapshot`] — versioned, length-prefixed frames carrying one
+//!   collector session's complete estimator state between hosts, the
+//!   transport under the fleet merge daemon (`probenet-merged`).
 //!
 //! All decoders are total: arbitrary input bytes produce `Ok` or a
 //! [`WireError`], never a panic (property-tested).
@@ -26,6 +29,7 @@ pub mod error;
 pub mod icmp;
 pub mod ipv4;
 pub mod probe;
+pub mod snapshot;
 pub mod udp;
 
 pub use error::WireError;
@@ -33,5 +37,9 @@ pub use icmp::IcmpMessage;
 pub use ipv4::{internet_checksum, Ipv4Header, IPV4_HEADER_BYTES};
 pub use probe::{
     ProbePacket, Timestamp48, PROBE_MAGIC, PROBE_PAYLOAD_BYTES, PROBE_VERSION, PROBE_WIRE_BYTES,
+};
+pub use snapshot::{
+    decode_frames, SessionFrame, FRAME_HEADER_BYTES, FRAME_SESSION, SNAPSHOT_MAGIC,
+    SNAPSHOT_VERSION,
 };
 pub use udp::{UdpHeader, UDP_HEADER_BYTES};

@@ -131,8 +131,9 @@ keep per-shard partials and combine them in a canonical sequence.",
         explain: "\
 Wire codecs round-trip and golden artifacts are byte-compared; a lossy
 `value as u16` silently wraps out-of-range values instead of failing, and
-the corruption ships in the encoded bytes. In `crates/wire` and the
-report serialization files the rule flags `as u8/u16/u32/i8/i16/i32`.
+the corruption ships in the encoded bytes. In `crates/wire`, the merge
+daemon (`crates/merged`), and the report serialization files the rule
+flags `as u8/u16/u32/i8/i16/i32`.
 
 Fix: use the checked conversions —
 
@@ -209,7 +210,9 @@ fn file_name(path: &str) -> &str {
 }
 
 fn in_wire_crate(path: &str) -> bool {
-    path.contains("crates/wire/src")
+    // The merge daemon folds decoded wire state and re-renders byte-compared
+    // reports, so it is held to the same no-lossy-cast bar as the codecs.
+    path.contains("crates/wire/src") || path.contains("crates/merged/src")
 }
 
 fn is_serialization_file(path: &str) -> bool {

@@ -160,6 +160,18 @@ fn partition_merge_rule_ignores_single_partition_verbs() {
 }
 
 #[test]
+fn cast_rule_covers_the_merge_daemon() {
+    // The fleet merge daemon re-renders byte-compared reports from decoded
+    // wire state; it sits inside the rule's scope exactly like the codecs.
+    let hits = lint_as("crates/merged/src/lib.rs", "truncating_cast_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["truncating-cast-in-wire"],
+        "expected the truncating-cast rule to fire in crates/merged, got {hits:?}"
+    );
+}
+
+#[test]
 fn cast_rule_is_scoped_to_wire_and_report_files() {
     // The same lossy cast outside the wire/report scope is not this rule's
     // business (clippy::cast_possible_truncation covers it at warn level).
