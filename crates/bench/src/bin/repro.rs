@@ -51,6 +51,7 @@ struct Args {
     bless: bool,
     emit_frames: Option<String>,
     merge: Option<Vec<String>>,
+    mesh: bool,
 }
 
 fn parse_args() -> Args {
@@ -68,6 +69,7 @@ fn parse_args() -> Args {
         bless: false,
         emit_frames: None,
         merge: None,
+        mesh: false,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -97,6 +99,9 @@ fn parse_args() -> Args {
             continue;
         }
         match a.as_str() {
+            // `repro mesh [--check|--bless]` — the mesh campaign; takes no
+            // positional operands, trailing flags use the normal loop.
+            "mesh" => args.mesh = true,
             "--artifact" => args.artifact = it.next().expect("--artifact needs a value"),
             "--span-secs" => {
                 args.span_secs = it
@@ -130,6 +135,7 @@ fn parse_args() -> Args {
                      repro --impair <scenario|list> [--span-secs N] [--seed N] [--json] [--serial]\n\
                      repro --stream [--check | --bless] [--serial] [--emit-frames <prefix>]   (streaming-collector snapshots)\n\
                      repro merge <frames.bin>... [--check | --bless]   (fold collector frame files)\n\
+                     repro mesh [--check | --bless] [--serial]   (mesh campaign + per-link loss decomposition)\n\
                      repro --check | --bless   (verify / regenerate the golden traces in tests/golden/)\n\
                      repro --bench-gate   (fail if engine events/s regresses past tests/bench_baseline.json)"
                 );
@@ -1103,6 +1109,112 @@ fn merge_cmd(a: &Args, files: &[String]) -> i32 {
     0
 }
 
+/// `repro mesh`: run the golden mesh campaign — serially and on the
+/// pool, requiring byte-identical reports — and print the artifact,
+/// diff it against `tests/golden/mesh-report.json` (`--check`), or
+/// rewrite that golden (`--bless`).
+///
+/// Before touching the mesh golden, the degenerate contract is enforced:
+/// a 2-host mesh is the single-path pipeline, so the mesh crate's
+/// degenerate campaign over the streaming golden sessions must render
+/// byte-identically to the `--stream` report, and splitting it into
+/// [`GOLDEN_FRAME_SHARDS`] streams and folding them back through the
+/// merge daemon's incremental reader must reproduce it again, with the
+/// staging buffer bounded by the largest single frame.
+fn mesh_cmd(a: &Args) -> i32 {
+    use probenet_mesh::{DegenerateSpec, MeshReport, MeshSpec};
+
+    let threads = if a.serial {
+        1
+    } else {
+        probenet_core::sched::max_threads()
+    };
+
+    // Degenerate 2-host contract against the single-path pipeline.
+    let degenerate = probenet_mesh::degenerate_report(
+        &DegenerateSpec {
+            scenario: GOLDEN_SCENARIO.to_string(),
+            tasks: stream_session_tasks(),
+        },
+        threads,
+    );
+    let mut degenerate_json = degenerate.to_json();
+    degenerate_json.push('\n');
+    let mut single_path = stream_collector_report(1).to_json();
+    single_path.push('\n');
+    if degenerate_json != single_path {
+        println!("mesh: FAIL — degenerate campaign differs from the single-path --stream report");
+        return 1;
+    }
+    let (folded, peak) = match probenet_mesh::fold_through_daemon(&degenerate, GOLDEN_FRAME_SHARDS)
+    {
+        Ok(r) => r,
+        Err(e) => {
+            println!("mesh: FAIL — folding degenerate frames: {e}");
+            return 1;
+        }
+    };
+    let mut folded_json = folded.to_json();
+    folded_json.push('\n');
+    if folded_json != degenerate_json {
+        println!("mesh: FAIL — daemon fold of degenerate frames differs from its input");
+        return 1;
+    }
+    println!(
+        "mesh: degenerate 2-host campaign byte-identical to --stream \
+         (fold peak buffer {peak} bytes)"
+    );
+
+    // The mesh campaign proper, serial vs pooled.
+    let spec = MeshSpec::golden();
+    let serial = match MeshReport::generate(&spec, 1) {
+        Ok(r) => r.to_json(),
+        Err(e) => {
+            println!("mesh: FAIL — serial campaign: {e}");
+            return 1;
+        }
+    };
+    let pooled = match MeshReport::generate(&spec, threads) {
+        Ok(r) => r.to_json(),
+        Err(e) => {
+            println!("mesh: FAIL — pooled campaign: {e}");
+            return 1;
+        }
+    };
+    if serial != pooled {
+        println!("mesh: FAIL — pool({threads}) report differs from serial");
+        return 1;
+    }
+
+    let path = mesh_golden_path();
+    if a.bless {
+        std::fs::write(&path, serial.as_bytes()).expect("write mesh golden");
+        println!("mesh: blessed {path}");
+        return 0;
+    }
+    if a.check {
+        return match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == serial => {
+                println!("mesh: OK ({path})");
+                0
+            }
+            Ok(_) => {
+                println!(
+                    "mesh: MISMATCH against {path} — behavior drifted; \
+                     rerun with mesh --bless if the change is intended"
+                );
+                1
+            }
+            Err(e) => {
+                println!("mesh: cannot read {path}: {e}");
+                1
+            }
+        };
+    }
+    print!("{serial}");
+    0
+}
+
 /// `--check` / `--bless`: regenerate the golden reports for the pinned
 /// seeds — serially and on the pool — and diff them byte-for-byte against
 /// `tests/golden/` (or, under `--bless`, rewrite the checked-in files).
@@ -1145,6 +1257,9 @@ fn main() {
     let args = parse_args();
     if let Some(files) = args.merge.clone() {
         std::process::exit(merge_cmd(&args, &files));
+    }
+    if args.mesh {
+        std::process::exit(mesh_cmd(&args));
     }
     if args.stream {
         std::process::exit(stream_cmd(&args));

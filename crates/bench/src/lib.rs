@@ -288,6 +288,12 @@ pub fn stream_frames_path(shard: usize) -> String {
     format!("{}/stream-frames-c{shard}.bin", golden_dir())
 }
 
+/// Path of the checked-in mesh-campaign artifact (`repro mesh`): the
+/// [`probenet_mesh::MeshReport`] of `MeshSpec::golden()`.
+pub fn mesh_golden_path() -> String {
+    format!("{}/mesh-report.json", golden_dir())
+}
+
 /// The streaming golden sessions: every `(seed, δ, span)` combination of
 /// [`GOLDEN_SEEDS`] × [`GOLDEN_SLICES`] over [`GOLDEN_SCENARIO`].
 pub fn stream_session_tasks() -> Vec<(u64, u64, u64)> {

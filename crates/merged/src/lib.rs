@@ -29,6 +29,27 @@
 //! map, and same-key shards are sorted by `first_seq` before folding, so
 //! any arrival interleaving (file order, socket accept order) produces
 //! the same report.
+//!
+//! ## Shard disjointness
+//!
+//! Same-key shards must cover *disjoint* sequence ranges
+//! `[first_seq, first_seq + records)`: the fold sums loss and transition
+//! counters, so a record folded by two shards would be double-counted
+//! silently. [`MergeService::into_report`] rejects both duplicate starts
+//! ([`MergeError::AmbiguousShardOrder`]) and any overlap between
+//! consecutive ranges ([`MergeError::OverlappingShards`]); see DESIGN.md
+//! §14 for the contract.
+//!
+//! ## Bounded ingest
+//!
+//! [`MergeService::ingest_reader`] decodes streams *incrementally*, frame
+//! by frame: the staging buffer holds at most one partially-received
+//! frame (plus one read chunk), never a whole connection. A slow or huge
+//! collector therefore costs the daemon memory proportional to its
+//! largest single frame — not its stream length — and frames fold as
+//! they arrive instead of after EOF. Frames claiming more than
+//! [`MAX_FRAME_BYTES`] are rejected with [`MergeError::FrameTooLarge`]
+//! before any buffering.
 
 use std::collections::BTreeMap;
 use std::fmt;
@@ -38,8 +59,17 @@ use std::path::Path;
 use std::sync::mpsc::Receiver;
 
 use probenet_stream::{CollectorReport, SessionKey, SessionReport};
-use probenet_wire::snapshot::SessionFrame;
+use probenet_wire::snapshot::{frame_len, SessionFrame, FRAME_HEADER_BYTES};
 use probenet_wire::WireError;
+
+/// Bytes pulled from a transport per read in the incremental ingest loop.
+pub const INGEST_CHUNK: usize = 8 * 1024;
+
+/// Upper bound on a single frame's on-wire size. A frame holds one
+/// session's fixed-size estimator state (a few tens of KiB), so anything
+/// near this limit is a corrupt or hostile length field — reject it
+/// before buffering rather than allocating what the header claims.
+pub const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 
 /// Errors raised while ingesting or folding collector frames.
 #[derive(Debug)]
@@ -67,6 +97,22 @@ pub enum MergeError {
         /// The session whose counters overflowed.
         key: String,
     },
+    /// Two shards of one session cover overlapping sequence ranges, so
+    /// the overlapped records would be double-counted by the fold (see
+    /// the shard-disjointness contract, DESIGN.md §14).
+    OverlappingShards {
+        /// The session with overlapping shards.
+        key: String,
+        /// First sequence of the later-starting shard.
+        first_seq: u64,
+        /// One past the last sequence claimed by the earlier shard.
+        prev_end: u64,
+    },
+    /// A frame header claims a payload larger than [`MAX_FRAME_BYTES`].
+    FrameTooLarge {
+        /// On-wire frame size claimed by the header.
+        bytes: usize,
+    },
 }
 
 impl fmt::Display for MergeError {
@@ -82,6 +128,23 @@ impl fmt::Display for MergeError {
             }
             MergeError::CountOverflow { key } => {
                 write!(f, "session {key}: record counters overflow")
+            }
+            MergeError::OverlappingShards {
+                key,
+                first_seq,
+                prev_end,
+            } => {
+                write!(
+                    f,
+                    "session {key}: shard starting at seq {first_seq} overlaps \
+                     the previous shard (which runs to seq {prev_end})"
+                )
+            }
+            MergeError::FrameTooLarge { bytes } => {
+                write!(
+                    f,
+                    "frame claims {bytes} bytes, over the {MAX_FRAME_BYTES}-byte limit"
+                )
             }
         }
     }
@@ -107,6 +170,7 @@ impl From<std::io::Error> for MergeError {
 pub struct MergeService {
     sessions: BTreeMap<SessionKey, Vec<SessionFrame>>,
     frames: u64,
+    peak_buffer: usize,
 }
 
 impl MergeService {
@@ -118,6 +182,14 @@ impl MergeService {
     /// Frames ingested so far.
     pub fn frames(&self) -> u64 {
         self.frames
+    }
+
+    /// High-water mark, in bytes, of the incremental ingest staging
+    /// buffer across every [`ingest_reader`](Self::ingest_reader) call so
+    /// far. Bounded by the largest single frame on any stream plus one
+    /// read chunk ([`INGEST_CHUNK`]) — the regression suite pins this.
+    pub fn peak_buffer_bytes(&self) -> usize {
+        self.peak_buffer
     }
 
     /// Add one already-decoded frame.
@@ -140,11 +212,51 @@ impl MergeService {
         Ok(n)
     }
 
-    /// Read a transport to EOF and ingest its frame stream.
+    /// Read a transport to EOF, decoding and folding frames *as they
+    /// arrive*: the staging buffer never holds more than one complete
+    /// frame plus a partial read ([`INGEST_CHUNK`] granularity), so a
+    /// slow or huge collector cannot pin a whole connection in memory.
+    /// A stream ending mid-frame is a typed decode error, and a header
+    /// claiming more than [`MAX_FRAME_BYTES`] is rejected before the
+    /// payload is buffered.
     pub fn ingest_reader<R: Read>(&mut self, reader: &mut R) -> Result<usize, MergeError> {
-        let mut buf = Vec::new();
-        reader.read_to_end(&mut buf)?;
-        self.ingest_bytes(&buf)
+        let mut buf: Vec<u8> = Vec::new();
+        let mut chunk = [0u8; INGEST_CHUNK];
+        let mut ingested = 0usize;
+        loop {
+            let got = reader.read(&mut chunk)?;
+            if got == 0 {
+                // EOF. Anything left over is a frame the sender never
+                // finished — surface it as a truncation, not silence.
+                if !buf.is_empty() {
+                    let needed = match frame_len(&buf)? {
+                        Some(total) => total,
+                        None => FRAME_HEADER_BYTES,
+                    };
+                    return Err(MergeError::Wire(WireError::Truncated {
+                        needed,
+                        got: buf.len(),
+                    }));
+                }
+                return Ok(ingested);
+            }
+            buf.extend_from_slice(&chunk[..got]);
+            self.peak_buffer = self.peak_buffer.max(buf.len());
+            // Drain every complete frame before reading more, so the
+            // buffer shrinks back to the (possibly partial) tail.
+            while let Some(total) = frame_len(&buf)? {
+                if total > MAX_FRAME_BYTES {
+                    return Err(MergeError::FrameTooLarge { bytes: total });
+                }
+                if buf.len() < total {
+                    break;
+                }
+                let (frame, used) = SessionFrame::decode(&buf)?;
+                self.ingest_frame(frame);
+                ingested += 1;
+                buf.drain(..used);
+            }
+        }
     }
 
     /// Fold everything into the fleet-wide report: sessions in ascending
@@ -159,6 +271,17 @@ impl MergeService {
                     return Err(MergeError::AmbiguousShardOrder {
                         key: key.to_string(),
                         first_seq: pair[0].first_seq,
+                    });
+                }
+                // Disjointness: the earlier shard's range must end at or
+                // before the later one starts, else its tail records are
+                // folded twice (DESIGN.md §14).
+                let prev_end = pair[0].first_seq.saturating_add(pair[0].records);
+                if pair[1].first_seq < prev_end {
+                    return Err(MergeError::OverlappingShards {
+                        key: key.to_string(),
+                        first_seq: pair[1].first_seq,
+                        prev_end,
                     });
                 }
             }
@@ -280,6 +403,8 @@ mod tests {
             dropped: 0,
             bank: bank_over(range, seed),
             interim: Vec::new(),
+            hops: Vec::new(),
+            extensions: Vec::new(),
         }
     }
 
@@ -347,6 +472,127 @@ mod tests {
         assert!(matches!(
             svc.into_report(),
             Err(MergeError::ConfigMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn overlapping_shard_ranges_are_rejected() {
+        // [0, 120) and [100, 200) share seqs 100..120 — folding both
+        // would double-count those records.
+        let mut svc = MergeService::new();
+        svc.ingest_frame(frame("overlap", 5, 0..120));
+        svc.ingest_frame(frame("overlap", 5, 100..200));
+        match svc.into_report() {
+            Err(MergeError::OverlappingShards {
+                key,
+                first_seq,
+                prev_end,
+            }) => {
+                assert!(key.contains("overlap"));
+                assert_eq!(first_seq, 100);
+                assert_eq!(prev_end, 120);
+            }
+            Err(other) => panic!("expected OverlappingShards, got {other}"),
+            Ok(_) => panic!("expected OverlappingShards, fold succeeded"),
+        }
+    }
+
+    #[test]
+    fn adjacent_shard_ranges_are_accepted() {
+        // [0, 120) then [120, 200): touching but disjoint — the common
+        // case for a session split across collectors.
+        let mut svc = MergeService::new();
+        svc.ingest_frame(frame("adjacent", 5, 0..120));
+        svc.ingest_frame(frame("adjacent", 5, 120..200));
+        let report = svc.into_report().expect("disjoint shards fold");
+        assert_eq!(report.sessions[0].records, 200);
+    }
+
+    /// The ingest_reader regression: a writer trickling frames over TCP
+    /// in tiny flushed chunks must (a) produce the same report as a
+    /// one-shot ingest and (b) never grow the staging buffer past the
+    /// largest single frame plus one read chunk — the bounded-memory
+    /// guarantee the incremental decode loop exists for.
+    #[test]
+    fn trickled_tcp_stream_folds_with_bounded_buffer() {
+        use std::io::Write;
+        use std::net::TcpStream;
+
+        let frames = [
+            frame("trickle", 1, 0..150),
+            frame("trickle", 1, 150..400),
+            frame("trickle2", 2, 0..300),
+        ];
+        let mut stream_bytes = Vec::new();
+        let mut max_frame = 0usize;
+        for f in &frames {
+            let enc = f.encode();
+            max_frame = max_frame.max(enc.len());
+            stream_bytes.extend_from_slice(&enc);
+        }
+
+        let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+        let addr = listener.local_addr().expect("addr");
+        let to_send = stream_bytes.clone();
+        let writer = std::thread::spawn(move || {
+            let mut conn = TcpStream::connect(addr).expect("connect");
+            // 7-byte chunks: every frame arrives split across many reads,
+            // and most reads end mid-frame.
+            for piece in to_send.chunks(7) {
+                conn.write_all(piece).expect("write");
+                conn.flush().expect("flush");
+                std::thread::yield_now();
+            }
+        });
+
+        let mut svc = MergeService::new();
+        let (mut conn, _) = listener.accept().expect("accept");
+        let n = svc.ingest_reader(&mut conn).expect("incremental ingest");
+        writer.join().expect("writer");
+        assert_eq!(n, frames.len());
+        assert!(
+            svc.peak_buffer_bytes() <= max_frame + INGEST_CHUNK,
+            "peak buffer {} exceeds one frame ({max_frame}) + one chunk ({INGEST_CHUNK})",
+            svc.peak_buffer_bytes()
+        );
+
+        let incremental = svc.into_report().expect("fold");
+        let mut direct = MergeService::new();
+        direct.ingest_bytes(&stream_bytes).expect("one-shot ingest");
+        assert_eq!(
+            incremental.to_json(),
+            direct.into_report().expect("fold").to_json(),
+            "incremental and one-shot ingest must agree byte-for-byte"
+        );
+    }
+
+    #[test]
+    fn stream_ending_mid_frame_is_a_typed_truncation() {
+        let enc = frame("cut", 3, 0..80).encode();
+        // Cut inside the payload, past the header.
+        let mut cursor = std::io::Cursor::new(enc[..enc.len() - 5].to_vec());
+        let mut svc = MergeService::new();
+        match svc.ingest_reader(&mut cursor) {
+            Err(MergeError::Wire(WireError::Truncated { needed, got })) => {
+                assert_eq!(needed, enc.len());
+                assert_eq!(got, enc.len() - 5);
+            }
+            Err(other) => panic!("expected Truncated, got {other}"),
+            Ok(_) => panic!("expected Truncated, ingest succeeded"),
+        }
+    }
+
+    #[test]
+    fn oversized_frame_header_is_rejected_before_buffering() {
+        // A valid header whose length field claims > MAX_FRAME_BYTES.
+        let mut bytes = frame("huge", 4, 0..10).encode();
+        let claimed = u32::try_from(MAX_FRAME_BYTES + 1).expect("fits");
+        bytes[6..10].copy_from_slice(&claimed.to_be_bytes());
+        let mut cursor = std::io::Cursor::new(bytes);
+        let mut svc = MergeService::new();
+        assert!(matches!(
+            svc.ingest_reader(&mut cursor),
+            Err(MergeError::FrameTooLarge { .. })
         ));
     }
 

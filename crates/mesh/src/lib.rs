@@ -1,0 +1,29 @@
+//! Probe-mesh campaigns: shared-link topologies, the O(N²) probing
+//! fleet, and per-link loss tomography.
+//!
+//! Bolot's experiment measured one path. This crate scales the same
+//! pipeline out to a *mesh*: [`topology`] generates a deterministic
+//! N-host graph whose probe paths share backbone links (each pair's
+//! route is still the linear `Path` the simulator runs — extracted from
+//! the graph by `MeshTopology::path_between`); [`campaign`] runs one
+//! collector per vantage host, ships every host's snapshot-frame stream
+//! (with v2 per-hop annotations) through the merge daemon's incremental
+//! reader, and decomposes end-to-end loss and queueing delay onto the
+//! shared links; [`tomography`] is the decomposition itself, validated
+//! against the simulator's ground-truth per-link drop counters.
+//!
+//! A 2-host mesh degenerates to exactly the single-path pipeline:
+//! [`campaign::degenerate_report`] reproduces the `--stream` golden
+//! artifact byte for byte (the differential suite pins this at several
+//! thread counts).
+
+pub mod campaign;
+pub mod tomography;
+pub mod topology;
+
+pub use campaign::{
+    degenerate_report, fold_through_daemon, DegenerateSpec, LinkRow, MeshReport, MeshRun, PathRow,
+    TOLERANCE_ABS, TOLERANCE_RATE, TOLERANCE_REL,
+};
+pub use tomography::{attribute_losses, infer_link_exponents, rate_from_exponent, PathObservation};
+pub use topology::{splitmix64, LinkKind, MeshLink, MeshSpec, MeshTopology};

@@ -1,0 +1,201 @@
+//! Per-link loss tomography from end-to-end path measurements.
+//!
+//! Each probe path `p` reports only its end-to-end survival
+//! `received_p / sent_p`. Under independent per-link loss, the log
+//! survival decomposes additively over the links the path traverses:
+//!
+//! ```text
+//! -ln(received_p / sent_p) ≈ Σ_{l ∈ p} t_{p,l} · x_l
+//! ```
+//!
+//! where `x_l = -ln(1 - q_l)` is link `l`'s per-traversal loss exponent
+//! and `t_{p,l}` its traversal count on the round trip (2 for every
+//! mesh link: out and back). Solving the overdetermined system for
+//! `x ≥ 0` — non-negative least squares via exact coordinate descent in
+//! fixed link order, a fixed sweep count, so the result is
+//! deterministic — recovers per-link loss rates from purely end-to-end
+//! observations; the simulator's ground-truth drop counters validate
+//! them (DESIGN.md §15).
+
+/// One path's end-to-end loss observation.
+#[derive(Debug, Clone)]
+pub struct PathObservation {
+    /// Probes sent.
+    pub sent: u64,
+    /// Probes delivered.
+    pub received: u64,
+    /// Global link ids this path traverses (each crossed out and back).
+    pub link_ids: Vec<u32>,
+}
+
+impl PathObservation {
+    /// The path's log-survival measurement `b_p`. With zero deliveries
+    /// the log diverges, so the count is clamped to half a probe — the
+    /// standard continuity correction, keeping `b_p` finite and the
+    /// solver total.
+    pub fn log_loss(&self) -> f64 {
+        if self.sent == 0 {
+            return 0.0;
+        }
+        let received = if self.received == 0 {
+            0.5
+        } else {
+            self.received as f64
+        };
+        -(received / self.sent as f64).ln()
+    }
+
+    /// Probes lost end to end.
+    pub fn lost(&self) -> u64 {
+        self.sent.saturating_sub(self.received)
+    }
+}
+
+/// Traversals of one link on one round trip: out and back.
+const TRAVERSALS: f64 = 2.0;
+
+/// Coordinate-descent sweeps. The normal-equations update is exact per
+/// coordinate, so small systems (tens of links) converge to machine
+/// precision well before this; fixing the count keeps the output
+/// deterministic rather than tolerance-dependent.
+const SWEEPS: usize = 200;
+
+/// Infer per-traversal loss exponents `x_l ≥ 0` for `n_links` links
+/// from the path observations. Links no path traverses stay 0.
+pub fn infer_link_exponents(paths: &[PathObservation], n_links: usize) -> Vec<f64> {
+    let b: Vec<f64> = paths.iter().map(PathObservation::log_loss).collect();
+    // a[p][l] = traversal count of link l on path p.
+    let coeff = |p: &PathObservation, l: usize| -> f64 {
+        let l = u32::try_from(l).expect("link index fits u32");
+        if p.link_ids.contains(&l) {
+            TRAVERSALS
+        } else {
+            0.0
+        }
+    };
+    let mut x = vec![0.0f64; n_links];
+    for _ in 0..SWEEPS {
+        for l in 0..n_links {
+            let mut num = 0.0;
+            let mut den = 0.0;
+            for (p, &bp) in paths.iter().zip(&b) {
+                let a_pl = coeff(p, l);
+                if a_pl == 0.0 {
+                    continue;
+                }
+                let rest: f64 = p
+                    .link_ids
+                    .iter()
+                    .map(|&m| {
+                        let m = m as usize;
+                        if m == l {
+                            0.0
+                        } else {
+                            TRAVERSALS * x[m]
+                        }
+                    })
+                    .sum();
+                num += a_pl * (bp - rest);
+                den += a_pl * a_pl;
+            }
+            if den > 0.0 {
+                x[l] = (num / den).max(0.0);
+            }
+        }
+    }
+    x
+}
+
+/// Per-traversal loss rate implied by exponent `x`: `1 - e^{-x}`.
+pub fn rate_from_exponent(x: f64) -> f64 {
+    1.0 - (-x).exp()
+}
+
+/// Attribute each path's end-to-end losses to the links it traverses,
+/// proportionally to the inferred exponents. Each row sums back to the
+/// path's `lost()` **by construction** (even split when every inferred
+/// exponent on the path is zero) — the conservation law the property
+/// suite pins.
+pub fn attribute_losses(paths: &[PathObservation], exponents: &[f64]) -> Vec<Vec<f64>> {
+    paths
+        .iter()
+        .map(|p| {
+            let lost = p.lost() as f64;
+            let weights: Vec<f64> = p
+                .link_ids
+                .iter()
+                .map(|&l| exponents.get(l as usize).copied().unwrap_or(0.0))
+                .collect();
+            let total: f64 = weights.iter().sum();
+            if total > 0.0 {
+                weights.iter().map(|w| lost * w / total).collect()
+            } else {
+                // No signal to split on: spread evenly so the row still
+                // conserves the path's losses.
+                let n = weights.len().max(1) as f64;
+                weights.iter().map(|_| lost / n).collect()
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(sent: u64, received: u64, links: &[u32]) -> PathObservation {
+        PathObservation {
+            sent,
+            received,
+            link_ids: links.to_vec(),
+        }
+    }
+
+    #[test]
+    fn single_link_rate_recovers_exactly() {
+        // One path over one link, 10% round-trip loss: per-traversal
+        // exponent x with 2x = -ln(0.9).
+        let paths = [obs(1000, 900, &[0])];
+        let x = infer_link_exponents(&paths, 1);
+        let expected = -(0.9f64).ln() / 2.0;
+        assert!((x[0] - expected).abs() < 1e-12, "{} vs {expected}", x[0]);
+    }
+
+    #[test]
+    fn shared_link_is_separated_from_private_links() {
+        // Three links: paths {0,2} and {1,2} share link 2. Synthesize
+        // exact survival probabilities from known exponents and check
+        // the solver recovers them.
+        let (x0, x1, x2) = (0.01f64, 0.03, 0.02);
+        let surv = |xs: &[f64]| (-2.0 * xs.iter().sum::<f64>()).exp();
+        let sent = 1_000_000u64;
+        let rec = |s: f64| (sent as f64 * s).round() as u64;
+        let paths = [
+            obs(sent, rec(surv(&[x0, x2])), &[0, 2]),
+            obs(sent, rec(surv(&[x1, x2])), &[1, 2]),
+            obs(sent, rec(surv(&[x0, x1])), &[0, 1]),
+        ];
+        let x = infer_link_exponents(&paths, 3);
+        for (got, want) in x.iter().zip([x0, x1, x2]) {
+            assert!((got - want).abs() < 1e-4, "{got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn attribution_conserves_path_losses() {
+        let paths = [obs(500, 450, &[0, 1]), obs(500, 500, &[1, 2])];
+        let x = infer_link_exponents(&paths, 3);
+        let attributed = attribute_losses(&paths, &x);
+        for (p, row) in paths.iter().zip(&attributed) {
+            let sum: f64 = row.iter().sum();
+            assert!((sum - p.lost() as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn zero_deliveries_stay_finite() {
+        let paths = [obs(100, 0, &[0])];
+        let x = infer_link_exponents(&paths, 1);
+        assert!(x[0].is_finite() && x[0] > 0.0);
+    }
+}

@@ -1,0 +1,53 @@
+//! End-to-end mesh campaign checks: determinism across thread counts,
+//! tomography-vs-ground-truth tolerance, and the bounded-ingest
+//! invariant on the fleet fold.
+
+use probenet_mesh::{campaign::run_campaign, MeshReport, MeshSpec};
+
+#[test]
+fn golden_campaign_is_byte_identical_across_thread_counts() {
+    let spec = MeshSpec::golden();
+    let serial = MeshReport::generate(&spec, 1).expect("serial campaign");
+    let pooled = MeshReport::generate(&spec, 4).expect("pooled campaign");
+    assert_eq!(
+        serial.to_json(),
+        pooled.to_json(),
+        "mesh report must not depend on the worker pool size"
+    );
+}
+
+#[test]
+fn golden_campaign_attribution_matches_ground_truth() {
+    let report = MeshReport::generate(&MeshSpec::golden(), 4).expect("campaign");
+    assert!(
+        report.all_links_within_tolerance,
+        "per-link attribution strayed from ground truth:\n{}",
+        report.to_json()
+    );
+    // Attribution conserves end-to-end losses path by path.
+    for path in &report.paths {
+        let sum: f64 = path.attributed.iter().sum();
+        assert!(
+            (sum - path.lost as f64).abs() < 1e-9,
+            "path {} attribution {} != lost {}",
+            path.key,
+            sum,
+            path.lost
+        );
+    }
+    // All 15 pairs folded into the fleet report.
+    assert_eq!(report.fleet_sessions, 15);
+}
+
+#[test]
+fn fleet_fold_buffer_is_bounded_by_the_largest_frame() {
+    let spec = MeshSpec::golden();
+    let run = run_campaign(&spec, 4).expect("campaign");
+    assert!(run.max_frame_bytes > 0);
+    assert!(
+        run.ingest_peak_buffer_bytes <= run.max_frame_bytes + probenet_merged::INGEST_CHUNK,
+        "peak {} exceeds largest frame {} + one read chunk",
+        run.ingest_peak_buffer_bytes,
+        run.max_frame_bytes
+    );
+}

@@ -1,0 +1,72 @@
+//! Property suite for the loss tomography: whatever the observations,
+//! per-link attributed loss must sum back to each path's end-to-end
+//! loss, and the solver must stay finite and non-negative.
+
+use probenet_mesh::{attribute_losses, infer_link_exponents, PathObservation};
+use proptest::prelude::*;
+
+/// A random path over up to `n_links` links: strictly increasing link
+/// ids (a path never crosses a link twice in the mesh model) and a
+/// sent/received pair with `received <= sent`.
+fn arb_path(n_links: u32) -> impl Strategy<Value = PathObservation> {
+    // The vendored proptest stand-in has no flat_map or set strategies:
+    // draw raw material and derive the invariants in one map instead.
+    (
+        proptest::collection::vec(0..n_links, 1..5),
+        1..5_000u64,
+        0..1_000_000u64,
+    )
+        .prop_map(|(mut ids, sent, received_raw)| {
+            ids.sort_unstable();
+            ids.dedup();
+            PathObservation {
+                sent,
+                received: received_raw % (sent + 1),
+                link_ids: ids,
+            }
+        })
+}
+
+proptest! {
+    /// Conservation: every attribution row sums to its path's losses,
+    /// exactly (up to float round-off), no matter how pathological the
+    /// observations are.
+    #[test]
+    fn attribution_conserves_end_to_end_loss(
+        paths in proptest::collection::vec(arb_path(8), 1..12)
+    ) {
+        let exponents = infer_link_exponents(&paths, 8);
+        let rows = attribute_losses(&paths, &exponents);
+        prop_assert_eq!(rows.len(), paths.len());
+        for (p, row) in paths.iter().zip(&rows) {
+            prop_assert_eq!(row.len(), p.link_ids.len());
+            let sum: f64 = row.iter().sum();
+            let lost = p.lost() as f64;
+            prop_assert!(
+                (sum - lost).abs() <= 1e-9 * lost.max(1.0),
+                "row sums to {} for {} lost", sum, lost
+            );
+            for &a in row {
+                prop_assert!(a >= 0.0 && a.is_finite());
+            }
+        }
+    }
+
+    /// The solver itself never leaves the feasible region: exponents
+    /// are finite and non-negative, and links no path crosses stay 0.
+    #[test]
+    fn inferred_exponents_stay_feasible(
+        paths in proptest::collection::vec(arb_path(8), 1..12)
+    ) {
+        let exponents = infer_link_exponents(&paths, 8);
+        prop_assert_eq!(exponents.len(), 8);
+        let crossed: std::collections::BTreeSet<u32> =
+            paths.iter().flat_map(|p| p.link_ids.iter().copied()).collect();
+        for (l, &x) in exponents.iter().enumerate() {
+            prop_assert!(x >= 0.0 && x.is_finite());
+            if !crossed.contains(&u32::try_from(l).expect("fits")) {
+                prop_assert_eq!(x, 0.0);
+            }
+        }
+    }
+}

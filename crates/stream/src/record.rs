@@ -43,6 +43,18 @@ impl SessionKey {
         }
     }
 
+    /// A mesh shard key: `(src, dst, δ, seed)`, with the vantage pair
+    /// embedded in the path component as `mesh/hSS->hDD`. Every vantage
+    /// host of a mesh campaign shards its sessions under these keys, so
+    /// fleet-merged reports sort pairs lexicographically per mesh.
+    pub fn mesh(mesh: impl Into<String>, src: usize, dst: usize, delta_ms: u64, seed: u64) -> Self {
+        SessionKey::new(
+            format!("{}/h{src:02}->h{dst:02}", mesh.into()),
+            delta_ms,
+            seed,
+        )
+    }
+
     /// δ in milliseconds (lossless for millisecond-grained intervals).
     pub fn delta_ms(&self) -> f64 {
         self.delta_ns as f64 / 1e6

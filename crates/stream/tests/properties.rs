@@ -289,6 +289,8 @@ fn frame_of(rtts: &[Option<u64>], offset: usize, first_seq: u64) -> SessionFrame
         dropped: 0,
         bank: bank_of(rtts, offset),
         interim: Vec::new(),
+        hops: Vec::new(),
+        extensions: Vec::new(),
     }
 }
 

@@ -21,8 +21,21 @@
 //! `len` bytes — in ascending tag order. Decoders **skip unknown tags**
 //! (forward compatibility: a newer writer may append sections), reject
 //! duplicate or truncated known sections, and require every section a
-//! version-1 bank needs. Floats travel as IEEE-754 bit patterns
+//! version-1 bank needs. Skipped sections are not dropped: they are kept
+//! verbatim, in encounter order, in [`SessionFrame::extensions`] and
+//! re-emitted by [`SessionFrame::encode`] after every known section —
+//! since writers append sections in ascending tag order, an
+//! unknown-section frame re-encodes byte-identically, so an older relay
+//! can forward newer frames without destroying data it cannot parse.
+//! Floats travel as IEEE-754 bit patterns
 //! (`f64::to_bits`), so encode∘decode is bit-exact, `±∞` included.
+//!
+//! The version byte is reserved for *incompatible* layout changes (a v1
+//! reader rejects any other version outright); additive evolution happens
+//! on the tag axis. The first such addition is the per-hop annotation
+//! section ([`TAG_HOPS`], carrying [`HopAnnotation`] rows from the mesh
+//! campaign), which a reader predating it skips via the unknown-tag path
+//! — `crates/wire/tests/snapshot_compat.rs` proves that skip byte-exact.
 //!
 //! All decoders are total: arbitrary bytes produce `Ok` or a typed
 //! [`WireError`], never a panic — and stronger, any frame that decodes
@@ -50,6 +63,16 @@ pub const FRAME_SESSION: u8 = 1;
 /// Fixed frame header size: magic, version, type, payload length.
 pub const FRAME_HEADER_BYTES: usize = 10;
 
+/// Per-hop annotation section: one [`HopAnnotation`] row per link of the
+/// probed path. The newest tag — readers predating it treat it as an
+/// unknown section and carry it through untouched.
+pub const TAG_HOPS: u8 = 11;
+
+/// Highest section tag the original version-1 reader parsed. Passing this
+/// to [`SessionFrame::decode_with_max_tag`] reproduces that reader
+/// exactly: every later tag takes the unknown-section path.
+pub const MAX_TAG_V1: u8 = 10;
+
 const TAG_SESSION_META: u8 = 1;
 const TAG_CONFIG: u8 = 2;
 const TAG_LOSS: u8 = 3;
@@ -60,6 +83,19 @@ const TAG_ACF: u8 = 7;
 const TAG_WORKLOAD: u8 = 8;
 const TAG_PHASE: u8 = 9;
 const TAG_INTERIM: u8 = 10;
+
+/// What one probe session observed at one hop of its path: the mesh
+/// campaign's per-link ground truth, shipped next to the end-to-end bank
+/// so the fleet fold can cross-check its tomography estimates.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HopAnnotation {
+    /// Stable link id within the campaign's topology.
+    pub link: u32,
+    /// Human-readable link name (topology-assigned).
+    pub name: String,
+    /// Probe packets this session lost at this hop (either direction).
+    pub probe_drops: u64,
+}
 
 /// One collector session's state, as shipped between hosts.
 #[derive(Debug, Clone)]
@@ -78,6 +114,15 @@ pub struct SessionFrame {
     pub bank: EstimatorBank,
     /// Interim snapshots taken mid-stream (cannot be recomputed).
     pub interim: Vec<InterimSnapshot>,
+    /// Per-hop annotations ([`TAG_HOPS`]); empty for single-path
+    /// collectors, so their frames encode exactly as version-1 readers
+    /// expect.
+    pub hops: Vec<HopAnnotation>,
+    /// Sections this reader did not recognize, verbatim `(tag, body)` in
+    /// encounter order. [`SessionFrame::encode`] re-emits them after every
+    /// known section, so decode∘encode preserves a newer writer's frame
+    /// byte-for-byte.
+    pub extensions: Vec<(u8, Vec<u8>)>,
 }
 
 impl SessionFrame {
@@ -91,6 +136,8 @@ impl SessionFrame {
             dropped: report.dropped,
             bank: report.bank.clone(),
             interim: report.interim.clone(),
+            hops: Vec::new(),
+            extensions: Vec::new(),
         }
     }
 
@@ -199,6 +246,26 @@ impl SessionFrame {
                 put_bytes(out, json.as_bytes());
             }
         });
+        // Emitted only when present, so a hop-less frame is byte-identical
+        // to what the original version-1 writer produced (pinned by the
+        // checked-in frame shards).
+        if !self.hops.is_empty() {
+            section(&mut payload, TAG_HOPS, |out| {
+                put_len(out, self.hops.len());
+                for h in &self.hops {
+                    put_u32(out, h.link);
+                    put_bytes(out, h.name.as_bytes());
+                    put_u64(out, h.probe_drops);
+                }
+            });
+        }
+        // Carry-through: sections from a newer writer, re-emitted verbatim.
+        // Writers append new sections in ascending tag order, so replaying
+        // them after the known sections reproduces the original payload.
+        for (tag, body) in &self.extensions {
+            payload.push(*tag);
+            put_bytes(&mut payload, body);
+        }
 
         let mut frame = Vec::with_capacity(FRAME_HEADER_BYTES + payload.len());
         put_u32(&mut frame, SNAPSHOT_MAGIC);
@@ -212,6 +279,17 @@ impl SessionFrame {
     /// Decode one frame from the head of `data`; returns the frame and the
     /// bytes consumed (trailing bytes are the next frame of a stream).
     pub fn decode(data: &[u8]) -> Result<(Self, usize), WireError> {
+        Self::decode_with_max_tag(data, TAG_HOPS)
+    }
+
+    /// [`SessionFrame::decode`] as a reader that only knows section tags
+    /// `<= max_tag` would perform it: later tags take the unknown-section
+    /// path into [`SessionFrame::extensions`]. `decode(..)` is
+    /// `decode_with_max_tag(.., TAG_HOPS)`; passing [`MAX_TAG_V1`]
+    /// reproduces the original version-1 reader exactly — the
+    /// forward-compat proof suite uses this to show an old reader skips a
+    /// newer frame's sections byte-exactly.
+    pub fn decode_with_max_tag(data: &[u8], max_tag: u8) -> Result<(Self, usize), WireError> {
         let mut r = Reader::new(data);
         let magic = r.u32()?;
         if magic != SNAPSHOT_MAGIC {
@@ -227,9 +305,36 @@ impl SessionFrame {
         }
         let payload_len = r.len()?;
         let payload = r.take(payload_len)?;
-        let frame = decode_payload(payload)?;
+        let frame = decode_payload(payload, max_tag)?;
         Ok((frame, FRAME_HEADER_BYTES + payload_len))
     }
+}
+
+/// On-wire length of the frame starting at `data[0]`, if the fixed header
+/// is complete: `Ok(None)` with fewer than [`FRAME_HEADER_BYTES`] bytes
+/// buffered, otherwise header bytes plus the payload length. Magic,
+/// version and frame type are validated eagerly, so an incremental reader
+/// (the merge daemon's bounded ingest loop) rejects a garbage stream on
+/// its first 10 bytes instead of buffering it to EOF.
+pub fn frame_len(data: &[u8]) -> Result<Option<usize>, WireError> {
+    if data.len() < FRAME_HEADER_BYTES {
+        return Ok(None);
+    }
+    let mut r = Reader::new(data);
+    let magic = r.u32()?;
+    if magic != SNAPSHOT_MAGIC {
+        return Err(WireError::BadMagic { found: magic });
+    }
+    let version = r.u8()?;
+    if version != SNAPSHOT_VERSION {
+        return Err(WireError::BadVersion { found: version });
+    }
+    let frame_type = r.u8()?;
+    if frame_type != FRAME_SESSION {
+        return Err(WireError::BadField("frame: unknown frame type"));
+    }
+    let payload_len = r.len()?;
+    Ok(Some(FRAME_HEADER_BYTES + payload_len))
 }
 
 /// Decode a back-to-back stream of frames (the merge daemon's input: one
@@ -256,9 +361,11 @@ struct Sections<'a> {
     workload: Option<&'a [u8]>,
     phase: Option<&'a [u8]>,
     interim: Option<&'a [u8]>,
+    hops: Option<&'a [u8]>,
+    extensions: Vec<(u8, Vec<u8>)>,
 }
 
-fn decode_payload(payload: &[u8]) -> Result<SessionFrame, WireError> {
+fn decode_payload(payload: &[u8], max_tag: u8) -> Result<SessionFrame, WireError> {
     let mut s = Sections {
         meta: None,
         config: None,
@@ -270,26 +377,34 @@ fn decode_payload(payload: &[u8]) -> Result<SessionFrame, WireError> {
         workload: None,
         phase: None,
         interim: None,
+        hops: None,
+        extensions: Vec::new(),
     };
     let mut r = Reader::new(payload);
     while r.remaining() > 0 {
         let tag = r.u8()?;
         let len = r.len()?;
         let body = r.take(len)?;
+        let known = tag <= max_tag;
         let slot = match tag {
-            TAG_SESSION_META => &mut s.meta,
-            TAG_CONFIG => &mut s.config,
-            TAG_LOSS => &mut s.loss,
-            TAG_MOMENTS => &mut s.moments,
-            TAG_RTT_HIST => &mut s.rtt,
-            TAG_SKETCH => &mut s.sketch,
-            TAG_ACF => &mut s.acf,
-            TAG_WORKLOAD => &mut s.workload,
-            TAG_PHASE => &mut s.phase,
-            TAG_INTERIM => &mut s.interim,
+            TAG_SESSION_META if known => &mut s.meta,
+            TAG_CONFIG if known => &mut s.config,
+            TAG_LOSS if known => &mut s.loss,
+            TAG_MOMENTS if known => &mut s.moments,
+            TAG_RTT_HIST if known => &mut s.rtt,
+            TAG_SKETCH if known => &mut s.sketch,
+            TAG_ACF if known => &mut s.acf,
+            TAG_WORKLOAD if known => &mut s.workload,
+            TAG_PHASE if known => &mut s.phase,
+            TAG_INTERIM if known => &mut s.interim,
+            TAG_HOPS if known => &mut s.hops,
             // Forward compatibility: a newer writer appended a section this
-            // version does not know. Skip it.
-            _ => continue,
+            // reader does not know. Skip it — but keep the bytes, so the
+            // frame re-encodes without losing the newer writer's data.
+            _ => {
+                s.extensions.push((tag, body.to_vec()));
+                continue;
+            }
         };
         if slot.is_some() {
             return Err(WireError::BadField("frame: duplicate section"));
@@ -433,6 +548,27 @@ fn decode_payload(payload: &[u8]) -> Result<SessionFrame, WireError> {
     })
     .map_err(WireError::BadField)?;
 
+    // Per-hop annotations: optional — frames from single-path collectors
+    // (and every frame predating the section) simply omit it.
+    let mut hops = Vec::new();
+    if let Some(body) = s.hops {
+        let mut hr = Reader::new(body);
+        let count = hr.len()?;
+        for _ in 0..count {
+            let link = hr.u32()?;
+            let name_bytes = hr.bytes()?;
+            let name = String::from_utf8(name_bytes.to_vec())
+                .map_err(|_| WireError::BadField("hops: link name is not UTF-8"))?;
+            let probe_drops = hr.u64()?;
+            hops.push(HopAnnotation {
+                link,
+                name,
+                probe_drops,
+            });
+        }
+        hr.finish()?;
+    }
+
     let mut i = Reader::new(need(s.interim, "frame: missing interim section")?);
     let count = i.len()?;
     let mut interim = Vec::new();
@@ -467,6 +603,8 @@ fn decode_payload(payload: &[u8]) -> Result<SessionFrame, WireError> {
         dropped,
         bank,
         interim,
+        hops,
+        extensions: s.extensions,
     })
 }
 
@@ -695,6 +833,8 @@ mod tests {
             dropped: 0,
             bank: bank_with(records, seed),
             interim: Vec::new(),
+            hops: Vec::new(),
+            extensions: Vec::new(),
         }
     }
 
@@ -729,6 +869,8 @@ mod tests {
                 snapshot: bank_with(100, 3).snapshot(),
             }],
             bank,
+            hops: Vec::new(),
+            extensions: Vec::new(),
         };
         let (decoded, _) = SessionFrame::decode(&frame.encode()).expect("decode");
         assert_eq!(decoded.interim.len(), 1);
@@ -738,6 +880,46 @@ mod tests {
             serde_json::to_string(&decoded.interim[0].snapshot).unwrap(),
             serde_json::to_string(&frame.interim[0].snapshot).unwrap()
         );
+    }
+
+    #[test]
+    fn hop_annotations_round_trip() {
+        let mut frame = frame_with(40, 5);
+        frame.hops = vec![
+            HopAnnotation {
+                link: 0,
+                name: "access:h00".into(),
+                probe_drops: 3,
+            },
+            HopAnnotation {
+                link: 7,
+                name: "backbone:b2".into(),
+                probe_drops: 11,
+            },
+        ];
+        let bytes = frame.encode();
+        let (decoded, used) = SessionFrame::decode(&bytes).expect("decode");
+        assert_eq!(used, bytes.len());
+        assert_eq!(decoded.hops, frame.hops);
+        assert!(decoded.extensions.is_empty());
+        assert_eq!(decoded.encode(), bytes, "re-encode is byte-identical");
+    }
+
+    #[test]
+    fn hopless_frames_encode_without_the_hops_section() {
+        // A hop-less frame must stay byte-identical to the pre-TAG_HOPS
+        // writer: no tag-11 section, nothing appended.
+        let frame = frame_with(25, 9);
+        let bytes = frame.encode();
+        let (decoded, _) = SessionFrame::decode(&bytes).expect("decode");
+        assert!(decoded.hops.is_empty());
+        assert_eq!(decoded.encode(), bytes);
+        // Same frame decoded by the v1 reader: identical in every v1 field.
+        let (v1, v1_used) =
+            SessionFrame::decode_with_max_tag(&bytes, MAX_TAG_V1).expect("v1 decode");
+        assert_eq!(v1_used, bytes.len());
+        assert_eq!(v1.bank.wire_state(), frame.bank.wire_state());
+        assert!(v1.extensions.is_empty());
     }
 
     #[test]

@@ -53,6 +53,8 @@ fn frame_with(config: BankConfig, records: u64) -> SessionFrame {
         dropped: 1,
         bank,
         interim: Vec::new(),
+        hops: Vec::new(),
+        extensions: Vec::new(),
     }
 }
 

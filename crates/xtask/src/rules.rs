@@ -212,7 +212,11 @@ fn file_name(path: &str) -> &str {
 fn in_wire_crate(path: &str) -> bool {
     // The merge daemon folds decoded wire state and re-renders byte-compared
     // reports, so it is held to the same no-lossy-cast bar as the codecs.
-    path.contains("crates/wire/src") || path.contains("crates/merged/src")
+    // The mesh crate encodes hop-annotated frames and renders the golden
+    // mesh artifact, which puts it on the same byte-compared path.
+    path.contains("crates/wire/src")
+        || path.contains("crates/merged/src")
+        || path.contains("crates/mesh/src")
 }
 
 fn is_serialization_file(path: &str) -> bool {
@@ -477,7 +481,12 @@ fn unordered_partition_merge(
     // Mailbox posts, wire encoders etc. use the same Vec verbs but combine
     // data from a single partition, so they stay out of scope.
     let in_scope = fn_name.contains("partition")
-        || (file_name(path) == "parallel.rs" && fn_name.contains("merge"));
+        || (file_name(path) == "parallel.rs" && fn_name.contains("merge"))
+        // Mesh campaign reducers combine per-pair / per-vantage results
+        // into byte-compared artifacts — same bar as partition merges.
+        || (path.contains("crates/mesh/src")
+            && (fn_name.contains("fold") || fn_name.contains("merge")
+                || fn_name.contains("campaign")));
     if !in_scope {
         return;
     }

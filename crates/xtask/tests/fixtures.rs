@@ -172,6 +172,40 @@ fn cast_rule_covers_the_merge_daemon() {
 }
 
 #[test]
+fn cast_rule_covers_the_mesh_crate() {
+    // Mesh campaign code encodes hop-annotated frames and renders the
+    // byte-compared golden mesh artifact — wire-path casting rules apply.
+    let hits = lint_as(
+        "crates/mesh/src/campaign.rs",
+        "truncating_cast_violation.rs",
+    );
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["truncating-cast-in-wire"],
+        "expected the truncating-cast rule to fire in crates/mesh, got {hits:?}"
+    );
+}
+
+#[test]
+fn partition_merge_rule_covers_mesh_fold_functions() {
+    let src = "pub fn fold_streams(out: &mut Vec<u8>, shard: &[u8]) {\n    out.extend_from_slice(shard);\n}\n";
+    let hits = lint_source("crates/mesh/src/campaign.rs", src);
+    assert_eq!(
+        hits.len(),
+        1,
+        "mesh fold fns combine per-vantage results and must be in scope: {hits:?}"
+    );
+    assert_eq!(hits[0].rule, "unordered-partition-merge");
+    // The same function body outside the mesh crate carries no
+    // partition-merge context and must stay quiet.
+    let off_path = lint_source("crates/sim/src/engine.rs", src);
+    assert!(
+        off_path.is_empty(),
+        "fold outside mesh/partition scope must not fire: {off_path:?}"
+    );
+}
+
+#[test]
 fn cast_rule_is_scoped_to_wire_and_report_files() {
     // The same lossy cast outside the wire/report scope is not this rule's
     // business (clippy::cast_possible_truncation covers it at warn level).

@@ -166,6 +166,8 @@ fn same_key_segment_folds_match_the_in_memory_merge() {
         dropped: 0,
         bank: fold(range),
         interim: Vec::new(),
+        hops: Vec::new(),
+        extensions: Vec::new(),
     };
 
     // Ship the tail shard first: the service must reorder by `first_seq`.

@@ -1,0 +1,98 @@
+//! Differential mesh suite: the degenerate mesh campaign **is** the
+//! single-path pipeline. Its report must be byte-identical to the
+//! checked-in `--stream` golden at every worker-pool width (the
+//! in-process equivalent of the CI matrix `PROBENET_THREADS ∈
+//! {1,4,8}`), survive the round trip through the merge daemon's
+//! incremental reader unchanged, and keep the reader's staging buffer
+//! bounded by the largest single frame.
+
+use probenet_bench::{
+    stream_golden_path, stream_session_tasks, GOLDEN_FRAME_SHARDS, GOLDEN_SCENARIO,
+};
+use probenet_merged::MergeService;
+use probenet_mesh::{
+    campaign::run_campaign, degenerate_report, fold_through_daemon, DegenerateSpec, MeshSpec,
+};
+use probenet_wire::snapshot::SessionFrame;
+
+fn golden_spec() -> DegenerateSpec {
+    DegenerateSpec {
+        scenario: GOLDEN_SCENARIO.to_string(),
+        tasks: stream_session_tasks(),
+    }
+}
+
+/// The in-process thread-count matrix mirroring CI's
+/// `PROBENET_THREADS ∈ {1,4,8}` streaming loop.
+const THREADS: [usize; 3] = [1, 4, 8];
+
+#[test]
+fn degenerate_mesh_matches_the_stream_golden_at_every_width() {
+    let golden =
+        std::fs::read_to_string(stream_golden_path()).expect("checked-in stream golden readable");
+    for threads in THREADS {
+        let mut rendered = degenerate_report(&golden_spec(), threads).to_json();
+        rendered.push('\n');
+        assert_eq!(
+            rendered, golden,
+            "degenerate mesh report at {threads} workers differs from the stream golden"
+        );
+    }
+}
+
+#[test]
+fn degenerate_mesh_survives_the_daemon_fold_with_bounded_buffer() {
+    let report = degenerate_report(&golden_spec(), 4);
+    let max_frame = report
+        .sessions
+        .iter()
+        .map(|s| SessionFrame::from_report(s).encode().len())
+        .max()
+        .expect("golden campaign has sessions");
+    for shards in [1, GOLDEN_FRAME_SHARDS, report.sessions.len()] {
+        let (folded, peak) = fold_through_daemon(&report, shards).expect("fold succeeds");
+        assert_eq!(
+            folded.to_json(),
+            report.to_json(),
+            "daemon fold over {shards} shards differs from its input"
+        );
+        // The bugfix contract: incremental ingest stages at most one
+        // frame plus one read chunk, never the whole stream.
+        assert!(
+            peak <= max_frame + probenet_merged::INGEST_CHUNK,
+            "peak buffer {peak} exceeds largest frame {max_frame} + chunk \
+             over {shards} shards"
+        );
+    }
+}
+
+/// Mesh-scale fold-throughput probe behind the EXPERIMENTS.md "fleet
+/// merge at mesh scale" entry — run explicitly with `cargo test
+/// --release --test mesh_differential -- --ignored --nocapture`
+/// (wall-clock numbers are meaningless in debug builds).
+#[test]
+#[ignore = "throughput measurement, run by hand in release mode"]
+fn mesh_fold_throughput_probe() {
+    let run = run_campaign(&MeshSpec::golden(), 4).expect("golden campaign");
+    let bytes_per_fold: usize = run.host_streams.iter().map(Vec::len).sum();
+    let mut sessions = 0usize;
+    const FOLDS: u32 = 200;
+    let started = std::time::Instant::now();
+    for _ in 0..FOLDS {
+        let mut service = MergeService::new();
+        for stream in &run.host_streams {
+            service
+                .ingest_reader(&mut std::io::Cursor::new(stream))
+                .expect("own streams decode");
+        }
+        sessions += service.into_report().expect("fold succeeds").sessions.len();
+    }
+    let secs = started.elapsed().as_secs_f64();
+    println!(
+        "mesh fold: {FOLDS} folds of {} vantage streams ({bytes_per_fold} bytes) in {secs:.3} s — \
+         {:.1} MB/s incremental decode+fold, {:.0} sessions/s",
+        run.host_streams.len(),
+        bytes_per_fold as f64 * f64::from(FOLDS) / secs / 1e6,
+        sessions as f64 / secs,
+    );
+}
