@@ -52,6 +52,10 @@ struct Args {
     emit_frames: Option<String>,
     merge: Option<Vec<String>>,
     mesh: bool,
+    live: bool,
+    live_sessions: usize,
+    live_delta_ms: u64,
+    live_duration_secs: u64,
 }
 
 fn parse_args() -> Args {
@@ -70,6 +74,10 @@ fn parse_args() -> Args {
         emit_frames: None,
         merge: None,
         mesh: false,
+        live: false,
+        live_sessions: 64,
+        live_delta_ms: 20,
+        live_duration_secs: 2,
     };
     let mut it = std::env::args().skip(1);
     while let Some(a) = it.next() {
@@ -102,6 +110,30 @@ fn parse_args() -> Args {
             // `repro mesh [--check|--bless]` — the mesh campaign; takes no
             // positional operands, trailing flags use the normal loop.
             "mesh" => args.mesh = true,
+            // `repro live [--sessions N] [--delta MS] [--duration S]` —
+            // the live reactor loopback engine.
+            "live" => args.live = true,
+            "--sessions" => {
+                args.live_sessions = it
+                    .next()
+                    .expect("--sessions needs a value")
+                    .parse()
+                    .expect("sessions must be an integer")
+            }
+            "--delta" => {
+                args.live_delta_ms = it
+                    .next()
+                    .expect("--delta needs a value (ms)")
+                    .parse()
+                    .expect("delta must be an integer (ms)")
+            }
+            "--duration" => {
+                args.live_duration_secs = it
+                    .next()
+                    .expect("--duration needs a value (seconds)")
+                    .parse()
+                    .expect("duration must be an integer (seconds)")
+            }
             "--artifact" => args.artifact = it.next().expect("--artifact needs a value"),
             "--span-secs" => {
                 args.span_secs = it
@@ -136,6 +168,7 @@ fn parse_args() -> Args {
                      repro --stream [--check | --bless] [--serial] [--emit-frames <prefix>]   (streaming-collector snapshots)\n\
                      repro merge <frames.bin>... [--check | --bless]   (fold collector frame files)\n\
                      repro mesh [--check | --bless] [--serial]   (mesh campaign + per-link loss decomposition)\n\
+                     repro live [--sessions N] [--delta MS] [--duration S] [--stream] [--json]   (live reactor loopback engine)\n\
                      repro --check | --bless   (verify / regenerate the golden traces in tests/golden/)\n\
                      repro --bench-gate   (fail if engine events/s regresses past tests/bench_baseline.json)"
                 );
@@ -710,6 +743,11 @@ struct BenchReport {
     /// Collector ingest throughput across 8 concurrent sessions.
     stream_ingest: StreamIngest,
     engine: BenchEngine,
+    /// Live reactor loopback engine at the committed `LIVE_BENCH_*`
+    /// sizing; `None` when the platform lacks the epoll reactor (the note
+    /// says why).
+    live_engine: Option<LiveEngineRun>,
+    live_engine_note: Option<String>,
     /// Full-artifact serial wall time of this harness before the indexed
     /// event queue, engine reuse and pooled artifact scheduling landed,
     /// measured on the same host at span 120 s, seed 1993.
@@ -725,6 +763,17 @@ fn ms(d: Duration) -> f64 {
 /// span-600 iteration is tens of milliseconds, so this stays cheap even
 /// in CI while leaving plenty of samples for the minimum to stabilize.
 const ENGINE_BENCH_ITERS: usize = 12;
+
+/// Sizing of the `live_engine` measurement and its `--bench-gate` floor:
+/// 256 concurrent δ = 20 ms loopback sessions, 50 probes each — about a
+/// second of schedule (12.8 k probes) plus the straggler drain, cheap
+/// enough for CI while still two orders of magnitude past one-socket,
+/// one-thread probing on the same host.
+const LIVE_BENCH_SESSIONS: usize = 256;
+/// Probe interval of the `live_engine` measurement, ms.
+const LIVE_BENCH_DELTA_MS: u64 = 20;
+/// Probes per session of the `live_engine` measurement.
+const LIVE_BENCH_COUNT: usize = 50;
 
 /// Serial engine throughput on the representative δ = 50 ms INRIA→UMd
 /// run: events over the minimum per-iteration engine wall across `iters`
@@ -765,6 +814,11 @@ struct BenchBaseline {
     /// sized for cross-host variance: CI runners and the development VM
     /// differ in absolute speed far more than any real regression hides.
     max_regression: f64,
+    /// `live_engine` floor: aggregate probes/s the reactor must sustain
+    /// at the committed `LIVE_BENCH_*` sizing. Schedule-bound (the sizing
+    /// caps it at sessions/δ), so a shortfall means the reactor fell off
+    /// pace, not that the host is slow.
+    live_aggregate_pps: f64,
 }
 
 /// `--bench-gate`: re-measure serial engine throughput with the same
@@ -798,16 +852,119 @@ fn bench_gate() -> i32 {
         baseline.engine_events_per_sec / 1e6,
         floor / 1e6,
     );
+    let mut failed = false;
     if engine.events_per_sec < floor {
         println!(
             "bench-gate: FAIL — engine throughput regressed more than {:.0}% below {path}",
             baseline.max_regression * 100.0
         );
+        failed = true;
+    }
+    // Live reactor pacing gate: the sizing is schedule-bound, so staying
+    // above the floor proves the reactor kept its probes on schedule.
+    match live_engine_run(LIVE_BENCH_SESSIONS, LIVE_BENCH_DELTA_MS, LIVE_BENCH_COUNT) {
+        Err(e) => {
+            // Missing epoll is a platform capability, not a regression.
+            println!("bench-gate: live engine skipped ({e})");
+        }
+        Ok((run, _)) => {
+            let live_floor = baseline.live_aggregate_pps * (1.0 - baseline.max_regression);
+            println!(
+                "bench-gate: live {:.0} probes/s over {} sessions | baseline {:.0} | floor {:.0}",
+                run.aggregate_pps, run.sessions, baseline.live_aggregate_pps, live_floor,
+            );
+            if !run.accounting_balanced() {
+                println!(
+                    "bench-gate: FAIL — live drop accounting violated: produced {} != records {} + dropped {}",
+                    run.produced, run.records, run.dropped
+                );
+                failed = true;
+            }
+            if run.aggregate_pps < live_floor {
+                println!(
+                    "bench-gate: FAIL — live probe rate regressed more than {:.0}% below {path}",
+                    baseline.max_regression * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+    if failed {
         1
     } else {
         println!("bench-gate: OK");
         0
     }
+}
+
+/// `repro live` — drive concurrent loopback probe sessions from the
+/// single-threaded reactor against an in-process echo server and report
+/// the sustained rate, timer-wheel lateness and the stream-collector
+/// drop-accounting identity. Exits 1 if `produced != records + dropped`,
+/// 2 when the platform lacks the reactor (no epoll).
+fn live_cmd(a: &Args) -> i32 {
+    let count = usize::try_from((a.live_duration_secs * 1000) / a.live_delta_ms.max(1))
+        .expect("probe count fits usize")
+        .max(1);
+    let (run, report) = match live_engine_run(a.live_sessions, a.live_delta_ms, count) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("live: reactor unavailable: {e}");
+            return 2;
+        }
+    };
+    let balanced = run.accounting_balanced();
+    if a.json {
+        println!(
+            "{}",
+            serde_json::to_string_pretty(&run).expect("serializable live report")
+        );
+    } else {
+        println!(
+            "=== live reactor: {} sessions, δ = {} ms, {} probes/session ===",
+            run.sessions, run.delta_ms, run.probes_per_session
+        );
+        println!(
+            "lanes {} | wall {:.0} ms | {:.0} probes/s aggregate | {} sessions/core",
+            run.lanes, run.wall_ms, run.aggregate_pps, run.sessions_per_core
+        );
+        println!(
+            "timer lateness µs: p50 {} | p90 {} | p99 {} | max {} ({} fires)",
+            run.lateness_p50_us,
+            run.lateness_p90_us,
+            run.lateness_p99_us,
+            run.lateness_max_us,
+            run.timers_fired
+        );
+        println!(
+            "io: {} probes sent, {} replies, batched syscalls {}",
+            run.probes_sent,
+            run.replies_received,
+            if run.used_batching {
+                "yes"
+            } else {
+                "no (fallback ladder)"
+            }
+        );
+        println!(
+            "stream accounting: produced {} = records {} + dropped {} [{}]",
+            run.produced,
+            run.records,
+            run.dropped,
+            if balanced { "ok" } else { "FAIL" }
+        );
+    }
+    if a.stream {
+        println!("{}", report.to_json());
+    }
+    if !balanced {
+        eprintln!(
+            "live: drop accounting violated: produced {} != records {} + dropped {}",
+            run.produced, run.records, run.dropped
+        );
+        return 1;
+    }
+    0
 }
 
 /// Time a serial and a pooled full-artifact pass and write
@@ -833,6 +990,23 @@ fn bench(args: &Args) {
     // Streaming ingest: 8 producer sessions through one collector, blocking
     // push, so the drop counter is structurally (and assertedly) zero.
     let ingest = stream_ingest_throughput(8, 150_000);
+
+    // Live reactor: concurrent loopback sessions from one reactor thread,
+    // streamed into one collector over bounded rings.
+    let (live_engine, live_engine_note) =
+        match live_engine_run(LIVE_BENCH_SESSIONS, LIVE_BENCH_DELTA_MS, LIVE_BENCH_COUNT) {
+            Ok((run, _)) => {
+                assert!(
+                    run.accounting_balanced(),
+                    "live drop accounting violated: produced {} != records {} + dropped {}",
+                    run.produced,
+                    run.records,
+                    run.dropped
+                );
+                (Some(run), None)
+            }
+            Err(e) => (None, Some(format!("live reactor unavailable: {e}"))),
+        };
 
     let host_cores = std::thread::available_parallelism()
         .map(|n| n.get())
@@ -869,6 +1043,8 @@ fn bench(args: &Args) {
         parallelism_note: note,
         stream_ingest: ingest,
         engine,
+        live_engine,
+        live_engine_note,
         pre_optimization_serial_wall_ms: PRE_OPTIMIZATION_SERIAL_WALL_MS,
         speedup_vs_pre_optimization: PRE_OPTIMIZATION_SERIAL_WALL_MS / ms(serial_wall),
     };
@@ -892,6 +1068,16 @@ fn bench(args: &Args) {
         report.stream_ingest.per_session_records_per_sec / 1e3,
         report.stream_ingest.dropped,
     );
+    match (&report.live_engine, &report.live_engine_note) {
+        (Some(live), _) => println!(
+            "live engine: {} sessions/core, {:.0} probes/s aggregate, lateness p99 {} µs (max {} µs)",
+            live.sessions_per_core, live.aggregate_pps, live.lateness_p99_us, live.lateness_max_us,
+        ),
+        (None, note) => println!(
+            "live engine: skipped ({})",
+            note.as_deref().unwrap_or("unavailable")
+        ),
+    }
 }
 
 /// Measured once on the development host (single core) at span 120 s,
@@ -1260,6 +1446,9 @@ fn main() {
     }
     if args.mesh {
         std::process::exit(mesh_cmd(&args));
+    }
+    if args.live {
+        std::process::exit(live_cmd(&args));
     }
     if args.stream {
         std::process::exit(stream_cmd(&args));

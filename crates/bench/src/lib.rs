@@ -6,7 +6,7 @@ use probenet_core::{
     analyze_losses, analyze_workload, delta_sweep, impairment_scenario, LossAnalysis,
     PaperScenario, PhasePlot, SweepRow, WorkloadAnalysis,
 };
-use probenet_netdyn::{ExperimentConfig, RttSeries, UMD_CLOCK};
+use probenet_netdyn::{EchoServer, ExperimentConfig, RttSeries, UMD_CLOCK};
 use probenet_sim::{discover_route, Path, SimDuration};
 use probenet_traffic::FTP_PACKET_BYTES;
 use serde::Serialize;
@@ -476,6 +476,156 @@ pub fn stream_ingest_throughput(sessions: usize, records_per_session: u64) -> St
     }
 }
 
+// ---------------------------------------------------------------------------
+// Live reactor: loopback engine measurement (`repro live`, `live_engine`)
+// ---------------------------------------------------------------------------
+
+/// One live-reactor loopback measurement: the `live_engine` block of
+/// `--bench-json` and the payload behind `repro live`.
+#[derive(Serialize)]
+pub struct LiveEngineRun {
+    /// Concurrent probe sessions driven.
+    pub sessions: u64,
+    /// Lane sockets the sessions were multiplexed onto.
+    pub lanes: u64,
+    /// Probe interval δ per session, ms.
+    pub delta_ms: u64,
+    /// Probes scheduled per session.
+    pub probes_per_session: u64,
+    /// Wall time of the run (including the straggler drain), ms.
+    pub wall_ms: f64,
+    /// Aggregate probe send rate across all sessions, probes/sec.
+    pub aggregate_pps: f64,
+    /// Sessions per reactor core. The reactor is a single thread, so this
+    /// equals `sessions` — reported explicitly because it is the paper's
+    /// scale-out claim ("thousands of concurrent sessions per core").
+    pub sessions_per_core: u64,
+    /// Timer-wheel fires over the run.
+    pub timers_fired: u64,
+    /// Median timer-wheel lateness (fire − deadline), µs.
+    pub lateness_p50_us: u64,
+    /// 90th-percentile timer-wheel lateness, µs.
+    pub lateness_p90_us: u64,
+    /// 99th-percentile timer-wheel lateness, µs.
+    pub lateness_p99_us: u64,
+    /// Worst timer-wheel lateness, µs.
+    pub lateness_max_us: u64,
+    /// Whether `sendmmsg`/`recvmmsg` batching was used (false = the
+    /// per-datagram fallback ladder).
+    pub used_batching: bool,
+    /// Probes handed to the kernel.
+    pub probes_sent: u64,
+    /// Valid echo replies folded into sessions.
+    pub replies_received: u64,
+    /// Records the reactor produced (one per scheduled probe).
+    pub produced: u64,
+    /// Records the stream collector folded.
+    pub records: u64,
+    /// Records the bounded SPSC rings rejected (counted, never silent).
+    pub dropped: u64,
+}
+
+impl LiveEngineRun {
+    /// The drop-accounting identity every live run must satisfy: each
+    /// produced record is either folded or counted as dropped.
+    pub fn accounting_balanced(&self) -> bool {
+        self.produced == self.records + self.dropped
+    }
+}
+
+/// Drive `sessions` concurrent loopback probe sessions (interval
+/// `delta_ms`, `probes_per_session` probes each, start offsets staggered
+/// across one δ) from a single reactor thread against an in-process
+/// [`EchoServer`], stream every record into one collector over bounded
+/// SPSC rings, and report rates, lateness percentiles and the
+/// drop-accounting identity. Returns the collector report alongside the
+/// measurement so callers (`repro live --stream`) can render the
+/// estimator banks.
+pub fn live_engine_run(
+    sessions: usize,
+    delta_ms: u64,
+    probes_per_session: usize,
+) -> std::io::Result<(LiveEngineRun, CollectorReport)> {
+    use std::time::Duration;
+
+    assert!(sessions > 0, "live run needs at least one session");
+    assert!(delta_ms > 0, "probe interval must be positive");
+    let server = EchoServer::spawn("127.0.0.1:0")?;
+    let delta = Duration::from_millis(delta_ms);
+    let specs: Vec<probenet_live::SessionSpec> = (0..sessions)
+        .map(|i| probenet_live::SessionSpec {
+            key: SessionKey::new("bench/live", delta_ms, i as u64),
+            target: server.local_addr(),
+            interval: delta,
+            count: probes_per_session,
+            // Spread session starts across one δ so sends interleave
+            // instead of arriving as a synchronized burst each interval.
+            start_offset: Duration::from_nanos(
+                delta.as_nanos() as u64 * i as u64 / sessions as u64,
+            ),
+            clock_resolution_ns: 0,
+        })
+        .collect();
+
+    let mut collector = Collector::new(CollectorConfig {
+        channel_capacity: 1024,
+        snapshot_every: 0,
+    });
+    // One producer per session, indexed by the seed the spec carries.
+    let mut producers: Vec<Option<SessionProducer>> = (0..sessions as u64)
+        .map(|s| {
+            Some(collector.add_session(
+                SessionKey::new("bench/live", delta_ms, s),
+                BankConfig::bolot(delta_ms as f64, 72, 0),
+            ))
+        })
+        .collect();
+    let running = collector.start();
+
+    let mut produced = 0u64;
+    let report = probenet_live::run_sessions(
+        specs,
+        &probenet_live::LiveConfig::default(),
+        |outcome: probenet_live::SessionOutcome| {
+            let producer = producers
+                .get_mut(outcome.key.seed as usize)
+                .and_then(Option::take)
+                .expect("one outcome per session");
+            for record in outcome.records {
+                produced += 1;
+                // Non-blocking offer: the bounded ring may reject under
+                // pressure, but every rejection lands in the session's
+                // drop counter — the identity below stays exact.
+                producer.offer(record);
+            }
+        },
+    )?;
+    drop(producers);
+    let collected = running.join();
+
+    let run = LiveEngineRun {
+        sessions: report.sessions as u64,
+        lanes: report.lanes as u64,
+        delta_ms,
+        probes_per_session: probes_per_session as u64,
+        wall_ms: report.wall_ns as f64 / 1e6,
+        aggregate_pps: report.aggregate_pps(),
+        sessions_per_core: report.sessions as u64,
+        timers_fired: report.timers_fired,
+        lateness_p50_us: report.lateness_p50_us,
+        lateness_p90_us: report.lateness_p90_us,
+        lateness_p99_us: report.lateness_p99_us,
+        lateness_max_us: report.lateness_max_us,
+        used_batching: report.used_batching,
+        probes_sent: report.stats.probes_sent,
+        replies_received: report.stats.replies_received,
+        produced,
+        records: collected.total_records(),
+        dropped: collected.total_dropped(),
+    };
+    Ok((run, collected))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +646,16 @@ mod tests {
         assert!(!plot.points.is_empty());
         assert_eq!(plot.delta_ms, 50.0);
         assert!(loss.sent > 0);
+    }
+
+    #[test]
+    #[cfg(target_os = "linux")]
+    fn live_engine_run_balances_drop_accounting() {
+        let (run, report) = live_engine_run(8, 5, 4).expect("loopback live run");
+        assert_eq!(run.sessions, 8);
+        assert_eq!(run.produced, 8 * 4);
+        assert!(run.accounting_balanced(), "produced != records + dropped");
+        assert_eq!(report.sessions.len(), 8);
+        assert!(run.aggregate_pps > 0.0);
     }
 }

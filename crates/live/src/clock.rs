@@ -1,0 +1,59 @@
+//! The live engine's single wall-clock read point.
+//!
+//! Everything else in the crate consumes nanosecond instants produced
+//! here, so the lint exemption below is scoped to this one module and the
+//! rest of the reactor stays mechanically checkable by `probenet-lint`.
+//!
+//! probenet-lint: allow-file(wall-clock-in-sim) the live engine probes
+//! real networks: packet timestamps and pacing deadlines are genuine
+//! wall-clock reads (the same justification as crates/netdyn/src/udp.rs),
+//! confined to this module so the sim crates keep rejecting wall-clock.
+
+use probenet_wire::Timestamp48;
+use std::time::Instant;
+
+/// Monotonic clock anchored at reactor startup. All reactor deadlines,
+/// lateness measurements and probe timestamps are offsets from this one
+/// epoch, so they are mutually comparable without clock-sync caveats.
+#[derive(Debug, Clone, Copy)]
+pub struct MonoClock {
+    epoch: Instant,
+}
+
+impl MonoClock {
+    /// A clock whose zero is "now".
+    pub fn start() -> MonoClock {
+        MonoClock {
+            epoch: Instant::now(),
+        }
+    }
+
+    /// Nanoseconds since the clock started.
+    pub fn now_ns(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The current instant as a wire timestamp (microseconds mod 2^48),
+    /// what the probe's `source_ts`/`dest_ts` fields carry.
+    pub fn stamp(&self) -> Timestamp48 {
+        Timestamp48::from_micros(self.epoch.elapsed().as_micros() as u64)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic_and_consistent() {
+        let clock = MonoClock::start();
+        let a = clock.now_ns();
+        let b = clock.now_ns();
+        assert!(b >= a);
+        // The stamp and the ns reading come from the same epoch: the stamp
+        // in µs is never ahead of the ns reading.
+        let stamp = clock.stamp().as_micros();
+        let ns = clock.now_ns();
+        assert!(stamp <= ns / 1_000 + 1);
+    }
+}

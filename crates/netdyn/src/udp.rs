@@ -14,19 +14,99 @@
 
 use std::io;
 use std::net::{SocketAddr, ToSocketAddrs, UdpSocket};
+use std::os::fd::AsRawFd;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+use probenet_live::{LiveConfig, Reactor, SessionSpec};
 use probenet_sim::SimDuration;
+use probenet_stream::SessionKey;
 use probenet_wire::{ProbePacket, Timestamp48, PROBE_PAYLOAD_BYTES};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rawpoll::{Epoll, Events, Interest, WakeHandle, WakePipe};
 use std::sync::Mutex;
 
 use crate::config::ExperimentConfig;
 use crate::series::{RttRecord, RttSeries};
+
+/// How a server thread sleeps between datagrams: event-driven where the
+/// platform has epoll, a bounded read-timeout poll elsewhere.
+///
+/// The event-driven arm is what makes shutdown cheap *and* prompt: the
+/// socket and a self-pipe share one epoll set, the thread blocks with no
+/// timeout at all, and [`ServerWaiter::wake`] (one byte down the pipe)
+/// bounds the join by a loop iteration instead of a 20 ms spin period.
+enum ServerWaiter {
+    /// Block on epoll until the socket is readable or the pipe is written.
+    Event { epoll: Epoll, pipe: WakePipe },
+    /// Legacy fallback: non-epoll platforms poll with a read timeout.
+    Timeout,
+}
+
+impl ServerWaiter {
+    /// Prepare `socket` for serving: epoll registration + non-blocking
+    /// mode where available, a 20 ms read timeout otherwise.
+    fn install(socket: &UdpSocket) -> io::Result<ServerWaiter> {
+        match Epoll::new() {
+            Ok(epoll) => {
+                let pipe = WakePipe::new()?;
+                socket.set_nonblocking(true)?;
+                epoll.add(socket.as_raw_fd(), 0, Interest::READ)?;
+                epoll.add(pipe.read_fd(), 1, Interest::READ)?;
+                Ok(ServerWaiter::Event { epoll, pipe })
+            }
+            Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+                socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+                Ok(ServerWaiter::Timeout)
+            }
+            Err(e) => Err(e),
+        }
+    }
+
+    /// The cross-thread wake handle (None in timeout mode, where the read
+    /// timeout itself bounds the wait).
+    fn wake_handle(&self) -> Option<WakeHandle> {
+        match self {
+            ServerWaiter::Event { pipe, .. } => Some(pipe.handle()),
+            ServerWaiter::Timeout => None,
+        }
+    }
+
+    /// Park until the socket may be readable (or a wake arrives). Returns
+    /// `false` when the server loop should exit.
+    fn park(&self, events: &mut Events) -> bool {
+        match self {
+            ServerWaiter::Event { epoll, pipe } => {
+                let ok = epoll.wait(events, -1).is_ok();
+                pipe.drain();
+                ok
+            }
+            // Timeout mode parks inside recv_from itself.
+            ServerWaiter::Timeout => true,
+        }
+    }
+
+    /// Whether `recv` just returned "nothing yet" (and the caller should
+    /// park) rather than a real failure.
+    fn is_idle(err: &io::Error) -> bool {
+        matches!(
+            err.kind(),
+            io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+        )
+    }
+}
+
+/// Fan-out of a server shutdown: flip the flag, then poke the self-pipe so
+/// an event-driven loop notices immediately.
+fn signal_shutdown(flag: &AtomicBool, wake: Option<&WakeHandle>) {
+    flag.store(true, Ordering::SeqCst);
+    if let Some(w) = wake {
+        w.wake();
+    }
+}
 
 /// Microseconds since an arbitrary process-local epoch, monotonic.
 fn monotonic_micros(epoch: Instant) -> Timestamp48 {
@@ -50,6 +130,7 @@ pub struct EchoServerStats {
 pub struct EchoServer {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    wake: Option<WakeHandle>,
     stats: Arc<Mutex<EchoServerStats>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -97,7 +178,8 @@ impl EchoServer {
             "drop probability out of range"
         );
         let socket = UdpSocket::bind(addr)?;
-        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let waiter = ServerWaiter::install(&socket)?;
+        let wake = waiter.wake_handle();
         let local_addr = socket.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let stats = Arc::new(Mutex::new(EchoServerStats::default()));
@@ -105,12 +187,21 @@ impl EchoServer {
             let shutdown = Arc::clone(&shutdown);
             let stats = Arc::clone(&stats);
             std::thread::spawn(move || {
-                echo_loop(socket, shutdown, stats, drop_probability, seed, forward_to);
+                echo_loop(
+                    socket,
+                    waiter,
+                    shutdown,
+                    stats,
+                    drop_probability,
+                    seed,
+                    forward_to,
+                );
             })
         };
         Ok(EchoServer {
             local_addr,
             shutdown,
+            wake,
             stats,
             handle: Some(handle),
         })
@@ -132,7 +223,7 @@ impl EchoServer {
     }
 
     fn stop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        signal_shutdown(&self.shutdown, self.wake.as_ref());
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -147,6 +238,7 @@ impl Drop for EchoServer {
 
 fn echo_loop(
     socket: UdpSocket,
+    waiter: ServerWaiter,
     shutdown: Arc<AtomicBool>,
     stats: Arc<Mutex<EchoServerStats>>,
     drop_probability: f64,
@@ -156,13 +248,15 @@ fn echo_loop(
     let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for echo timestamps
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = [0u8; 2048];
+    let mut events = Events::with_capacity(4);
     while !shutdown.load(Ordering::SeqCst) {
         let (len, peer) = match socket.recv_from(&mut buf) {
             Ok(x) => x,
-            Err(e)
-                if e.kind() == io::ErrorKind::WouldBlock || e.kind() == io::ErrorKind::TimedOut =>
-            {
-                continue
+            Err(e) if ServerWaiter::is_idle(&e) => {
+                if waiter.park(&mut events) {
+                    continue;
+                }
+                break;
             }
             Err(_) => break,
         };
@@ -199,6 +293,7 @@ fn echo_loop(
 pub struct DestinationCollector {
     local_addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
+    wake: Option<WakeHandle>,
     received: Arc<Mutex<Vec<ProbePacket>>>,
     handle: Option<JoinHandle<()>>,
 }
@@ -207,7 +302,8 @@ impl DestinationCollector {
     /// Bind to `addr` and start collecting.
     pub fn spawn<A: ToSocketAddrs>(addr: A) -> io::Result<DestinationCollector> {
         let socket = UdpSocket::bind(addr)?;
-        socket.set_read_timeout(Some(Duration::from_millis(20)))?;
+        let waiter = ServerWaiter::install(&socket)?;
+        let wake = waiter.wake_handle();
         let local_addr = socket.local_addr()?;
         let shutdown = Arc::new(AtomicBool::new(false));
         let received = Arc::new(Mutex::new(Vec::new()));
@@ -217,14 +313,15 @@ impl DestinationCollector {
             std::thread::spawn(move || {
                 let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for dest timestamps
                 let mut buf = [0u8; 2048];
+                let mut events = Events::with_capacity(4);
                 while !shutdown.load(Ordering::SeqCst) {
                     let len = match socket.recv(&mut buf) {
                         Ok(l) => l,
-                        Err(e)
-                            if e.kind() == io::ErrorKind::WouldBlock
-                                || e.kind() == io::ErrorKind::TimedOut =>
-                        {
-                            continue
+                        Err(e) if ServerWaiter::is_idle(&e) => {
+                            if waiter.park(&mut events) {
+                                continue;
+                            }
+                            break;
                         }
                         Err(_) => break,
                     };
@@ -238,6 +335,7 @@ impl DestinationCollector {
         Ok(DestinationCollector {
             local_addr,
             shutdown,
+            wake,
             received,
             handle: Some(handle),
         })
@@ -255,7 +353,7 @@ impl DestinationCollector {
 
     /// Stop the collector and return everything it received.
     pub fn shutdown(mut self) -> Vec<ProbePacket> {
-        self.shutdown.store(true, Ordering::SeqCst);
+        signal_shutdown(&self.shutdown, self.wake.as_ref());
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -265,7 +363,7 @@ impl DestinationCollector {
 
 impl Drop for DestinationCollector {
     fn drop(&mut self) {
-        self.shutdown.store(true, Ordering::SeqCst);
+        signal_shutdown(&self.shutdown, self.wake.as_ref());
         if let Some(h) = self.handle.take() {
             let _ = h.join();
         }
@@ -329,7 +427,99 @@ pub fn run_probes(
 /// streaming estimators consume loss outcomes in sequence order. The sink
 /// sees exactly the records of the returned series, so a streaming fold
 /// matches a batch analysis of that series byte-for-byte.
+///
+/// Since the live-engine rewire this runs on the `probenet-live` reactor
+/// (a one-session [`Reactor`]): same records, same accounting, but the
+/// pacing comes from the timer wheel instead of sleep slicing, which is
+/// what lets callers hold thousands of these sessions on one core. On
+/// platforms without epoll it transparently falls back to
+/// [`run_probes_with_sink_legacy`]; that reference implementation also
+/// stays available directly, and the reactor-vs-thread differential test
+/// pins the two paths to equivalent reports.
 pub fn run_probes_with_sink<F: FnMut(probenet_stream::StreamRecord)>(
+    server: SocketAddr,
+    config: &ExperimentConfig,
+    drain: Duration,
+    mut sink: F,
+) -> io::Result<(RttSeries, ProbeRunStats)> {
+    assert_eq!(
+        config.payload_bytes as usize, PROBE_PAYLOAD_BYTES,
+        "the wire format carries exactly the 32-byte NetDyn payload"
+    );
+    match run_probes_reactor(server, config, drain, &mut sink) {
+        Ok(result) => Ok(result),
+        Err(e) if e.kind() == io::ErrorKind::Unsupported => {
+            run_probes_with_sink_legacy(server, config, drain, sink)
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// The reactor-backed implementation behind [`run_probes_with_sink`]: one
+/// session, one dedicated lane socket, records rebuilt into the same
+/// [`RttSeries`] shape the thread prober returns.
+fn run_probes_reactor<F: FnMut(probenet_stream::StreamRecord)>(
+    server: SocketAddr,
+    config: &ExperimentConfig,
+    drain: Duration,
+    sink: &mut F,
+) -> io::Result<(RttSeries, ProbeRunStats)> {
+    let interval = Duration::from_nanos(config.interval.as_nanos());
+    let spec = SessionSpec {
+        key: SessionKey {
+            path: "netdyn/live".to_string(),
+            delta_ns: config.interval.as_nanos(),
+            seed: 0,
+        },
+        target: server,
+        interval,
+        count: config.count,
+        start_offset: Duration::ZERO,
+        clock_resolution_ns: config.clock_resolution.as_nanos(),
+    };
+    let live_config = LiveConfig {
+        drain,
+        sessions_per_lane: 1,
+        ..LiveConfig::default()
+    };
+    let (reactor, _handle) = Reactor::new(vec![spec], live_config)?;
+    let mut outcome = None;
+    reactor.run(|o| outcome = Some(o))?;
+    let outcome = outcome.expect("the reactor resolves every session it was given");
+
+    let stats = ProbeRunStats {
+        duplicates: outcome.duplicates,
+        decode_errors: outcome.decode_errors,
+    };
+    // A shutdown mid-run can leave the tail unscheduled; the series
+    // contract is one record per configured probe, so pad with losses.
+    let records: Vec<RttRecord> = (0..config.count)
+        .map(|n| RttRecord {
+            seq: n as u64,
+            sent_at: config.interval.as_nanos() * n as u64,
+            echoed_at: outcome.echoed_at_ns.get(n).copied().flatten(),
+            rtt: outcome.records.get(n).and_then(|r| r.rtt_ns),
+        })
+        .collect();
+    for record in &records {
+        sink(record.to_stream());
+    }
+    Ok((
+        RttSeries::new(
+            config.interval,
+            config.wire_bytes(),
+            config.clock_resolution,
+            records,
+        ),
+        stats,
+    ))
+}
+
+/// The original thread-inline implementation of [`run_probes_with_sink`]:
+/// a blocking pacing loop on a connected socket. Kept as the reference the
+/// reactor path is differentially tested against, and as the working
+/// fallback on platforms without epoll.
+pub fn run_probes_with_sink_legacy<F: FnMut(probenet_stream::StreamRecord)>(
     server: SocketAddr,
     config: &ExperimentConfig,
     drain: Duration,

@@ -214,9 +214,13 @@ fn in_wire_crate(path: &str) -> bool {
     // reports, so it is held to the same no-lossy-cast bar as the codecs.
     // The mesh crate encodes hop-annotated frames and renders the golden
     // mesh artifact, which puts it on the same byte-compared path.
+    // The live reactor encodes probe packets onto real sockets and tags
+    // sequence numbers into a packed lane/slot wire format — a lossy cast
+    // there corrupts the probe stream itself.
     path.contains("crates/wire/src")
         || path.contains("crates/merged/src")
         || path.contains("crates/mesh/src")
+        || path.contains("crates/live/src")
 }
 
 fn is_serialization_file(path: &str) -> bool {
@@ -486,7 +490,14 @@ fn unordered_partition_merge(
         // into byte-compared artifacts — same bar as partition merges.
         || (path.contains("crates/mesh/src")
             && (fn_name.contains("fold") || fn_name.contains("merge")
-                || fn_name.contains("campaign")));
+                || fn_name.contains("campaign")))
+        // Live-reactor reducers fold per-session outcomes (which finish in
+        // network-completion order) into reports and record streams; the
+        // fold must declare a fixed session order or it inherits the
+        // network's.
+        || (path.contains("crates/live/src")
+            && (fn_name.contains("merge") || fn_name.contains("drain")
+                || fn_name.contains("outcome")));
     if !in_scope {
         return;
     }

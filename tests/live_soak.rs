@@ -1,0 +1,176 @@
+//! Live-reactor integration contracts: a 1,000-session loopback soak into
+//! one streaming collector (the tentpole's sessions-per-core claim plus
+//! exact drop accounting), and the reactor-vs-legacy differential that
+//! pins the two probe drivers to equivalent reports.
+
+#![cfg(target_os = "linux")]
+
+use std::time::Duration;
+
+use probenet::live::{run_sessions, LiveConfig, SessionSpec};
+use probenet::netdyn::{
+    run_probes_with_sink, run_probes_with_sink_legacy, EchoServer, ExperimentConfig,
+};
+use probenet::sim::SimDuration;
+use probenet::stream::{BankConfig, Collector, CollectorConfig, SessionKey, SessionProducer};
+
+#[test]
+fn thousand_session_soak_balances_drop_accounting() {
+    const SESSIONS: usize = 1_000;
+    const COUNT: usize = 5;
+    const DELTA_MS: u64 = 100;
+
+    let server = EchoServer::spawn("127.0.0.1:0").expect("bind echo server");
+    let delta = Duration::from_millis(DELTA_MS);
+    let specs: Vec<SessionSpec> = (0..SESSIONS)
+        .map(|i| SessionSpec {
+            key: SessionKey::new("soak/live", DELTA_MS, i as u64),
+            target: server.local_addr(),
+            interval: delta,
+            count: COUNT,
+            // Stagger starts across one δ so the reactor paces a steady
+            // aggregate stream instead of synchronized bursts.
+            start_offset: Duration::from_nanos(
+                delta.as_nanos() as u64 * i as u64 / SESSIONS as u64,
+            ),
+            clock_resolution_ns: 0,
+        })
+        .collect();
+
+    let mut collector = Collector::new(CollectorConfig {
+        channel_capacity: 256,
+        snapshot_every: 0,
+    });
+    let mut producers: Vec<Option<SessionProducer>> = (0..SESSIONS as u64)
+        .map(|s| {
+            Some(collector.add_session(
+                SessionKey::new("soak/live", DELTA_MS, s),
+                BankConfig::bolot(DELTA_MS as f64, 72, 0),
+            ))
+        })
+        .collect();
+    let running = collector.start();
+
+    let mut produced = 0u64;
+    let mut delivered_per_session = vec![0u64; SESSIONS];
+    let report = run_sessions(specs, &LiveConfig::default(), |outcome| {
+        let idx = usize::try_from(outcome.key.seed).expect("seed is a session index");
+        delivered_per_session[idx] = outcome
+            .records
+            .iter()
+            .filter(|r| r.rtt_ns.is_some())
+            .count() as u64;
+        let producer = producers[idx].take().expect("one outcome per session");
+        for record in outcome.records {
+            produced += 1;
+            // Non-blocking offer into the bounded ring: rejections land in
+            // the session's drop counter, keeping the identity exact.
+            producer.offer(record);
+        }
+    })
+    .expect("loopback soak run");
+    drop(producers);
+    let collected = running.join();
+
+    assert_eq!(report.sessions, SESSIONS, "all sessions on one reactor");
+    assert_eq!(produced, (SESSIONS * COUNT) as u64, "one record per probe");
+
+    // The drop-accounting identity: every produced record is either folded
+    // by the collector or counted in a session's drop counter.
+    assert_eq!(
+        produced,
+        collected.total_records() + collected.total_dropped(),
+        "records + dropped must equal produced"
+    );
+    assert_eq!(collected.sessions.len(), SESSIONS);
+
+    // Per-session delivery matches the echo server's receive counters:
+    // loopback loses nothing, so every session's delivered count is its
+    // probe count and the totals line up with the echo side.
+    for (i, &delivered) in delivered_per_session.iter().enumerate() {
+        assert_eq!(
+            delivered, COUNT as u64,
+            "session {i} lost probes on loopback"
+        );
+    }
+    let delivered: u64 = delivered_per_session.iter().sum();
+    assert_eq!(delivered, report.stats.replies_received);
+    let echo = server.stats();
+    assert_eq!(
+        echo.echoed, report.stats.probes_sent,
+        "echo server saw every probe"
+    );
+    assert_eq!(echo.decode_errors, 0);
+    server.shutdown();
+}
+
+/// The reactor-backed and the legacy thread-per-session drivers are two
+/// implementations of the same measurement. Against echo servers that drop
+/// probes with the same seeded Bernoulli stream, arrival order on loopback
+/// is send order, so both drivers must report the *same* per-sequence loss
+/// pattern — not merely similar rates.
+#[test]
+fn reactor_and_legacy_drivers_report_equivalent_loss() {
+    const PROBES: usize = 200;
+    let config = ExperimentConfig::quick(SimDuration::from_millis(2), PROBES);
+    let drain = Duration::from_millis(400);
+
+    // Two servers with identical loss streams: each driver consumes its
+    // own RNG sequence from the same seed.
+    let server_a = EchoServer::spawn_with_loss("127.0.0.1:0", 0.25, 42).expect("bind echo server");
+    let server_b = EchoServer::spawn_with_loss("127.0.0.1:0", 0.25, 42).expect("bind echo server");
+
+    let mut reactor_sink = Vec::new();
+    let (reactor_series, reactor_stats) =
+        run_probes_with_sink(server_a.local_addr(), &config, drain, |r| {
+            reactor_sink.push(r)
+        })
+        .expect("reactor run");
+    let mut legacy_sink = Vec::new();
+    let (legacy_series, legacy_stats) =
+        run_probes_with_sink_legacy(server_b.local_addr(), &config, drain, |r| {
+            legacy_sink.push(r)
+        })
+        .expect("legacy run");
+    server_a.shutdown();
+    server_b.shutdown();
+
+    assert_eq!(reactor_series.len(), PROBES);
+    assert_eq!(legacy_series.len(), PROBES);
+
+    // Identical loss pattern, sequence by sequence.
+    let reactor_lost: Vec<u64> = reactor_series
+        .records
+        .iter()
+        .filter(|r| r.rtt.is_none())
+        .map(|r| r.seq)
+        .collect();
+    let legacy_lost: Vec<u64> = legacy_series
+        .records
+        .iter()
+        .filter(|r| r.rtt.is_none())
+        .map(|r| r.seq)
+        .collect();
+    assert_eq!(
+        reactor_lost, legacy_lost,
+        "drivers disagree on which probes the seeded echo dropped"
+    );
+    // The seeded Bernoulli(0.25) stream over 200 probes loses some but
+    // not all — the comparison above is only meaningful if it did.
+    assert!(
+        !reactor_lost.is_empty() && reactor_lost.len() < PROBES,
+        "loss injection produced a degenerate pattern: {} lost",
+        reactor_lost.len()
+    );
+
+    assert_eq!(reactor_stats.duplicates, legacy_stats.duplicates);
+    assert_eq!(reactor_stats.decode_errors, legacy_stats.decode_errors);
+
+    // Both sinks carry the full record stream in sequence order.
+    assert_eq!(reactor_sink.len(), PROBES);
+    assert_eq!(legacy_sink.len(), PROBES);
+    for (a, b) in reactor_sink.iter().zip(&legacy_sink) {
+        assert_eq!(a.seq, b.seq);
+        assert_eq!(a.rtt_ns.is_some(), b.rtt_ns.is_some());
+    }
+}

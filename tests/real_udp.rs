@@ -1,6 +1,13 @@
 //! The real-network driver feeding the same analysis pipeline: a loopback
 //! echo server, actual UDP datagrams, and the full §4/§5 analysis on the
 //! measured series.
+//!
+//! These scenarios run on the epoll reactor harness (`probenet-live`)
+//! under the hood: [`run_probes`] paces sends off the reactor's timer
+//! wheel and sweeps the socket once more before declaring losses, instead
+//! of the legacy sleep-loop pacing whose scheduling jitter made loopback
+//! delivery counts flake under load. `tests/live_soak.rs` pins the two
+//! drivers to byte-equivalent loss reports.
 
 use std::time::Duration;
 

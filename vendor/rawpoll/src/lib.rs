@@ -1,0 +1,924 @@
+//! Offline stand-in for the event-loop layer crates (`mio`, `polling`,
+//! `socket2`) this build cannot download: a minimal, safe wrapper over the
+//! Linux readiness and batching syscalls the probenet live engine needs.
+//!
+//! The workspace's first-party crates forbid `unsafe`, so — exactly like
+//! `vendor/loom` stands in for the loom model checker — this crate is the
+//! one place the raw FFI lives, kept small enough to audit in one sitting:
+//!
+//! * [`Epoll`] — `epoll_create1` / `epoll_ctl` / `epoll_wait`, with level-
+//!   or edge-triggered interest per registration ([`Interest`]);
+//! * [`WakePipe`] — the classic self-pipe: a non-blocking pipe whose read
+//!   end sits in the epoll set so any thread can wake the loop by writing
+//!   one byte to a cloned [`WakeHandle`];
+//! * [`send_batch`] / [`recv_batch`] — `sendmmsg` / `recvmmsg` submission
+//!   of many UDP datagrams per syscall, with [`batching_available`] for
+//!   callers that need a `send_to`/`recv_from` fallback ladder;
+//! * [`set_socket_buffers`] — `SO_RCVBUF` / `SO_SNDBUF` sizing so a single
+//!   socket can absorb the bursts of thousands of multiplexed sessions.
+//!
+//! Every public function is safe: file descriptors are taken as
+//! [`RawFd`] + lifetimes are the caller's responsibility exactly as with
+//! `std::os::fd`, but no public API can cause memory unsafety. All pointer
+//! arithmetic is confined to the private `sys` module.
+//!
+//! On non-Linux targets the readiness and batching entry points return
+//! `io::ErrorKind::Unsupported`, which the callers' fallback ladders turn
+//! into plain blocking `std::net` IO.
+
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::RawFd;
+use std::sync::Arc;
+
+/// What readiness a registration asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    /// Wake when the fd is readable.
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+    /// Edge-triggered (`EPOLLET`) instead of level-triggered delivery.
+    pub edge: bool,
+}
+
+impl Interest {
+    /// Level-triggered read interest.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+        edge: false,
+    };
+    /// Level-triggered read + write interest.
+    pub const READ_WRITE: Interest = Interest {
+        readable: true,
+        writable: true,
+        edge: false,
+    };
+
+    /// This interest, delivered edge-triggered.
+    pub fn edge_triggered(mut self) -> Interest {
+        self.edge = true;
+        self
+    }
+}
+
+/// One readiness event out of [`Epoll::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct PollEvent {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Readable (or peer hung up — reads will not block).
+    pub readable: bool,
+    /// Writable.
+    pub writable: bool,
+    /// Error condition on the fd (reads/writes will surface it).
+    pub error: bool,
+}
+
+/// Reusable event buffer for [`Epoll::wait`]; allocates once.
+pub struct Events {
+    raw: Vec<sys::RawEvent>,
+    len: usize,
+}
+
+impl Events {
+    /// A buffer receiving at most `capacity` events per wait.
+    pub fn with_capacity(capacity: usize) -> Events {
+        Events {
+            raw: vec![sys::RawEvent::default(); capacity.max(1)],
+            len: 0,
+        }
+    }
+
+    /// Events delivered by the last [`Epoll::wait`].
+    pub fn iter(&self) -> impl Iterator<Item = PollEvent> + '_ {
+        self.raw[..self.len].iter().map(sys::to_event)
+    }
+
+    /// Number of events delivered by the last wait.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the last wait delivered nothing (timeout).
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+/// A level/edge-triggered epoll instance.
+#[derive(Debug)]
+pub struct Epoll {
+    fd: RawFd,
+}
+
+impl Epoll {
+    /// Create a new epoll instance (`EPOLL_CLOEXEC`).
+    pub fn new() -> io::Result<Epoll> {
+        sys::epoll_create().map(|fd| Epoll { fd })
+    }
+
+    /// Register `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::CTL_ADD, fd, Some((token, interest)))
+    }
+
+    /// Change the interest of an already registered fd.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::CTL_MOD, fd, Some((token, interest)))
+    }
+
+    /// Remove `fd` from the set.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        sys::epoll_ctl(self.fd, sys::CTL_DEL, fd, None)
+    }
+
+    /// Wait up to `timeout_ms` (−1 = forever, 0 = poll) for readiness and
+    /// fill `events`. Returns the number of events; `EINTR` retries
+    /// internally so callers never see spurious interrupted errors.
+    pub fn wait(&self, events: &mut Events, timeout_ms: i32) -> io::Result<usize> {
+        let n = sys::epoll_wait(self.fd, &mut events.raw, timeout_ms)?;
+        events.len = n;
+        Ok(n)
+    }
+}
+
+impl Drop for Epoll {
+    fn drop(&mut self) {
+        sys::close(self.fd);
+    }
+}
+
+/// Shared write end of a [`WakePipe`]; clone freely across threads.
+#[derive(Debug, Clone)]
+pub struct WakeHandle {
+    write: Arc<OwnedPipeFd>,
+}
+
+impl WakeHandle {
+    /// Wake the loop owning the pipe's read end. Coalesces: waking an
+    /// already-woken loop is a no-op (the pipe is non-blocking, a full
+    /// pipe already guarantees a pending wakeup).
+    pub fn wake(&self) {
+        sys::write_byte(self.write.0);
+    }
+}
+
+#[derive(Debug)]
+struct OwnedPipeFd(RawFd);
+
+impl Drop for OwnedPipeFd {
+    fn drop(&mut self) {
+        sys::close(self.0);
+    }
+}
+
+/// A non-blocking self-pipe for event-driven wakeups: the read end lives
+/// in an epoll set, any thread holding a [`WakeHandle`] can wake the loop.
+#[derive(Debug)]
+pub struct WakePipe {
+    read: OwnedPipeFd,
+    write: Arc<OwnedPipeFd>,
+}
+
+impl WakePipe {
+    /// Create the pipe (both ends non-blocking, close-on-exec).
+    pub fn new() -> io::Result<WakePipe> {
+        let (r, w) = sys::pipe()?;
+        Ok(WakePipe {
+            read: OwnedPipeFd(r),
+            write: Arc::new(OwnedPipeFd(w)),
+        })
+    }
+
+    /// The fd to register for read interest in an epoll set.
+    pub fn read_fd(&self) -> RawFd {
+        self.read.0
+    }
+
+    /// A cloneable handle to the write end.
+    pub fn handle(&self) -> WakeHandle {
+        WakeHandle {
+            write: Arc::clone(&self.write),
+        }
+    }
+
+    /// Drain all pending wake bytes; returns how many were pending.
+    pub fn drain(&self) -> usize {
+        sys::drain(self.read.0)
+    }
+}
+
+/// Metadata for one datagram received by [`recv_batch`].
+#[derive(Debug, Clone, Copy, Default)]
+pub struct RecvMeta {
+    /// Bytes written into the corresponding buffer.
+    pub len: usize,
+    /// Sender address, when the kernel reported one.
+    pub from: Option<SocketAddr>,
+}
+
+/// Submit up to `msgs.len()` datagrams on `fd` with one `sendmmsg` call
+/// (non-blocking). Each message is `(payload, destination)`; a `None`
+/// destination sends on the connected peer. Returns how many messages the
+/// kernel accepted (possibly fewer than submitted); `WouldBlock` when the
+/// socket buffer is full, `Unsupported` where `sendmmsg` does not exist.
+pub fn send_batch(fd: RawFd, msgs: &[(&[u8], Option<SocketAddr>)]) -> io::Result<usize> {
+    sys::send_batch(fd, msgs)
+}
+
+/// Receive up to `bufs.len()` datagrams on `fd` with one `recvmmsg` call
+/// (non-blocking). `meta[i]` describes the datagram landed in `bufs[i]`.
+/// Returns the number received; `WouldBlock` when nothing is queued,
+/// `Unsupported` where `recvmmsg` does not exist.
+///
+/// # Panics
+/// Panics if `meta` is shorter than `bufs`.
+pub fn recv_batch(fd: RawFd, bufs: &mut [&mut [u8]], meta: &mut [RecvMeta]) -> io::Result<usize> {
+    assert!(meta.len() >= bufs.len(), "meta must cover every buffer");
+    sys::recv_batch(fd, bufs, meta)
+}
+
+/// Are `sendmmsg`/`recvmmsg` available on this host? Probed once with a
+/// zero-length submission and cached; callers use this to pick the batched
+/// rung of their fallback ladder up front.
+pub fn batching_available() -> bool {
+    use std::sync::OnceLock;
+    static AVAILABLE: OnceLock<bool> = OnceLock::new();
+    *AVAILABLE.get_or_init(sys::probe_batching)
+}
+
+/// Ask the kernel for `rcv`/`snd` byte socket buffers (`SO_RCVBUF` /
+/// `SO_SNDBUF`). Best-effort: the kernel clamps to its configured maxima,
+/// so the resulting sizes may be smaller than requested.
+pub fn set_socket_buffers(fd: RawFd, rcv: usize, snd: usize) -> io::Result<()> {
+    sys::set_socket_buffers(fd, rcv, snd)
+}
+
+#[cfg(target_os = "linux")]
+mod sys {
+    //! The raw syscall layer. Everything `unsafe` in the crate is here.
+    //!
+    //! Struct layouts mirror the x86-64 Linux kernel/glibc ABI and are
+    //! pinned by the layout tests at the bottom of the crate.
+
+    use super::{Interest, PollEvent, RecvMeta};
+    use std::io;
+    use std::mem;
+    use std::net::{IpAddr, Ipv4Addr, Ipv6Addr, SocketAddr};
+    use std::os::fd::RawFd;
+    use std::os::raw::{c_int, c_uint, c_void};
+
+    // epoll_ctl ops.
+    pub const CTL_ADD: c_int = 1;
+    pub const CTL_DEL: c_int = 2;
+    pub const CTL_MOD: c_int = 3;
+
+    // epoll event bits.
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLET: u32 = 1 << 31;
+
+    const EPOLL_CLOEXEC: c_int = 0o2000000;
+    const O_NONBLOCK: c_int = 0o4000;
+    const O_CLOEXEC: c_int = 0o2000000;
+    const MSG_DONTWAIT: c_int = 0x40;
+    const AF_INET: u16 = 2;
+    const AF_INET6: u16 = 10;
+    const SOL_SOCKET: c_int = 1;
+    const SO_SNDBUF: c_int = 7;
+    const SO_RCVBUF: c_int = 8;
+    const EINTR: i32 = 4;
+    const EINVAL: i32 = 22;
+
+    /// `struct epoll_event`. The kernel ABI packs this to 12 bytes on
+    /// x86-64 (no padding between `events` and `data`).
+    #[derive(Debug, Clone, Copy, Default)]
+    #[repr(C, packed)]
+    pub struct RawEvent {
+        events: u32,
+        data: u64,
+    }
+
+    #[repr(C)]
+    struct IoVec {
+        base: *mut c_void,
+        len: usize,
+    }
+
+    #[repr(C)]
+    struct MsgHdr {
+        name: *mut c_void,
+        namelen: u32,
+        iov: *mut IoVec,
+        iovlen: usize,
+        control: *mut c_void,
+        controllen: usize,
+        flags: c_int,
+    }
+
+    #[repr(C)]
+    struct MMsgHdr {
+        hdr: MsgHdr,
+        len: c_uint,
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockAddrIn {
+        family: u16,
+        port_be: u16,
+        addr_be: u32,
+        zero: [u8; 8],
+    }
+
+    #[repr(C)]
+    #[derive(Clone, Copy)]
+    struct SockAddrIn6 {
+        family: u16,
+        port_be: u16,
+        flowinfo: u32,
+        addr: [u8; 16],
+        scope_id: u32,
+    }
+
+    /// Big enough for either address family, like `sockaddr_storage`.
+    #[repr(C, align(8))]
+    #[derive(Clone, Copy)]
+    struct SockAddrBuf {
+        bytes: [u8; 128],
+    }
+
+    impl Default for SockAddrBuf {
+        fn default() -> Self {
+            SockAddrBuf { bytes: [0; 128] }
+        }
+    }
+
+    mod ffi {
+        use super::{MMsgHdr, RawEvent};
+        use std::os::raw::{c_int, c_uint, c_void};
+
+        extern "C" {
+            pub fn epoll_create1(flags: c_int) -> c_int;
+            pub fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut RawEvent) -> c_int;
+            pub fn epoll_wait(
+                epfd: c_int,
+                events: *mut RawEvent,
+                maxevents: c_int,
+                timeout: c_int,
+            ) -> c_int;
+            pub fn pipe2(fds: *mut c_int, flags: c_int) -> c_int;
+            pub fn read(fd: c_int, buf: *mut c_void, count: usize) -> isize;
+            pub fn write(fd: c_int, buf: *const c_void, count: usize) -> isize;
+            pub fn close(fd: c_int) -> c_int;
+            pub fn sendmmsg(fd: c_int, msgvec: *mut MMsgHdr, vlen: c_uint, flags: c_int) -> c_int;
+            pub fn recvmmsg(
+                fd: c_int,
+                msgvec: *mut MMsgHdr,
+                vlen: c_uint,
+                flags: c_int,
+                timeout: *mut c_void,
+            ) -> c_int;
+            pub fn setsockopt(
+                fd: c_int,
+                level: c_int,
+                optname: c_int,
+                optval: *const c_void,
+                optlen: u32,
+            ) -> c_int;
+        }
+    }
+
+    fn last_err() -> io::Error {
+        io::Error::last_os_error()
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        // SAFETY: epoll_create1 takes no pointers.
+        let fd = unsafe { ffi::epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            Err(last_err())
+        } else {
+            Ok(fd)
+        }
+    }
+
+    fn interest_bits(i: Interest) -> u32 {
+        let mut bits = 0;
+        if i.readable {
+            bits |= EPOLLIN;
+        }
+        if i.writable {
+            bits |= EPOLLOUT;
+        }
+        if i.edge {
+            bits |= EPOLLET;
+        }
+        bits
+    }
+
+    pub fn epoll_ctl(
+        epfd: RawFd,
+        op: c_int,
+        fd: RawFd,
+        reg: Option<(u64, Interest)>,
+    ) -> io::Result<()> {
+        let mut ev = RawEvent::default();
+        let ptr = match reg {
+            Some((token, interest)) => {
+                ev = RawEvent {
+                    events: interest_bits(interest),
+                    data: token,
+                };
+                &mut ev as *mut RawEvent
+            }
+            // DEL ignores the event but old kernels want a non-null ptr.
+            None => &mut ev as *mut RawEvent,
+        };
+        // SAFETY: `ev` outlives the call; the kernel copies it.
+        let rc = unsafe { ffi::epoll_ctl(epfd, op, fd, ptr) };
+        if rc < 0 {
+            Err(last_err())
+        } else {
+            Ok(())
+        }
+    }
+
+    pub fn epoll_wait(epfd: RawFd, events: &mut [RawEvent], timeout_ms: i32) -> io::Result<usize> {
+        loop {
+            // SAFETY: `events` is a valid, writable slice; maxevents is its
+            // length, so the kernel cannot write past it.
+            let rc = unsafe {
+                ffi::epoll_wait(epfd, events.as_mut_ptr(), events.len() as c_int, timeout_ms)
+            };
+            if rc >= 0 {
+                return Ok(rc as usize);
+            }
+            let err = last_err();
+            if err.raw_os_error() == Some(EINTR) {
+                continue;
+            }
+            return Err(err);
+        }
+    }
+
+    pub fn to_event(raw: &RawEvent) -> PollEvent {
+        // Copy out of the packed struct before touching the fields.
+        let bits = { raw.events };
+        let data = { raw.data };
+        PollEvent {
+            token: data,
+            readable: bits & (EPOLLIN | EPOLLHUP) != 0,
+            writable: bits & EPOLLOUT != 0,
+            error: bits & EPOLLERR != 0,
+        }
+    }
+
+    pub fn pipe() -> io::Result<(RawFd, RawFd)> {
+        let mut fds = [0 as c_int; 2];
+        // SAFETY: `fds` is a valid 2-element array for pipe2 to fill.
+        let rc = unsafe { ffi::pipe2(fds.as_mut_ptr(), O_NONBLOCK | O_CLOEXEC) };
+        if rc < 0 {
+            Err(last_err())
+        } else {
+            Ok((fds[0], fds[1]))
+        }
+    }
+
+    pub fn write_byte(fd: RawFd) {
+        let byte = 1u8;
+        // SAFETY: one readable byte; short/failed writes are fine (a full
+        // pipe already holds a pending wakeup).
+        let _ = unsafe { ffi::write(fd, (&byte as *const u8).cast(), 1) };
+    }
+
+    pub fn drain(fd: RawFd) -> usize {
+        let mut total = 0usize;
+        let mut buf = [0u8; 64];
+        loop {
+            // SAFETY: `buf` is valid and writable for its full length.
+            let n = unsafe { ffi::read(fd, buf.as_mut_ptr().cast(), buf.len()) };
+            if n <= 0 {
+                return total;
+            }
+            total += n as usize;
+        }
+    }
+
+    pub fn close(fd: RawFd) {
+        // SAFETY: callers only close fds they own, exactly once.
+        let _ = unsafe { ffi::close(fd) };
+    }
+
+    fn encode_addr(addr: SocketAddr, buf: &mut SockAddrBuf) -> u32 {
+        match addr {
+            SocketAddr::V4(v4) => {
+                let raw = SockAddrIn {
+                    family: AF_INET,
+                    port_be: v4.port().to_be(),
+                    addr_be: u32::from(*v4.ip()).to_be(),
+                    zero: [0; 8],
+                };
+                let len = mem::size_of::<SockAddrIn>();
+                // SAFETY: SockAddrIn is plain-old-data no larger than buf.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        (&raw as *const SockAddrIn).cast::<u8>(),
+                        buf.bytes.as_mut_ptr(),
+                        len,
+                    );
+                }
+                len as u32
+            }
+            SocketAddr::V6(v6) => {
+                let raw = SockAddrIn6 {
+                    family: AF_INET6,
+                    port_be: v6.port().to_be(),
+                    flowinfo: v6.flowinfo(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                };
+                let len = mem::size_of::<SockAddrIn6>();
+                // SAFETY: SockAddrIn6 is plain-old-data no larger than buf.
+                unsafe {
+                    std::ptr::copy_nonoverlapping(
+                        (&raw as *const SockAddrIn6).cast::<u8>(),
+                        buf.bytes.as_mut_ptr(),
+                        len,
+                    );
+                }
+                len as u32
+            }
+        }
+    }
+
+    fn decode_addr(buf: &SockAddrBuf, len: u32) -> Option<SocketAddr> {
+        if (len as usize) < 2 {
+            return None;
+        }
+        let family = u16::from_ne_bytes([buf.bytes[0], buf.bytes[1]]);
+        if family == AF_INET && len as usize >= mem::size_of::<SockAddrIn>() {
+            let port = u16::from_be_bytes([buf.bytes[2], buf.bytes[3]]);
+            let ip = Ipv4Addr::new(buf.bytes[4], buf.bytes[5], buf.bytes[6], buf.bytes[7]);
+            return Some(SocketAddr::new(IpAddr::V4(ip), port));
+        }
+        if family == AF_INET6 && len as usize >= mem::size_of::<SockAddrIn6>() {
+            let port = u16::from_be_bytes([buf.bytes[2], buf.bytes[3]]);
+            let mut octets = [0u8; 16];
+            octets.copy_from_slice(&buf.bytes[8..24]);
+            return Some(SocketAddr::new(IpAddr::V6(Ipv6Addr::from(octets)), port));
+        }
+        None
+    }
+
+    pub fn send_batch(fd: RawFd, msgs: &[(&[u8], Option<SocketAddr>)]) -> io::Result<usize> {
+        if msgs.is_empty() {
+            return Ok(0);
+        }
+        let mut iovecs: Vec<IoVec> = Vec::with_capacity(msgs.len());
+        let mut addrs: Vec<SockAddrBuf> = vec![SockAddrBuf::default(); msgs.len()];
+        let mut hdrs: Vec<MMsgHdr> = Vec::with_capacity(msgs.len());
+        for (i, (payload, to)) in msgs.iter().enumerate() {
+            iovecs.push(IoVec {
+                // sendmmsg never writes through msg_iov; the const→mut cast
+                // mirrors the C prototype.
+                base: payload.as_ptr() as *mut c_void,
+                len: payload.len(),
+            });
+            let (name, namelen) = match to {
+                Some(addr) => {
+                    let len = encode_addr(*addr, &mut addrs[i]);
+                    (addrs[i].bytes.as_mut_ptr().cast::<c_void>(), len)
+                }
+                None => (std::ptr::null_mut(), 0),
+            };
+            hdrs.push(MMsgHdr {
+                hdr: MsgHdr {
+                    name,
+                    namelen,
+                    iov: &mut iovecs[i] as *mut IoVec,
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        // SAFETY: every pointer in `hdrs` targets a live Vec element that
+        // outlives this call; vlen equals the header count.
+        let rc =
+            unsafe { ffi::sendmmsg(fd, hdrs.as_mut_ptr(), hdrs.len() as c_uint, MSG_DONTWAIT) };
+        if rc < 0 {
+            Err(last_err())
+        } else {
+            Ok(rc as usize)
+        }
+    }
+
+    pub fn recv_batch(
+        fd: RawFd,
+        bufs: &mut [&mut [u8]],
+        meta: &mut [RecvMeta],
+    ) -> io::Result<usize> {
+        if bufs.is_empty() {
+            return Ok(0);
+        }
+        let mut iovecs: Vec<IoVec> = Vec::with_capacity(bufs.len());
+        let mut addrs: Vec<SockAddrBuf> = vec![SockAddrBuf::default(); bufs.len()];
+        let mut hdrs: Vec<MMsgHdr> = Vec::with_capacity(bufs.len());
+        for (i, buf) in bufs.iter_mut().enumerate() {
+            iovecs.push(IoVec {
+                base: buf.as_mut_ptr().cast(),
+                len: buf.len(),
+            });
+            hdrs.push(MMsgHdr {
+                hdr: MsgHdr {
+                    name: addrs[i].bytes.as_mut_ptr().cast(),
+                    namelen: mem::size_of::<SockAddrBuf>() as u32,
+                    iov: std::ptr::null_mut(), // patched below, after iovecs stops growing
+                    iovlen: 1,
+                    control: std::ptr::null_mut(),
+                    controllen: 0,
+                    flags: 0,
+                },
+                len: 0,
+            });
+        }
+        for (hdr, iov) in hdrs.iter_mut().zip(iovecs.iter_mut()) {
+            hdr.hdr.iov = iov as *mut IoVec;
+        }
+        // SAFETY: every buffer/address slot pointed to by `hdrs` is a live,
+        // writable Vec element sized as declared; vlen equals the count.
+        let rc = unsafe {
+            ffi::recvmmsg(
+                fd,
+                hdrs.as_mut_ptr(),
+                hdrs.len() as c_uint,
+                MSG_DONTWAIT,
+                std::ptr::null_mut(),
+            )
+        };
+        if rc < 0 {
+            return Err(last_err());
+        }
+        let n = rc as usize;
+        for i in 0..n {
+            meta[i] = RecvMeta {
+                len: hdrs[i].len as usize,
+                from: decode_addr(&addrs[i], hdrs[i].hdr.namelen),
+            };
+        }
+        Ok(n)
+    }
+
+    pub fn probe_batching() -> bool {
+        // A zero-length submission on an invalid fd: a kernel with the
+        // syscall reports EBADF/EINVAL/ENOTSOCK; a libc shim without it
+        // reports ENOSYS. Either way nothing is sent.
+        // SAFETY: vlen 0 with a dangling-but-unread msgvec is never
+        // dereferenced; fd -1 is rejected before any IO.
+        let rc = unsafe { ffi::sendmmsg(-1, std::ptr::null_mut(), 0, MSG_DONTWAIT) };
+        if rc >= 0 {
+            return true;
+        }
+        let errno = last_err().raw_os_error().unwrap_or(EINVAL);
+        errno != libc_enosys()
+    }
+
+    const fn libc_enosys() -> i32 {
+        38 // ENOSYS on every Linux arch this project targets
+    }
+
+    pub fn set_socket_buffers(fd: RawFd, rcv: usize, snd: usize) -> io::Result<()> {
+        for (opt, val) in [(SO_RCVBUF, rcv), (SO_SNDBUF, snd)] {
+            let v = val.min(i32::MAX as usize) as c_int;
+            // SAFETY: optval points at a live c_int of the declared length.
+            let rc = unsafe {
+                ffi::setsockopt(
+                    fd,
+                    SOL_SOCKET,
+                    opt,
+                    (&v as *const c_int).cast(),
+                    mem::size_of::<c_int>() as u32,
+                )
+            };
+            if rc < 0 {
+                return Err(last_err());
+            }
+        }
+        Ok(())
+    }
+
+    #[cfg(test)]
+    mod layout {
+        use super::*;
+
+        #[test]
+        fn epoll_event_is_kernel_packed() {
+            assert_eq!(mem::size_of::<RawEvent>(), 12);
+        }
+
+        #[test]
+        fn msghdr_matches_glibc_x86_64() {
+            assert_eq!(mem::size_of::<MsgHdr>(), 56);
+            assert_eq!(mem::size_of::<MMsgHdr>(), 64);
+            assert_eq!(mem::size_of::<IoVec>(), 16);
+        }
+
+        #[test]
+        fn sockaddr_sizes() {
+            assert_eq!(mem::size_of::<SockAddrIn>(), 16);
+            assert_eq!(mem::size_of::<SockAddrIn6>(), 28);
+        }
+    }
+}
+
+#[cfg(not(target_os = "linux"))]
+mod sys {
+    //! Portable stub: every readiness/batching call reports `Unsupported`,
+    //! so callers drop to their blocking `std::net` fallback rung.
+
+    use super::{Interest, PollEvent, RecvMeta};
+    use std::io;
+    use std::net::SocketAddr;
+    use std::os::fd::RawFd;
+
+    pub const CTL_ADD: i32 = 1;
+    pub const CTL_DEL: i32 = 2;
+    pub const CTL_MOD: i32 = 3;
+
+    #[derive(Debug, Clone, Copy, Default)]
+    pub struct RawEvent;
+
+    fn unsupported() -> io::Error {
+        io::Error::new(io::ErrorKind::Unsupported, "rawpoll: not linux")
+    }
+
+    pub fn epoll_create() -> io::Result<RawFd> {
+        Err(unsupported())
+    }
+
+    pub fn epoll_ctl(_: RawFd, _: i32, _: RawFd, _: Option<(u64, Interest)>) -> io::Result<()> {
+        Err(unsupported())
+    }
+
+    pub fn epoll_wait(_: RawFd, _: &mut [RawEvent], _: i32) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    pub fn to_event(_: &RawEvent) -> PollEvent {
+        PollEvent {
+            token: 0,
+            readable: false,
+            writable: false,
+            error: false,
+        }
+    }
+
+    pub fn pipe() -> io::Result<(RawFd, RawFd)> {
+        Err(unsupported())
+    }
+
+    pub fn write_byte(_: RawFd) {}
+
+    pub fn drain(_: RawFd) -> usize {
+        0
+    }
+
+    pub fn close(_: RawFd) {}
+
+    pub fn send_batch(_: RawFd, _: &[(&[u8], Option<SocketAddr>)]) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    pub fn recv_batch(_: RawFd, _: &mut [&mut [u8]], _: &mut [RecvMeta]) -> io::Result<usize> {
+        Err(unsupported())
+    }
+
+    pub fn probe_batching() -> bool {
+        false
+    }
+
+    pub fn set_socket_buffers(_: RawFd, _: usize, _: usize) -> io::Result<()> {
+        Err(unsupported())
+    }
+}
+
+#[cfg(all(test, target_os = "linux"))]
+mod tests {
+    use super::*;
+    use std::net::UdpSocket;
+    use std::os::fd::AsRawFd;
+    use std::time::Duration;
+
+    #[test]
+    fn epoll_sees_wake_pipe() {
+        let epoll = Epoll::new().expect("epoll");
+        let pipe = WakePipe::new().expect("pipe");
+        epoll.add(pipe.read_fd(), 7, Interest::READ).expect("add");
+
+        let mut events = Events::with_capacity(4);
+        // Nothing pending: a zero-timeout wait returns no events.
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+
+        pipe.handle().wake();
+        assert_eq!(epoll.wait(&mut events, 1000).expect("wait"), 1);
+        let ev = events.iter().next().expect("event");
+        assert_eq!(ev.token, 7);
+        assert!(ev.readable);
+
+        // Level-triggered: still readable until drained.
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 1);
+        assert!(pipe.drain() >= 1);
+        assert_eq!(epoll.wait(&mut events, 0).expect("wait"), 0);
+    }
+
+    #[test]
+    fn wake_from_another_thread_unblocks_wait() {
+        let epoll = Epoll::new().expect("epoll");
+        let pipe = WakePipe::new().expect("pipe");
+        epoll.add(pipe.read_fd(), 1, Interest::READ).expect("add");
+        let handle = pipe.handle();
+        let waker = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            handle.wake();
+        });
+        let mut events = Events::with_capacity(1);
+        let n = epoll.wait(&mut events, 5_000).expect("wait");
+        assert_eq!(n, 1);
+        waker.join().expect("waker thread");
+    }
+
+    #[test]
+    fn batched_send_and_receive_roundtrip() {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        a.set_nonblocking(true).expect("nonblocking");
+        b.set_nonblocking(true).expect("nonblocking");
+        let to = b.local_addr().expect("addr");
+
+        let payloads: Vec<Vec<u8>> = (0u8..5).map(|i| vec![i; 16 + i as usize]).collect();
+        let msgs: Vec<(&[u8], Option<std::net::SocketAddr>)> =
+            payloads.iter().map(|p| (p.as_slice(), Some(to))).collect();
+        let sent = send_batch(a.as_raw_fd(), &msgs).expect("send_batch");
+        assert_eq!(sent, 5);
+
+        std::thread::sleep(Duration::from_millis(50));
+        let mut storage: Vec<Vec<u8>> = (0..8).map(|_| vec![0u8; 64]).collect();
+        let mut meta = vec![RecvMeta::default(); 8];
+        let got = {
+            let mut bufs: Vec<&mut [u8]> = storage.iter_mut().map(|b| b.as_mut_slice()).collect();
+            recv_batch(b.as_raw_fd(), &mut bufs, &mut meta).expect("recv_batch")
+        };
+        assert_eq!(got, 5);
+        for (i, m) in meta[..got].iter().enumerate() {
+            assert_eq!(m.len, 16 + i);
+            assert_eq!(storage[i][..m.len], payloads[i][..]);
+            assert_eq!(m.from, Some(a.local_addr().expect("addr")));
+        }
+        // Queue drained: the next batched read would block.
+        let err = {
+            let mut bufs: Vec<&mut [u8]> = storage.iter_mut().map(|b| b.as_mut_slice()).collect();
+            recv_batch(b.as_raw_fd(), &mut bufs, &mut meta).expect_err("empty")
+        };
+        assert_eq!(err.kind(), std::io::ErrorKind::WouldBlock);
+    }
+
+    #[test]
+    fn batching_is_available_on_linux() {
+        assert!(batching_available());
+    }
+
+    #[test]
+    fn socket_buffers_can_be_sized() {
+        let s = UdpSocket::bind("127.0.0.1:0").expect("bind");
+        set_socket_buffers(s.as_raw_fd(), 1 << 20, 1 << 20).expect("setsockopt");
+    }
+
+    #[test]
+    fn epoll_reports_udp_readability() {
+        let a = UdpSocket::bind("127.0.0.1:0").expect("bind a");
+        let b = UdpSocket::bind("127.0.0.1:0").expect("bind b");
+        b.set_nonblocking(true).expect("nonblocking");
+        let epoll = Epoll::new().expect("epoll");
+        epoll
+            .add(b.as_raw_fd(), 42, Interest::READ_WRITE)
+            .expect("add");
+        let mut events = Events::with_capacity(4);
+        // Writable immediately, not readable.
+        epoll.wait(&mut events, 1000).expect("wait");
+        assert!(events.iter().any(|e| e.token == 42 && e.writable));
+        assert!(!events.iter().any(|e| e.readable));
+
+        a.send_to(b"ping", b.local_addr().expect("addr"))
+            .expect("send");
+        std::thread::sleep(Duration::from_millis(30));
+        epoll.wait(&mut events, 1000).expect("wait");
+        assert!(events.iter().any(|e| e.token == 42 && e.readable));
+    }
+}
