@@ -671,7 +671,7 @@ fn render_artifacts(
     threads: usize,
 ) -> Vec<(String, String, Duration)> {
     probenet_core::sched::par_map_threads(threads, selected.to_vec(), |(name, f)| {
-        let started = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) per-artifact wall-time report, not artifact data
+        let started = Instant::now(); // probenet-lint: allow(wall-clock-in-sim, tainted-artifact-path) per-artifact wall-time report, not artifact data
         let text = f(args);
         (name.to_string(), text, started.elapsed())
     })
@@ -748,6 +748,9 @@ struct BenchReport {
     /// says why).
     live_engine: Option<LiveEngineRun>,
     live_engine_note: Option<String>,
+    /// Deep-tier lint runtime over this workspace; `None` when the bench
+    /// binary runs outside the repo checkout (no sources to analyze).
+    lint_deep: Option<LintDeepRun>,
     /// Full-artifact serial wall time of this harness before the indexed
     /// event queue, engine reuse and pooled artifact scheduling landed,
     /// measured on the same host at span 120 s, seed 1993.
@@ -802,6 +805,46 @@ fn engine_throughput(span_secs: u64, seed: u64, iters: usize) -> BenchEngine {
     }
 }
 
+/// Deep-tier lint runtime (`cargo xtask lint --deep` run in-process
+/// through the xtask library): the analyzer sits on the blocking CI path,
+/// so its wall time is budgeted like any other tool on that path.
+#[derive(serde::Serialize)]
+struct LintDeepRun {
+    /// Source files the analyzer read.
+    files: u64,
+    /// Functions in the workspace call graph.
+    functions: u64,
+    /// Resolved (deduplicated) call edges.
+    call_edges: u64,
+    /// End-to-end wall time: read + scrub + lex + call graph + taint BFS.
+    wall_ms: f64,
+}
+
+/// Run the deep lint tier against the workspace rooted at the current
+/// directory and time it end to end. Returns `None` (skip, not fail) when
+/// the sources are not present — e.g. the binary run outside the repo
+/// checkout, where there is nothing to analyze.
+fn lint_deep_run() -> Option<LintDeepRun> {
+    let started = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) bench harness timing
+    let files = xtask::read_workspace(std::path::Path::new(".")).ok()?;
+    if files.is_empty() {
+        return None;
+    }
+    let analysis = xtask::taint::analyze(&files);
+    let wall = started.elapsed();
+    assert!(
+        analysis.violations.is_empty(),
+        "deep lint must be clean when benched: {:?}",
+        analysis.violations
+    );
+    Some(LintDeepRun {
+        files: analysis.stats.files as u64,
+        functions: analysis.stats.functions as u64,
+        call_edges: analysis.stats.edges as u64,
+        wall_ms: ms(wall),
+    })
+}
+
 /// Committed engine-throughput floor for `--bench-gate`.
 #[derive(serde::Deserialize)]
 struct BenchBaseline {
@@ -819,6 +862,13 @@ struct BenchBaseline {
     /// caps it at sessions/δ), so a shortfall means the reactor fell off
     /// pace, not that the host is slow.
     live_aggregate_pps: f64,
+    /// Absolute wall-time box for the deep lint tier (`lint --deep`), in
+    /// milliseconds. Unlike the throughput floors this is not a regression
+    /// ratio: the taint pass is designed to stay near-linear in workspace
+    /// size, so the budget is a hard ceiling sized far above the measured
+    /// wall time — it trips on accidental complexity blowups (an unbounded
+    /// taint frontier, quadratic call linking), not on runner speed.
+    lint_deep_budget_ms: f64,
 }
 
 /// `--bench-gate`: re-measure serial engine throughput with the same
@@ -884,6 +934,29 @@ fn bench_gate() -> i32 {
                 println!(
                     "bench-gate: FAIL — live probe rate regressed more than {:.0}% below {path}",
                     baseline.max_regression * 100.0
+                );
+                failed = true;
+            }
+        }
+    }
+    // Deep-lint runtime box: the analyzer rides the blocking CI path, so a
+    // complexity regression fails here instead of silently stretching
+    // every build from now on.
+    match lint_deep_run() {
+        None => println!("bench-gate: deep lint skipped (workspace sources not found)"),
+        Some(lint) => {
+            println!(
+                "bench-gate: deep lint {:.0} ms over {} files / {} fns / {} edges | budget {:.0} ms",
+                lint.wall_ms,
+                lint.files,
+                lint.functions,
+                lint.call_edges,
+                baseline.lint_deep_budget_ms,
+            );
+            if lint.wall_ms > baseline.lint_deep_budget_ms {
+                println!(
+                    "bench-gate: FAIL — deep lint exceeded its {:.0} ms budget in {path}",
+                    baseline.lint_deep_budget_ms
                 );
                 failed = true;
             }
@@ -1045,6 +1118,7 @@ fn bench(args: &Args) {
         engine,
         live_engine,
         live_engine_note,
+        lint_deep: lint_deep_run(),
         pre_optimization_serial_wall_ms: PRE_OPTIMIZATION_SERIAL_WALL_MS,
         speedup_vs_pre_optimization: PRE_OPTIMIZATION_SERIAL_WALL_MS / ms(serial_wall),
     };
@@ -1077,6 +1151,12 @@ fn bench(args: &Args) {
             "live engine: skipped ({})",
             note.as_deref().unwrap_or("unavailable")
         ),
+    }
+    if let Some(lint) = &report.lint_deep {
+        println!(
+            "deep lint: {:.0} ms over {} files ({} fns, {} edges)",
+            lint.wall_ms, lint.files, lint.functions, lint.call_edges
+        );
     }
 }
 

@@ -8,6 +8,10 @@
 //! real networks: packet timestamps and pacing deadlines are genuine
 //! wall-clock reads (the same justification as crates/netdyn/src/udp.rs),
 //! confined to this module so the sim crates keep rejecting wall-clock.
+//!
+//! probenet-lint: allow-file(tainted-artifact-path) timestamps derived
+//! from this clock ARE the live measurement: their flow into probe
+//! records and reports is the tool's purpose, not a determinism leak.
 
 use probenet_wire::Timestamp48;
 use std::time::Instant;

@@ -245,7 +245,7 @@ fn echo_loop(
     seed: u64,
     forward_to: Option<SocketAddr>,
 ) {
-    let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for echo timestamps
+    let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim, tainted-artifact-path) real probe epoch for echo timestamps
     let mut rng = StdRng::seed_from_u64(seed);
     let mut buf = [0u8; 2048];
     let mut events = Events::with_capacity(4);
@@ -311,7 +311,7 @@ impl DestinationCollector {
             let shutdown = Arc::clone(&shutdown);
             let received = Arc::clone(&received);
             std::thread::spawn(move || {
-                let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim) real probe epoch for dest timestamps
+                let epoch = Instant::now(); // probenet-lint: allow(wall-clock-in-sim, tainted-artifact-path) real probe epoch for dest timestamps
                 let mut buf = [0u8; 2048];
                 let mut events = Events::with_capacity(4);
                 while !shutdown.load(Ordering::SeqCst) {
@@ -592,7 +592,6 @@ pub fn run_probes_with_sink_legacy<F: FnMut(probenet_stream::StreamRecord)>(
     // Drain stragglers.
     let deadline = Instant::now() + drain; // probenet-lint: allow(wall-clock-in-sim) straggler drain timeout on the real socket
     while Instant::now() < deadline {
-        // probenet-lint: allow(wall-clock-in-sim) straggler drain timeout on the real socket
         receive(&mut rtts, &mut echoes, &mut stats);
         std::thread::sleep(Duration::from_micros(500));
     }

@@ -65,7 +65,8 @@ pub fn mm1k_blocking(rho: f64, k: usize) -> f64 {
     if (rho - 1.0).abs() < 1e-12 {
         return 1.0 / (k as f64 + 1.0);
     }
-    (1.0 - rho) * rho.powi(k as i32) / (1.0 - rho.powi(k as i32 + 1))
+    let k = i32::try_from(k).expect("buffer size K fits i32");
+    (1.0 - rho) * rho.powi(k) / (1.0 - rho.powi(k + 1))
 }
 
 /// Utilization (fraction of time busy) of a lossy queue: the accepted load

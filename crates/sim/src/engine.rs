@@ -711,7 +711,7 @@ impl Engine {
 
     /// Run until no events remain.
     pub fn run(&mut self) {
-        let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
+        let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim, tainted-artifact-path) EngineStats wall-time observability, not sim data
         while self.events.begin_bucket() {
             while let Some((at, ev)) = self.events.pop_in_bucket() {
                 self.handle(at, ev);
@@ -724,7 +724,7 @@ impl Engine {
     /// Run all events scheduled at or before `horizon`; later events stay
     /// queued. Port statistics are folded up to the last processed event.
     pub fn run_until(&mut self, horizon: SimTime) {
-        let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
+        let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim, tainted-artifact-path) EngineStats wall-time observability, not sim data
         while let Some((at, ev)) = self.events.pop_until(horizon) {
             self.handle(at, ev);
         }

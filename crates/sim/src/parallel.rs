@@ -49,6 +49,9 @@ use crate::time::SimTime;
 /// Number of worker threads the environment asks for: `PROBENET_THREADS`
 /// when set (minimum 1), otherwise the host's available parallelism.
 pub fn effective_threads() -> usize {
+    // Pool width only: DESIGN.md §13 pins bit-identical results at any
+    // thread count, so the width cannot alter artifact bytes.
+    // probenet-lint: allow(tainted-artifact-path) pool width only, results bit-identical at any width
     match std::env::var("PROBENET_THREADS") {
         Ok(v) => v
             .trim()
@@ -56,6 +59,7 @@ pub fn effective_threads() -> usize {
             .ok()
             .filter(|&n| n >= 1)
             .unwrap_or(1),
+        // probenet-lint: allow(tainted-artifact-path) pool width only (see above)
         Err(_) => std::thread::available_parallelism()
             .map(|n| n.get())
             .unwrap_or(1),
@@ -336,7 +340,7 @@ pub fn run_partitioned(
         engines[0].inject_probe_with_id(p.at, p.size, p.seq, p.ttl, PacketId(p.id));
     }
 
-    let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) EngineStats wall-time observability, not sim data
+    let started = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim, tainted-artifact-path) EngineStats wall-time observability, not sim data
     if k == 1 {
         engines[0].run();
     } else {

@@ -5,6 +5,18 @@
 use crate::scrub::Scrubbed;
 use std::collections::BTreeSet;
 
+/// One `allow(...)`/`allow-file(...)` directive site, kept for the
+/// `--stats` unused-allow report.
+#[derive(Debug, Clone)]
+pub struct AllowSite {
+    /// 0-based line the directive comment sits on.
+    pub line: usize,
+    /// Rule id the directive names.
+    pub rule: String,
+    /// `allow-file` (whole file) vs `allow` (line + next line).
+    pub file_level: bool,
+}
+
 /// Everything the rule matchers need to know about one file.
 pub struct FileContext {
     /// Innermost enclosing function name per 0-based line (empty outside
@@ -13,6 +25,12 @@ pub struct FileContext {
     /// Identifiers (locals, fields, params) whose declared or constructed
     /// type is `HashMap`/`HashSet` anywhere in this file.
     pub hash_idents: BTreeSet<String>,
+    /// Every allow directive in the file, in line order.
+    pub allow_sites: Vec<AllowSite>,
+    /// `sanitize(<rule>)` directives: (0-based line, rule id). A sanitize
+    /// directive marks the function declared on its line (or the line
+    /// below) as a taint barrier for the deep pass.
+    pub sanitize_sites: Vec<(usize, String)>,
     /// Per-line sets of rule ids silenced by `allow(...)` directives: a
     /// directive applies to its own line and the line directly below it.
     allowed: Vec<BTreeSet<String>>,
@@ -24,9 +42,45 @@ impl FileContext {
     /// Build the context from scrubbed source.
     pub fn build(s: &Scrubbed) -> FileContext {
         let lines: Vec<&str> = s.code.lines().collect();
+        let mut allow_sites = Vec::new();
+        let mut sanitize_sites = Vec::new();
+        // Documentation that *discusses* directives writes placeholders like
+        // `allow(<id>)`; only kebab-case names count as real sites (a typo'd
+        // but kebab-shaped id still surfaces in the unused-allow report).
+        let kebab = |r: &String| {
+            r.chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '-')
+        };
+        for (ln, text) in s.comments.iter().enumerate() {
+            for rule in parse_directives(text, "allow(").into_iter().filter(kebab) {
+                allow_sites.push(AllowSite {
+                    line: ln,
+                    rule,
+                    file_level: false,
+                });
+            }
+            for rule in parse_directives(text, "allow-file(")
+                .into_iter()
+                .filter(kebab)
+            {
+                allow_sites.push(AllowSite {
+                    line: ln,
+                    rule,
+                    file_level: true,
+                });
+            }
+            for rule in parse_directives(text, "sanitize(")
+                .into_iter()
+                .filter(kebab)
+            {
+                sanitize_sites.push((ln, rule));
+            }
+        }
         FileContext {
             enclosing_fn: enclosing_functions(&lines),
             hash_idents: hash_typed_idents(&s.code),
+            allow_sites,
+            sanitize_sites,
             allowed: line_allows(&s.comments, lines.len()),
             allowed_file: file_allows(&s.comments),
         }
@@ -38,6 +92,14 @@ impl FileContext {
             return true;
         }
         self.allowed.get(line).is_some_and(|set| set.contains(rule))
+    }
+
+    /// Is there a `sanitize(rule)` directive covering 0-based `line` (its
+    /// own line or the line directly above, mirroring allow placement)?
+    pub fn is_sanitized(&self, rule: &str, line: usize) -> bool {
+        self.sanitize_sites
+            .iter()
+            .any(|(ln, r)| r == rule && (*ln == line || ln + 1 == line))
     }
 
     /// Enclosing function name for a 0-based line ("" outside functions).

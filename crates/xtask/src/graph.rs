@@ -1,0 +1,671 @@
+//! Workspace call-graph extraction for the deep lint tier.
+//!
+//! A single pass over each file's token stream ([`crate::lexer`]) recovers
+//! the item structure the taint pass needs: every `fn` item (with its
+//! enclosing `impl` type, inline-module path and body line span) and every
+//! call site inside a function body (bare calls, `path::to::fn(..)` calls
+//! with their qualifier segments, `.method(..)` calls, turbofish forms).
+//! Calls are then name-linked into edges: a call resolves to every
+//! workspace function with that name whose qualifier is compatible —
+//! over-approximating dispatch (trait objects, same-named methods) rather
+//! than missing it, which is the right bias for a lint: a false edge can
+//! be silenced with a justified allow, a missed edge is a silent hole.
+//!
+//! Calls that resolve to nothing (std, vendored externs) create no edge.
+
+use crate::lexer::{lex, SpannedTok, Tok};
+use crate::scrub::Scrubbed;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One `fn` item discovered in the workspace.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Bare function name.
+    pub name: String,
+    /// Enclosing `impl` type (last path segment), if any.
+    pub qual: Option<String>,
+    /// Module path: crate name, then directory/file/inline-mod segments.
+    pub module: Vec<String>,
+    /// Workspace-relative file path.
+    pub file: String,
+    /// 0-based line of the `fn` keyword.
+    pub decl_line: usize,
+    /// 0-based line range of the body (inclusive).
+    pub body_start: usize,
+    /// Last 0-based line of the body.
+    pub body_end: usize,
+    /// Declared inside a `mod tests`/`mod test` block. Test functions are
+    /// kept in the graph (their spans still attribute source sites) but the
+    /// taint pass neither treats them as sinks nor walks chains through
+    /// them: tests consume artifacts, they do not produce them.
+    pub in_tests: bool,
+}
+
+impl FnDef {
+    /// `Type::name` or `name`, for diagnostics.
+    pub fn display_name(&self) -> String {
+        match &self.qual {
+            Some(q) => format!("{q}::{}", self.name),
+            None => self.name.clone(),
+        }
+    }
+}
+
+/// One call site inside a function body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    /// Index of the calling function in [`CallGraph::fns`].
+    pub caller: usize,
+    /// Callee name (last path segment / method name).
+    pub name: String,
+    /// Qualifier path segments before the name (empty for bare and
+    /// method calls): `std::time::Instant::now` -> ["std","time","Instant"].
+    pub quals: Vec<String>,
+    /// 0-based line of the call.
+    pub line: usize,
+}
+
+/// The workspace-wide call graph.
+pub struct CallGraph {
+    /// Every function item, in file order.
+    pub fns: Vec<FnDef>,
+    /// Every extracted call site (resolved or not).
+    pub calls: Vec<CallSite>,
+    /// Resolved edges (caller, callee, 0-based call line), deduplicated on
+    /// (caller, callee) keeping the first call line as the witness.
+    pub edges: Vec<(usize, usize, usize)>,
+    /// Reverse adjacency: callee -> [(caller, call line)].
+    pub reverse: Vec<Vec<(usize, usize)>>,
+    by_name: BTreeMap<String, Vec<usize>>,
+    file_fns: BTreeMap<String, Vec<usize>>,
+}
+
+/// Keywords that look like call heads in token patterns but are not calls.
+const NON_CALL_KEYWORDS: &[&str] = &[
+    "if", "while", "for", "match", "return", "loop", "in", "as", "move", "ref", "mut", "box",
+    "await", "else", "unsafe", "let", "fn", "impl", "pub", "use", "where", "dyn", "break",
+    "continue", "yield",
+];
+
+/// Module path from a workspace-relative file path:
+/// `crates/sim/src/parallel.rs` -> ["sim", "parallel"],
+/// `crates/bench/src/bin/repro.rs` -> ["bench", "bin", "repro"],
+/// `src/lib.rs` -> ["probenet"].
+fn module_of(path: &str) -> Vec<String> {
+    let mut segs: Vec<String> = Vec::new();
+    let parts: Vec<&str> = path.split('/').collect();
+    if parts.first() == Some(&"crates") && parts.len() >= 2 {
+        segs.push(parts[1].to_string());
+    } else {
+        segs.push("probenet".to_string());
+    }
+    if let Some(srcpos) = parts.iter().position(|p| *p == "src") {
+        for p in &parts[srcpos + 1..] {
+            let stem = p.strip_suffix(".rs").unwrap_or(p);
+            if stem != "lib" && stem != "main" && stem != "mod" {
+                segs.push(stem.to_string());
+            }
+        }
+    }
+    segs
+}
+
+impl CallGraph {
+    /// Build the graph from scrubbed files: `(workspace-relative path,
+    /// scrubbed source)` in deterministic order.
+    pub fn build(files: &[(String, Scrubbed)]) -> CallGraph {
+        let mut fns = Vec::new();
+        let mut calls = Vec::new();
+        for (path, scrubbed) in files {
+            extract_file(path, scrubbed, &mut fns, &mut calls);
+        }
+        let mut by_name: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        let mut file_fns: BTreeMap<String, Vec<usize>> = BTreeMap::new();
+        for (i, f) in fns.iter().enumerate() {
+            by_name.entry(f.name.clone()).or_default().push(i);
+            file_fns.entry(f.file.clone()).or_default().push(i);
+        }
+        let mut g = CallGraph {
+            fns,
+            calls,
+            edges: Vec::new(),
+            reverse: Vec::new(),
+            by_name,
+            file_fns,
+        };
+        g.link();
+        g
+    }
+
+    /// Name-link every call site into (caller, callee, line) edges.
+    fn link(&mut self) {
+        let mut seen = BTreeSet::new();
+        let mut edges = Vec::new();
+        for call in &self.calls {
+            for callee in self.resolve(call) {
+                if callee != call.caller && seen.insert((call.caller, callee)) {
+                    edges.push((call.caller, callee, call.line));
+                }
+            }
+        }
+        let mut reverse = vec![Vec::new(); self.fns.len()];
+        for &(caller, callee, line) in &edges {
+            reverse[callee].push((caller, line));
+        }
+        self.edges = edges;
+        self.reverse = reverse;
+    }
+
+    /// Workspace functions a call site may dispatch to.
+    fn resolve(&self, call: &CallSite) -> Vec<usize> {
+        let Some(cands) = self.by_name.get(&call.name) else {
+            return Vec::new();
+        };
+        let Some(last_qual) = call.quals.last() else {
+            // Bare or method call: every same-named workspace fn.
+            return cands.clone();
+        };
+        let caller = &self.fns[call.caller];
+        let q = last_qual.as_str();
+        // `Self::f()` dispatches within the caller's impl type.
+        let q = if q == "Self" {
+            match &caller.qual {
+                Some(t) => t.as_str(),
+                None => return cands.clone(),
+            }
+        } else {
+            q
+        };
+        if q == "self" || q == "crate" || q == "super" {
+            // Module-relative path: prefer same-crate candidates.
+            let same: Vec<usize> = cands
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].module.first() == caller.module.first())
+                .collect();
+            return if same.is_empty() { cands.clone() } else { same };
+        }
+        let starts_upper = q.chars().next().is_some_and(|c| c.is_ascii_uppercase());
+        if starts_upper {
+            // Type-qualified: only impls of that type. No workspace impl
+            // means a foreign type (Vec::new, u16::try_from) — no edge.
+            return cands
+                .iter()
+                .copied()
+                .filter(|&i| self.fns[i].qual.as_deref() == Some(q))
+                .collect();
+        }
+        // Module-qualified: match a module segment (crate names keep or
+        // drop their `probenet_` prefix interchangeably).
+        let base = q.strip_prefix("probenet_").unwrap_or(q);
+        cands
+            .iter()
+            .copied()
+            .filter(|&i| self.fns[i].module.iter().any(|m| m == base || m == q))
+            .collect()
+    }
+
+    /// Innermost function containing 0-based `line` of `file`.
+    pub fn fn_at(&self, file: &str, line: usize) -> Option<usize> {
+        let fns = self.file_fns.get(file)?;
+        fns.iter()
+            .copied()
+            .filter(|&i| {
+                let f = &self.fns[i];
+                f.body_start <= line && line <= f.body_end
+            })
+            .min_by_key(|&i| self.fns[i].body_end - self.fns[i].body_start)
+    }
+}
+
+/// Pending item header awaiting its opening brace.
+enum Pending {
+    Fn {
+        name: String,
+        decl_line: usize,
+        /// Paren/bracket depth inside the signature, so `;` inside
+        /// `[u8; 4]` does not read as a bodyless trait signature.
+        group_depth: usize,
+    },
+    Impl {
+        type_name: Option<String>,
+    },
+    Mod {
+        name: String,
+    },
+}
+
+/// Extract functions and call sites from one file's token stream.
+fn extract_file(path: &str, scrubbed: &Scrubbed, fns: &mut Vec<FnDef>, calls: &mut Vec<CallSite>) {
+    let toks = lex(&scrubbed.code);
+    let base_module = module_of(path);
+
+    let mut depth = 0usize;
+    // (inline-module name, depth its braces opened at)
+    let mut mod_stack: Vec<(String, usize)> = Vec::new();
+    // (impl type, depth)
+    let mut impl_stack: Vec<(Option<String>, usize)> = Vec::new();
+    // (fn index, depth)
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+    let mut pending: Option<Pending> = None;
+
+    let mut i = 0usize;
+    while i < toks.len() {
+        let SpannedTok { tok, line } = &toks[i];
+        match tok {
+            // Skip attributes entirely: `#[...]` / `#![...]`.
+            Tok::Punct(b'#') => {
+                let mut j = i + 1;
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct(b'!'))) {
+                    j += 1;
+                }
+                if matches!(toks.get(j).map(|t| &t.tok), Some(Tok::Punct(b'['))) {
+                    let mut bd = 0usize;
+                    while j < toks.len() {
+                        match toks[j].tok {
+                            Tok::Punct(b'[') => bd += 1,
+                            Tok::Punct(b']') => {
+                                bd -= 1;
+                                if bd == 0 {
+                                    break;
+                                }
+                            }
+                            _ => {}
+                        }
+                        j += 1;
+                    }
+                    i = j + 1;
+                    continue;
+                }
+                i += 1;
+            }
+            Tok::Ident(w) if w == "mod" => {
+                if let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) {
+                    pending = Some(Pending::Mod { name: name.clone() });
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            Tok::Ident(w) if w == "impl" => {
+                let (type_name, next) = parse_impl_header(&toks, i + 1);
+                pending = Some(Pending::Impl { type_name });
+                i = next;
+            }
+            Tok::Ident(w) if w == "fn" => {
+                if let Some(Tok::Ident(name)) = toks.get(i + 1).map(|t| &t.tok) {
+                    pending = Some(Pending::Fn {
+                        name: name.clone(),
+                        decl_line: *line,
+                        group_depth: 0,
+                    });
+                    i += 2;
+                } else {
+                    // `fn(u8) -> u8` type position — not an item.
+                    i += 1;
+                }
+            }
+            Tok::Punct(b'(') | Tok::Punct(b'[') => {
+                if let Some(Pending::Fn { group_depth, .. }) = &mut pending {
+                    *group_depth += 1;
+                }
+                // A `(` directly after an ident/turbofish inside a fn body
+                // is a call site.
+                if matches!(tok, Tok::Punct(b'(')) {
+                    if let Some(&(caller, _)) = fn_stack.last() {
+                        record_call(&toks, i, caller, calls);
+                    }
+                }
+                i += 1;
+            }
+            Tok::Punct(b')') | Tok::Punct(b']') => {
+                if let Some(Pending::Fn { group_depth, .. }) = &mut pending {
+                    *group_depth = group_depth.saturating_sub(1);
+                }
+                i += 1;
+            }
+            Tok::Punct(b';') => {
+                match &pending {
+                    Some(Pending::Fn { group_depth, .. }) if *group_depth == 0 => {
+                        // Bodyless trait signature.
+                        pending = None;
+                    }
+                    Some(Pending::Mod { .. }) => {
+                        // `mod x;` — out-of-line module.
+                        pending = None;
+                    }
+                    _ => {}
+                }
+                i += 1;
+            }
+            Tok::Punct(b'{') => {
+                depth += 1;
+                match pending.take() {
+                    Some(Pending::Fn {
+                        name, decl_line, ..
+                    }) => {
+                        let mut module = base_module.clone();
+                        module.extend(mod_stack.iter().map(|(n, _)| n.clone()));
+                        let qual = impl_stack.last().and_then(|(t, _)| t.clone());
+                        let in_tests = mod_stack.iter().any(|(n, _)| n == "tests" || n == "test");
+                        fns.push(FnDef {
+                            name,
+                            qual,
+                            module,
+                            file: path.to_string(),
+                            decl_line,
+                            body_start: *line,
+                            body_end: *line, // patched on close
+                            in_tests,
+                        });
+                        fn_stack.push((fns.len() - 1, depth));
+                    }
+                    Some(Pending::Impl { type_name }) => {
+                        impl_stack.push((type_name, depth));
+                    }
+                    Some(Pending::Mod { name }) => {
+                        mod_stack.push((name, depth));
+                    }
+                    None => {}
+                }
+                i += 1;
+            }
+            Tok::Punct(b'}') => {
+                if let Some(&(fn_idx, d)) = fn_stack.last() {
+                    if d == depth {
+                        fns[fn_idx].body_end = *line;
+                        fn_stack.pop();
+                    }
+                }
+                if impl_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    impl_stack.pop();
+                }
+                if mod_stack.last().is_some_and(|&(_, d)| d == depth) {
+                    mod_stack.pop();
+                }
+                depth = depth.saturating_sub(1);
+                i += 1;
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    // Unterminated bodies (should not happen on real source): close at the
+    // last token's line so spans stay well-formed.
+    let last_line = toks.last().map_or(0, |t| t.line);
+    for &(fn_idx, _) in &fn_stack {
+        fns[fn_idx].body_end = last_line;
+    }
+}
+
+/// Parse an `impl` header starting at token `start` (just past `impl`).
+/// Returns the implemented type's last path segment and the index of the
+/// token at which scanning should resume (the header's `{`, or wherever
+/// parsing gave up).
+fn parse_impl_header(toks: &[SpannedTok], start: usize) -> (Option<String>, usize) {
+    let mut i = start;
+    // Skip `<...>` generics directly after `impl`.
+    if matches!(toks.get(i).map(|t| &t.tok), Some(Tok::Punct(b'<'))) {
+        i = skip_angles(toks, i);
+    }
+    let mut last_ident: Option<String> = None;
+    while i < toks.len() {
+        match &toks[i].tok {
+            Tok::Punct(b'{') | Tok::Punct(b';') => break,
+            Tok::Ident(w) if w == "for" => {
+                // `impl Trait for Type` — restart on the type side.
+                last_ident = None;
+                i += 1;
+            }
+            Tok::Ident(w) if w == "where" => {
+                // Bounds only from here on; the type is already read.
+                i += 1;
+                while i < toks.len() && !matches!(toks[i].tok, Tok::Punct(b'{')) {
+                    i += 1;
+                }
+                break;
+            }
+            Tok::Ident(w) => {
+                last_ident = Some(w.clone());
+                i += 1;
+            }
+            Tok::Punct(b'<') => {
+                i = skip_angles(toks, i);
+            }
+            _ => {
+                i += 1;
+            }
+        }
+    }
+    (last_ident, i)
+}
+
+/// Skip a balanced `<...>` group starting at the `<` at `at`. `>>` lexes
+/// as two `>` puncts and `->`/`=>` are distinct tokens, so plain depth
+/// counting is exact here.
+fn skip_angles(toks: &[SpannedTok], at: usize) -> usize {
+    let mut d = 0usize;
+    let mut i = at;
+    while i < toks.len() {
+        match toks[i].tok {
+            Tok::Punct(b'<') => d += 1,
+            Tok::Punct(b'>') => {
+                d = d.saturating_sub(1);
+                if d == 0 {
+                    return i + 1;
+                }
+            }
+            Tok::Punct(b'{') | Tok::Punct(b';') => return i, // malformed; bail
+            _ => {}
+        }
+        i += 1;
+    }
+    i
+}
+
+/// Record the call site ending at the `(` at token index `open`, if the
+/// preceding tokens form one.
+fn record_call(toks: &[SpannedTok], open: usize, caller: usize, calls: &mut Vec<CallSite>) {
+    if open == 0 {
+        return;
+    }
+    let mut j = open - 1;
+    // Turbofish: `name::<T>(` — step back over the `<...>` group.
+    if matches!(toks[j].tok, Tok::Punct(b'>')) {
+        let mut d = 0usize;
+        loop {
+            match toks[j].tok {
+                Tok::Punct(b'>') => d += 1,
+                Tok::Punct(b'<') => {
+                    d -= 1;
+                    if d == 0 {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if j == 0 {
+                return;
+            }
+            j -= 1;
+        }
+        // The group must be a turbofish (`::<`), not a comparison.
+        if j == 0 || !matches!(toks[j - 1].tok, Tok::PathSep) {
+            return;
+        }
+        j -= 2; // onto the ident before `::`
+    }
+    let Tok::Ident(name) = &toks[j].tok else {
+        return;
+    };
+    if NON_CALL_KEYWORDS.contains(&name.as_str()) {
+        return;
+    }
+    // `fn name(` is the declaration, not a call.
+    if j > 0 {
+        if let Tok::Ident(prev) = &toks[j - 1].tok {
+            if prev == "fn" {
+                return;
+            }
+        }
+    }
+    let line = toks[j].line;
+    // Method call `.name(`.
+    if j > 0 && matches!(toks[j - 1].tok, Tok::Punct(b'.')) {
+        calls.push(CallSite {
+            caller,
+            name: name.clone(),
+            quals: Vec::new(),
+            line,
+        });
+        return;
+    }
+    // Path call: collect `seg::seg::name(` qualifiers right-to-left.
+    let mut quals_rev: Vec<String> = Vec::new();
+    let mut k = j;
+    while k >= 2 && matches!(toks[k - 1].tok, Tok::PathSep) {
+        if let Tok::Ident(seg) = &toks[k - 2].tok {
+            quals_rev.push(seg.clone());
+            k -= 2;
+        } else {
+            break;
+        }
+    }
+    quals_rev.reverse();
+    calls.push(CallSite {
+        caller,
+        name: name.clone(),
+        quals: quals_rev,
+        line,
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn graph_of(files: &[(&str, &str)]) -> CallGraph {
+        let scrubbed: Vec<(String, Scrubbed)> = files
+            .iter()
+            .map(|(p, s)| (p.to_string(), scrub(s)))
+            .collect();
+        CallGraph::build(&scrubbed)
+    }
+
+    #[test]
+    fn extracts_fns_with_impl_and_module_context() {
+        let g = graph_of(&[(
+            "crates/sim/src/engine.rs",
+            "impl Engine {\n    pub fn run(&mut self) {}\n}\nmod inner {\n    fn helper() {}\n}\n",
+        )]);
+        assert_eq!(g.fns.len(), 2);
+        assert_eq!(g.fns[0].name, "run");
+        assert_eq!(g.fns[0].qual.as_deref(), Some("Engine"));
+        assert_eq!(g.fns[0].module, vec!["sim", "engine"]);
+        assert_eq!(g.fns[1].name, "helper");
+        assert_eq!(g.fns[1].module, vec!["sim", "engine", "inner"]);
+    }
+
+    #[test]
+    fn links_bare_path_and_method_calls() {
+        let g = graph_of(&[
+            (
+                "crates/a/src/lib.rs",
+                "pub fn helper() {}\npub struct T;\nimpl T {\n    pub fn m(&self) {}\n}\n",
+            ),
+            (
+                "crates/b/src/lib.rs",
+                "pub fn top(t: &probenet_a::T) {\n    probenet_a::helper();\n    t.m();\n}\n",
+            ),
+        ]);
+        let top = g.fns.iter().position(|f| f.name == "top").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+        let m = g.fns.iter().position(|f| f.name == "m").unwrap();
+        assert!(g.edges.iter().any(|&(c, e, _)| c == top && e == helper));
+        assert!(g.edges.iter().any(|&(c, e, _)| c == top && e == m));
+    }
+
+    #[test]
+    fn type_qualified_calls_do_not_leak_across_impls() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub struct A;\npub struct B;\nimpl A {\n    pub fn make() {}\n}\nimpl B {\n    pub fn make() {}\n}\npub fn go() {\n    A::make();\n}\n",
+        )]);
+        let go = g.fns.iter().position(|f| f.name == "go").unwrap();
+        let a_make = g
+            .fns
+            .iter()
+            .position(|f| f.name == "make" && f.qual.as_deref() == Some("A"))
+            .unwrap();
+        let b_make = g
+            .fns
+            .iter()
+            .position(|f| f.name == "make" && f.qual.as_deref() == Some("B"))
+            .unwrap();
+        assert!(g.edges.iter().any(|&(c, e, _)| c == go && e == a_make));
+        assert!(!g.edges.iter().any(|&(c, e, _)| c == go && e == b_make));
+    }
+
+    #[test]
+    fn foreign_calls_create_no_edges() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn go() -> u16 {\n    let v = Vec::new();\n    u16::try_from(v.len()).unwrap()\n}\n",
+        )]);
+        assert!(g.edges.is_empty(), "{:?}", g.edges);
+    }
+
+    #[test]
+    fn macro_invocations_are_not_calls() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn noisy() {}\npub fn go() {\n    println!(\"noisy()\");\n    assert!(true);\n}\n",
+        )]);
+        let go = g.fns.iter().position(|f| f.name == "go").unwrap();
+        assert!(
+            !g.edges.iter().any(|&(c, _, _)| c == go),
+            "macro bodies / string contents must not create edges: {:?}",
+            g.edges
+        );
+    }
+
+    #[test]
+    fn turbofish_calls_resolve() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub fn pick<T>() {}\npub fn go() {\n    pick::<u64>();\n}\n",
+        )]);
+        let go = g.fns.iter().position(|f| f.name == "go").unwrap();
+        let pick = g.fns.iter().position(|f| f.name == "pick").unwrap();
+        assert!(g.edges.iter().any(|&(c, e, _)| c == go && e == pick));
+    }
+
+    #[test]
+    fn trait_signatures_have_no_body() {
+        let g = graph_of(&[(
+            "crates/a/src/lib.rs",
+            "pub trait T {\n    fn sig(&self, buf: [u8; 4]);\n    fn with_default(&self) {\n        helper();\n    }\n}\nfn helper() {}\n",
+        )]);
+        assert_eq!(
+            g.fns.iter().filter(|f| f.name == "sig").count(),
+            0,
+            "bodyless signatures are not definitions"
+        );
+        let wd = g.fns.iter().position(|f| f.name == "with_default").unwrap();
+        let helper = g.fns.iter().position(|f| f.name == "helper").unwrap();
+        assert!(g.edges.iter().any(|&(c, e, _)| c == wd && e == helper));
+    }
+
+    #[test]
+    fn fn_at_returns_innermost() {
+        let src = "pub fn outer() {\n    x();\n    fn inner() {\n        y();\n    }\n}\n";
+        let g = graph_of(&[("crates/a/src/lib.rs", src)]);
+        let outer = g.fns.iter().position(|f| f.name == "outer").unwrap();
+        let inner = g.fns.iter().position(|f| f.name == "inner").unwrap();
+        assert_eq!(g.fn_at("crates/a/src/lib.rs", 1), Some(outer));
+        assert_eq!(g.fn_at("crates/a/src/lib.rs", 3), Some(inner));
+        assert_eq!(g.fn_at("crates/a/src/lib.rs", 10), None);
+    }
+}

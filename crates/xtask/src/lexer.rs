@@ -1,0 +1,199 @@
+//! Minimal Rust lexer for the deep lint tier.
+//!
+//! Runs over *scrubbed* source ([`crate::scrub`]), so string/char/comment
+//! contents are already spaces and every remaining byte is program text.
+//! The token set is exactly what the item/call extractor needs: identifiers
+//! (with line numbers), numbers, the multi-byte puncts whose splitting
+//! would confuse path/generics scanning (`::`, `->`, `=>`), and single
+//! punct bytes. No allocation-free cleverness — the whole workspace is a
+//! few hundred kLoC and lexes in milliseconds.
+
+/// One token of scrubbed source.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (keywords are filtered by the consumer).
+    Ident(String),
+    /// Numeric literal (value irrelevant; kept for token boundaries).
+    Num,
+    /// `::`
+    PathSep,
+    /// `->`
+    Arrow,
+    /// `=>`
+    FatArrow,
+    /// A lifetime or loop label (`'a`, `'outer`). Kept distinct so the
+    /// generics skipper can tell `<'a>` from a char literal remnant.
+    Lifetime,
+    /// Any other single punct byte (`{`, `}`, `(`, `.`, `<`, `!`, ...).
+    Punct(u8),
+}
+
+/// A token plus the 0-based line it starts on.
+#[derive(Debug, Clone)]
+pub struct SpannedTok {
+    /// The token.
+    pub tok: Tok,
+    /// 0-based line the token starts on.
+    pub line: usize,
+}
+
+/// Lex scrubbed source into a token stream.
+pub fn lex(code: &str) -> Vec<SpannedTok> {
+    let bytes = code.as_bytes();
+    let mut toks = Vec::new();
+    let mut line = 0usize;
+    let mut i = 0usize;
+    while i < bytes.len() {
+        let b = bytes[i];
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_alphabetic() || b == b'_' || !b.is_ascii() {
+            // Identifier (non-ASCII bytes are folded into idents: the
+            // source is UTF-8 and rustc identifiers may be too).
+            let start = i;
+            while i < bytes.len()
+                && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_' || !bytes[i].is_ascii())
+            {
+                i += 1;
+            }
+            toks.push(SpannedTok {
+                tok: Tok::Ident(code[start..i].to_string()),
+                line,
+            });
+            continue;
+        }
+        if b.is_ascii_digit() {
+            // Numbers, including suffixed (`1u64`), float (`1.5e-3`) and
+            // radix (`0xff`) forms. `1.` followed by an ident char is
+            // tuple-field access, not a float — stop at the dot then.
+            i += 1;
+            while i < bytes.len() {
+                let c = bytes[i];
+                let float_dot = c == b'.' && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit());
+                let exponent_sign = (c == b'+' || c == b'-')
+                    && matches!(bytes.get(i.wrapping_sub(1)), Some(b'e') | Some(b'E'))
+                    && bytes.get(i + 1).is_some_and(|n| n.is_ascii_digit());
+                if c.is_ascii_alphanumeric() || c == b'_' || float_dot || exponent_sign {
+                    i += 1;
+                } else {
+                    break;
+                }
+            }
+            toks.push(SpannedTok {
+                tok: Tok::Num,
+                line,
+            });
+            continue;
+        }
+        if b == b':' && bytes.get(i + 1) == Some(&b':') {
+            toks.push(SpannedTok {
+                tok: Tok::PathSep,
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        if b == b'-' && bytes.get(i + 1) == Some(&b'>') {
+            toks.push(SpannedTok {
+                tok: Tok::Arrow,
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        if b == b'=' && bytes.get(i + 1) == Some(&b'>') {
+            toks.push(SpannedTok {
+                tok: Tok::FatArrow,
+                line,
+            });
+            i += 2;
+            continue;
+        }
+        if b == b'\'' {
+            // After scrubbing, a surviving `'` is either a lifetime/label
+            // (`'a`) or a blanked char literal's delimiters (`'  '`). Fold
+            // a lifetime's ident into one token; leave bare quotes as
+            // puncts (they never border a call site).
+            if bytes
+                .get(i + 1)
+                .is_some_and(|c| c.is_ascii_alphabetic() || *c == b'_')
+            {
+                i += 1;
+                while i < bytes.len() && (bytes[i].is_ascii_alphanumeric() || bytes[i] == b'_') {
+                    i += 1;
+                }
+                toks.push(SpannedTok {
+                    tok: Tok::Lifetime,
+                    line,
+                });
+                continue;
+            }
+        }
+        toks.push(SpannedTok {
+            tok: Tok::Punct(b),
+            line,
+        });
+        i += 1;
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scrub::scrub;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(&scrub(src).code).into_iter().map(|t| t.tok).collect()
+    }
+
+    #[test]
+    fn lexes_paths_and_calls() {
+        let toks = kinds("fn f() { a::b::c(x.y()); }");
+        assert!(toks.contains(&Tok::Ident("f".into())));
+        assert!(toks.contains(&Tok::PathSep));
+        assert!(toks.contains(&Tok::Punct(b'.')));
+    }
+
+    #[test]
+    fn numbers_do_not_merge_with_method_calls() {
+        // `1.max(2)` — the dot starts a method call, not a float.
+        let toks = kinds("let x = 1.max(2);");
+        assert!(
+            toks.windows(2)
+                .any(|w| w[0] == Tok::Punct(b'.') && w[1] == Tok::Ident("max".into())),
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn lifetimes_are_single_tokens() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'a str { x }");
+        assert_eq!(
+            toks.iter().filter(|t| **t == Tok::Lifetime).count(),
+            3,
+            "{toks:?}"
+        );
+    }
+
+    #[test]
+    fn arrows_and_fat_arrows() {
+        let toks = kinds("fn f() -> u8 { match x { _ => 0 } }");
+        assert!(toks.contains(&Tok::Arrow));
+        assert!(toks.contains(&Tok::FatArrow));
+    }
+
+    #[test]
+    fn line_numbers_track_newlines() {
+        let toks = lex(&scrub("a\nb\nc\n").code);
+        let lines: Vec<usize> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![0, 1, 2]);
+    }
+}

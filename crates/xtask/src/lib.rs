@@ -21,11 +21,15 @@
 //! --explain <rule>` for per-rule rationale and fixes.
 
 pub mod context;
+pub mod graph;
+pub mod lexer;
 pub mod rules;
 pub mod scrub;
+pub mod taint;
 
 use context::FileContext;
 use rules::Violation;
+use std::collections::BTreeMap;
 use std::path::{Path, PathBuf};
 
 /// Lint one source string as if it lived at `path` (workspace-relative).
@@ -73,10 +77,10 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> std::io::Result<()> {
     Ok(())
 }
 
-/// Lint the whole workspace rooted at `root`. Returns all violations in
-/// (file, line) order.
-pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
-    let mut all = Vec::new();
+/// Read the lintable workspace sources as `(workspace-relative path,
+/// contents)` pairs in deterministic order.
+pub fn read_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
+    let mut files = Vec::new();
     for path in workspace_sources(root)? {
         let source = std::fs::read_to_string(&path)?;
         let rel = path
@@ -84,7 +88,124 @@ pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
             .unwrap_or(&path)
             .to_string_lossy()
             .replace('\\', "/");
+        files.push((rel, source));
+    }
+    Ok(files)
+}
+
+/// Lint the whole workspace rooted at `root`. Returns all violations in
+/// (file, line) order.
+pub fn lint_workspace(root: &Path) -> std::io::Result<Vec<Violation>> {
+    let mut all = Vec::new();
+    for (rel, source) in read_workspace(root)? {
         all.extend(lint_source(&rel, &source));
     }
     Ok(all)
+}
+
+/// Run the deep interprocedural tier over in-memory `(path, source)` pairs.
+/// The call graph is built from exactly these files, so fixtures exercise
+/// cross-file chains without touching the real tree.
+pub fn lint_files_deep(files: &[(String, String)]) -> Vec<Violation> {
+    taint::analyze(files).violations
+}
+
+/// Run the deep tier over the workspace rooted at `root`.
+pub fn lint_workspace_deep(root: &Path) -> std::io::Result<Vec<Violation>> {
+    Ok(taint::analyze(&read_workspace(root)?).violations)
+}
+
+/// Aggregate statistics for `lint --stats`: corpus size, call-graph shape,
+/// per-rule fire counts, and the allow economy (so unused allows — escape
+/// hatches whose reason has rotted away — become visible).
+#[derive(Debug, Default)]
+pub struct LintStats {
+    /// Source files scanned.
+    pub files: usize,
+    /// Total source lines scanned.
+    pub lines: usize,
+    /// Functions in the call graph.
+    pub functions: usize,
+    /// Call sites extracted from function bodies.
+    pub call_sites: usize,
+    /// Call sites resolved to workspace functions (deduplicated edges).
+    pub call_edges: usize,
+    /// Nondeterminism source sites found by the deep tier.
+    pub deep_sources: usize,
+    /// Artifact-sink functions in the call graph.
+    pub deep_sinks: usize,
+    /// Violations per rule id (both tiers), zero-count rules included.
+    pub rules_fired: BTreeMap<&'static str, usize>,
+    /// Allow directives present in the workspace.
+    pub allows_total: usize,
+    /// Allow directives some hit (reported or suppressed) matched.
+    pub allows_consumed: usize,
+    /// Allow directives no hit consumed: (file, 1-based line, rule id).
+    pub unused_allows: Vec<(String, usize, String)>,
+}
+
+/// Run both tiers over `files` and assemble [`LintStats`]. An allow site is
+/// "consumed" when some hit (reported or suppressed) matched within its
+/// scope: its own line or the next for `allow(...)`, anywhere in the file
+/// for `allow-file(...)`.
+pub fn stats_for(files: &[(String, String)]) -> LintStats {
+    let mut stats = LintStats::default();
+    for rule in rules::RULES {
+        stats.rules_fired.insert(rule.id, 0);
+    }
+
+    // Shallow tier, with per-file suppressed hits and allow sites.
+    let mut per_file_allows: Vec<(String, Vec<context::AllowSite>)> = Vec::new();
+    let mut consumed: Vec<(String, String, usize)> = Vec::new(); // (file, rule, 0-based hit line)
+    for (rel, source) in files {
+        let scrubbed = scrub::scrub(source);
+        stats.lines += scrubbed.code.lines().count();
+        let ctx = FileContext::build(&scrubbed);
+        let outcome = rules::check_file_full(rel, &scrubbed, &ctx);
+        for v in &outcome.violations {
+            *stats.rules_fired.entry(v.rule).or_insert(0) += 1;
+        }
+        for (rule, line) in &outcome.suppressed {
+            consumed.push((rel.clone(), rule.to_string(), *line));
+        }
+        per_file_allows.push((rel.clone(), ctx.allow_sites.clone()));
+    }
+    stats.files = files.len();
+
+    // Deep tier.
+    let deep = taint::analyze(files);
+    stats.functions = deep.stats.functions;
+    stats.call_sites = deep.stats.call_sites;
+    stats.call_edges = deep.stats.edges;
+    stats.deep_sources = deep.stats.sources;
+    stats.deep_sinks = deep.stats.sinks;
+    *stats.rules_fired.entry(rules::DEEP_RULE).or_insert(0) += deep.violations.len();
+    for (file, line) in &deep.suppressed {
+        consumed.push((file.clone(), rules::DEEP_RULE.to_string(), *line));
+    }
+
+    // Allow economy: match consumed hits back to their directive sites.
+    for (file, sites) in &per_file_allows {
+        for site in sites {
+            stats.allows_total += 1;
+            let used = consumed.iter().any(|(f, rule, line)| {
+                f == file
+                    && *rule == site.rule
+                    && (site.file_level || site.line == *line || site.line + 1 == *line)
+            });
+            if used {
+                stats.allows_consumed += 1;
+            } else {
+                stats
+                    .unused_allows
+                    .push((file.clone(), site.line + 1, site.rule.clone()));
+            }
+        }
+    }
+    stats
+}
+
+/// [`stats_for`] over the workspace rooted at `root`.
+pub fn workspace_stats(root: &Path) -> std::io::Result<LintStats> {
+    Ok(stats_for(&read_workspace(root)?))
 }

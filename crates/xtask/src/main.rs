@@ -4,13 +4,16 @@
 
 use std::path::PathBuf;
 use std::process::ExitCode;
-use xtask::rules::{rule_info, RULES};
+use xtask::rules::{rule_info, Violation, RULES};
 
 fn usage() -> ExitCode {
     eprintln!(
         "usage: cargo run -p xtask -- <command>\n\n\
          commands:\n  \
-         lint                   run probenet-lint over the workspace (exit 1 on violations)\n  \
+         lint                   run the shallow probenet-lint tier (exit 1 on violations)\n  \
+         lint --deep            also run the interprocedural taint tier (call-graph dataflow)\n  \
+         lint --format json     emit diagnostics as JSON on stdout (for CI upload)\n  \
+         lint --stats           print corpus/call-graph/rule/allow statistics\n  \
          lint --list            list the rules with one-line summaries\n  \
          lint --explain <rule>  print a rule's rationale and an example fix"
     );
@@ -38,55 +41,103 @@ fn main() -> ExitCode {
 }
 
 fn lint(args: &[String]) -> ExitCode {
-    match args.first().map(String::as_str) {
-        None => run_lint(),
-        Some("--list") => {
-            for r in RULES {
-                println!("{:28} {}", r.id, r.summary);
-            }
-            ExitCode::SUCCESS
-        }
-        Some("--explain") => {
-            let Some(id) = args.get(1) else {
-                eprintln!("lint --explain needs a rule id; try `lint --list`");
-                return ExitCode::from(2);
-            };
-            match rule_info(id) {
-                Some(r) => {
-                    println!("{}: {}\n\n{}", r.id, r.summary, r.explain);
-                    ExitCode::SUCCESS
+    let mut deep = false;
+    let mut stats = false;
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--list" => {
+                for r in RULES {
+                    println!("{:28} {}", r.id, r.summary);
                 }
-                None => {
-                    eprintln!("unknown rule `{id}`; known rules:");
-                    for r in RULES {
-                        eprintln!("  {}", r.id);
+                return ExitCode::SUCCESS;
+            }
+            "--explain" => {
+                let Some(id) = args.get(i + 1) else {
+                    eprintln!("lint --explain needs a rule id; try `lint --list`");
+                    return ExitCode::from(2);
+                };
+                return match rule_info(id) {
+                    Some(r) => {
+                        println!("{}: {}\n\n{}", r.id, r.summary, r.explain);
+                        ExitCode::SUCCESS
                     }
-                    ExitCode::from(2)
+                    None => {
+                        eprintln!("unknown rule `{id}`; known rules:");
+                        for r in RULES {
+                            eprintln!("  {}", r.id);
+                        }
+                        ExitCode::from(2)
+                    }
+                };
+            }
+            "--deep" => deep = true,
+            "--stats" => stats = true,
+            "--format" => {
+                match args.get(i + 1).map(String::as_str) {
+                    Some("json") => json = true,
+                    Some("text") => json = false,
+                    _ => {
+                        eprintln!("lint --format needs `json` or `text`");
+                        return ExitCode::from(2);
+                    }
                 }
+                i += 1;
+            }
+            other => {
+                eprintln!("unknown lint option `{other}`");
+                return usage();
             }
         }
-        Some(other) => {
-            eprintln!("unknown lint option `{other}`");
-            usage()
-        }
+        i += 1;
     }
+    if stats {
+        return run_stats();
+    }
+    run_lint(deep, json)
 }
 
-fn run_lint() -> ExitCode {
+fn run_lint(deep: bool, json: bool) -> ExitCode {
     let root = workspace_root();
-    let violations = match xtask::lint_workspace(&root) {
+    let mut violations = match xtask::lint_workspace(&root) {
         Ok(v) => v,
         Err(e) => {
             eprintln!("probenet-lint: failed to read workspace sources: {e}");
             return ExitCode::FAILURE;
         }
     };
+    if deep {
+        match xtask::lint_workspace_deep(&root) {
+            Ok(v) => violations.extend(v),
+            Err(e) => {
+                eprintln!("probenet-lint: deep tier failed to read sources: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let tier = if deep { "deep" } else { "shallow" };
+    if json {
+        println!("{}", diagnostics_json(tier, &violations));
+        return if violations.is_empty() {
+            ExitCode::SUCCESS
+        } else {
+            ExitCode::FAILURE
+        };
+    }
     if violations.is_empty() {
-        println!("probenet-lint: workspace clean ({} rules)", RULES.len());
+        println!(
+            "probenet-lint: workspace clean ({} rules, {tier} tier)",
+            RULES.len()
+        );
         return ExitCode::SUCCESS;
     }
     for v in &violations {
         eprintln!("error[{}]: {}:{}: {}", v.rule, v.file, v.line, v.message);
+        for (n, hop) in v.chain.iter().enumerate() {
+            let role = if n == 0 { "source in" } else { "called from" };
+            eprintln!("    {role} `{}` at {}:{}", hop.function, hop.file, hop.line);
+        }
     }
     eprintln!(
         "\nprobenet-lint: {} violation(s); run `cargo run -p xtask -- lint --explain <rule>` \
@@ -95,4 +146,92 @@ fn run_lint() -> ExitCode {
         violations.len()
     );
     ExitCode::FAILURE
+}
+
+fn run_stats() -> ExitCode {
+    let root = workspace_root();
+    let s = match xtask::workspace_stats(&root) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("probenet-lint: failed to read workspace sources: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("probenet-lint --stats");
+    println!("  files scanned        {}", s.files);
+    println!("  source lines         {}", s.lines);
+    println!("  call-graph functions {}", s.functions);
+    println!("  call sites           {}", s.call_sites);
+    println!("  resolved edges       {}", s.call_edges);
+    println!("  deep sources         {}", s.deep_sources);
+    println!("  deep sinks           {}", s.deep_sinks);
+    println!("  rules fired:");
+    for (rule, count) in &s.rules_fired {
+        println!("    {rule:28} {count}");
+    }
+    println!(
+        "  allows               {} total, {} consumed",
+        s.allows_total, s.allows_consumed
+    );
+    if s.unused_allows.is_empty() {
+        println!("  unused allows        none");
+    } else {
+        println!("  unused allows:");
+        for (file, line, rule) in &s.unused_allows {
+            println!("    {file}:{line}: allow({rule})");
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+/// Serialize diagnostics as JSON. Hand-rolled: xtask is dependency-free by
+/// design (the vendored serde stand-ins live elsewhere), and the schema is
+/// four flat fields plus the chain array.
+fn diagnostics_json(tier: &str, violations: &[Violation]) -> String {
+    fn esc(s: &str) -> String {
+        let mut out = String::with_capacity(s.len() + 2);
+        for c in s.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                '\n' => out.push_str("\\n"),
+                '\t' => out.push_str("\\t"),
+                c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                c => out.push(c),
+            }
+        }
+        out
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{{\"tier\":\"{}\",\"count\":{},\"violations\":[",
+        esc(tier),
+        violations.len()
+    ));
+    for (i, v) in violations.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "{{\"rule\":\"{}\",\"file\":\"{}\",\"line\":{},\"message\":\"{}\",\"chain\":[",
+            esc(v.rule),
+            esc(&v.file),
+            v.line,
+            esc(&v.message)
+        ));
+        for (j, hop) in v.chain.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "{{\"function\":\"{}\",\"file\":\"{}\",\"line\":{}}}",
+                esc(&hop.function),
+                esc(&hop.file),
+                hop.line
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("]}");
+    out
 }

@@ -1,4 +1,5 @@
-//! The six `probenet-lint` rules.
+//! The `probenet-lint` rules: six shallow line rules plus the deep
+//! interprocedural `tainted-artifact-path` tier (see [`crate::taint`]).
 //!
 //! Each rule has a stable kebab-case id (used in diagnostics and in
 //! `probenet-lint: allow(<id>)` escape comments), a one-line summary, and
@@ -20,6 +21,21 @@ pub struct Violation {
     pub line: usize,
     /// Why this site is a violation.
     pub message: String,
+    /// Deep tier only: the witness call chain from the source's enclosing
+    /// function up to the artifact sink. Empty for shallow line rules.
+    pub chain: Vec<ChainHop>,
+}
+
+/// One hop of a deep-tier witness chain.
+#[derive(Debug, Clone)]
+pub struct ChainHop {
+    /// Function display name (`Type::name` or `name`).
+    pub function: String,
+    /// Workspace-relative file holding the function.
+    pub file: String,
+    /// 1-based line: the source site for the first hop, the call site of
+    /// the previous hop's function for every later hop.
+    pub line: usize,
 }
 
 /// Description of one lint rule.
@@ -132,8 +148,9 @@ keep per-shard partials and combine them in a canonical sequence.",
 Wire codecs round-trip and golden artifacts are byte-compared; a lossy
 `value as u16` silently wraps out-of-range values instead of failing, and
 the corruption ships in the encoded bytes. In `crates/wire`, the merge
-daemon (`crates/merged`), and the report serialization files the rule
-flags `as u8/u16/u32/i8/i16/i32`.
+daemon (`crates/merged`), the queueing/traffic model crates (their
+outputs feed the reproduction's tables), and the report serialization
+files the rule flags `as u8/u16/u32/i8/i16/i32`.
 
 Fix: use the checked conversions —
 
@@ -170,7 +187,46 @@ another order fixed at partition time), then declare it:
 The annotation is the declaration — an undeclared merge is assumed
 scheduling-dependent until proven otherwise.",
     },
+    RuleInfo {
+        id: "tainted-artifact-path",
+        summary: "deep tier: no call chain from a nondeterminism source to an artifact sink",
+        explain: "\
+This is the interprocedural tier (`cargo xtask lint --deep`): a from-
+scratch lexer and call-graph walk over the whole workspace, classifying
+nondeterminism *sources* (wall-clock reads, ambient RNG, HashMap/HashSet
+iteration, thread-id/env reads, address-as-value casts) and artifact
+*sinks* (report/JSON serializers, wire::snapshot encoders, golden writers,
+--bench-json emitters), and reporting every source that can reach a sink
+through the call graph — the laundered-through-a-helper case the shallow
+line rules provably cannot see.
+
+The diagnostic anchors at the source site and prints the full call chain
+to the sink. Shallow per-rule allows do NOT silence this rule: a wall-
+clock read justified as \"observability only\" is exactly the site whose
+value must not flow into a byte-compared artifact, so the deep tier keeps
+watching it.
+
+Fix: thread the value through as an explicit parameter derived from
+(config, seed), or cut the chain. If the flow is intentional (real probe
+timestamps ARE the measurement; bench wall-times are deliberately
+host-dependent output), justify it where it originates:
+
+    // probenet-lint: allow(tainted-artifact-path) probe timestamps are the data
+    let epoch = Instant::now();
+
+or mark a function that consumes nondeterminism without leaking it into
+its return value or output parameters as a barrier:
+
+    // probenet-lint: sanitize(tainted-artifact-path) logs wall time to stderr only
+    fn log_progress(...) { ... }
+
+`allow-file(tainted-artifact-path)` scopes the justification to a whole
+module (the pattern used by crates/live/src/clock.rs).",
+    },
 ];
+
+/// Rule id of the deep interprocedural tier.
+pub const DEEP_RULE: &str = "tainted-artifact-path";
 
 /// Look up a rule by id.
 pub fn rule_info(id: &str) -> Option<&'static RuleInfo> {
@@ -223,6 +279,14 @@ fn in_wire_crate(path: &str) -> bool {
         || path.contains("crates/live/src")
 }
 
+/// Queueing/traffic model crates: their outputs (workload estimates, batch
+/// parameters, interarrival streams) feed the reproduction's tables and
+/// golden artifacts, so the lossy-cast and partition-merge rules extend to
+/// them even though they hold no wire codecs themselves.
+fn in_model_crate(path: &str) -> bool {
+    path.contains("crates/queueing/src") || path.contains("crates/traffic/src")
+}
+
 fn is_serialization_file(path: &str) -> bool {
     in_wire_crate(path) || SERIALIZATION_FILES.contains(&file_name(path))
 }
@@ -231,40 +295,78 @@ fn is_serialization_fn(name: &str) -> bool {
     !name.is_empty() && SERIALIZATION_FNS.iter().any(|f| name.contains(f))
 }
 
+/// Artifact-sink predicate for the deep tier: functions whose output is (or
+/// feeds) a byte-compared artifact — report/JSON serializers, wire/snapshot
+/// encoders, golden writers, bench emitters. Name fragments are shared with
+/// the shallow serialization-context rule; file scope is the report/wire
+/// path only (NOT the whole live/mesh cast scope — a reactor poll loop is
+/// not a sink just because its crate holds codecs).
+pub(crate) fn is_deep_sink(path: &str, fn_name: &str) -> bool {
+    is_serialization_fn(fn_name)
+        || SERIALIZATION_FILES.contains(&file_name(path))
+        || path.contains("crates/wire/src")
+}
+
 /// Byte-boundary check: `code[at]` starts a standalone token (not the tail
 /// of a longer identifier).
-fn starts_token(code: &str, at: usize) -> bool {
+pub(crate) fn starts_token(code: &str, at: usize) -> bool {
     at == 0 || !code.as_bytes()[at - 1].is_ascii_alphanumeric() && code.as_bytes()[at - 1] != b'_'
+}
+
+/// Hits from one file: the violations to report plus the hits an allow
+/// directive suppressed (0-based line), which feed the `--stats` consumed/
+/// unused-allow accounting.
+#[derive(Default)]
+pub struct CheckOutcome {
+    /// Violations to report.
+    pub violations: Vec<Violation>,
+    /// Hits silenced by an allow directive: (rule id, 0-based line).
+    pub suppressed: Vec<(&'static str, usize)>,
+}
+
+/// Collector threaded through the matchers so a suppressed hit is
+/// recorded instead of dropped.
+struct Hits<'a> {
+    out: &'a mut CheckOutcome,
 }
 
 /// Run every rule over one scrubbed file. `path` is workspace-relative.
 pub fn check_file(path: &str, s: &Scrubbed, ctx: &FileContext) -> Vec<Violation> {
-    let mut out = Vec::new();
+    check_file_full(path, s, ctx).violations
+}
+
+/// Like [`check_file`] but also returns the allow-suppressed hits.
+pub fn check_file_full(path: &str, s: &Scrubbed, ctx: &FileContext) -> CheckOutcome {
+    let mut outcome = CheckOutcome::default();
+    let mut hits = Hits { out: &mut outcome };
     for (idx, line) in s.code.lines().enumerate() {
-        nondeterministic_iteration(path, idx, line, ctx, &mut out);
-        wall_clock_in_sim(path, idx, line, ctx, &mut out);
-        ambient_rng(path, idx, line, ctx, &mut out);
-        order_sensitive_float_fold(path, idx, line, ctx, &mut out);
-        truncating_cast_in_wire(path, idx, line, ctx, &mut out);
-        unordered_partition_merge(path, idx, line, ctx, &mut out);
+        nondeterministic_iteration(path, idx, line, ctx, &mut hits);
+        wall_clock_in_sim(path, idx, line, ctx, &mut hits);
+        ambient_rng(path, idx, line, ctx, &mut hits);
+        order_sensitive_float_fold(path, idx, line, ctx, &mut hits);
+        truncating_cast_in_wire(path, idx, line, ctx, &mut hits);
+        unordered_partition_merge(path, idx, line, ctx, &mut hits);
     }
-    out
+    outcome
 }
 
 fn push(
-    out: &mut Vec<Violation>,
+    out: &mut Hits<'_>,
     ctx: &FileContext,
     rule: &'static str,
     path: &str,
     idx: usize,
     message: String,
 ) {
-    if !ctx.is_allowed(rule, idx) {
-        out.push(Violation {
+    if ctx.is_allowed(rule, idx) {
+        out.out.suppressed.push((rule, idx));
+    } else {
+        out.out.violations.push(Violation {
             rule,
             file: path.to_string(),
             line: idx + 1,
             message,
+            chain: Vec::new(),
         });
     }
 }
@@ -274,12 +376,33 @@ fn nondeterministic_iteration(
     idx: usize,
     line: &str,
     ctx: &FileContext,
-    out: &mut Vec<Violation>,
+    out: &mut Hits<'_>,
 ) {
     const RULE: &str = "nondeterministic-iteration";
     if !(is_serialization_file(path) || is_serialization_fn(ctx.fn_at(idx))) {
         return;
     }
+    for ident in hash_iteration_idents(line, ctx) {
+        push(
+            out,
+            ctx,
+            RULE,
+            path,
+            idx,
+            format!(
+                "iteration over hash-ordered `{ident}` in serialization context \
+                 `{}` — use BTreeMap/BTreeSet or sort first",
+                ctx.fn_at(idx)
+            ),
+        );
+    }
+}
+
+/// Hash-typed identifiers iterated on this line, one entry per iteration
+/// site. Shared by the shallow serialization-context rule above and the
+/// deep taint pass's source scan (which matches anywhere, not just in
+/// serialization contexts).
+pub(crate) fn hash_iteration_idents<'a>(line: &str, ctx: &'a FileContext) -> Vec<&'a str> {
     const ITER_CALLS: &[&str] = &[
         ".iter()",
         ".iter_mut()",
@@ -289,6 +412,7 @@ fn nondeterministic_iteration(
         ".into_iter()",
         ".drain(",
     ];
+    let mut found = Vec::new();
     for ident in &ctx.hash_idents {
         // `m.iter()`, `self.m.keys()`, ... with a token boundary before m.
         for call in ITER_CALLS {
@@ -298,18 +422,7 @@ fn nondeterministic_iteration(
                 let at = from + pos;
                 from = at + ident.len();
                 if starts_token(line, at) {
-                    push(
-                        out,
-                        ctx,
-                        RULE,
-                        path,
-                        idx,
-                        format!(
-                            "iteration over hash-ordered `{ident}` in serialization context \
-                             `{}` — use BTreeMap/BTreeSet or sort first",
-                            ctx.fn_at(idx)
-                        ),
-                    );
+                    found.push(ident.as_str());
                 }
             }
         }
@@ -330,31 +443,15 @@ fn nondeterministic_iteration(
                     .is_none_or(|b| !b.is_ascii_alphanumeric() && *b != b'_')
                     && starts_token(line, pos);
                 if boundary {
-                    push(
-                        out,
-                        ctx,
-                        RULE,
-                        path,
-                        idx,
-                        format!(
-                            "iteration over hash-ordered `{ident}` in serialization context \
-                             `{}` — use BTreeMap/BTreeSet or sort first",
-                            ctx.fn_at(idx)
-                        ),
-                    );
+                    found.push(ident.as_str());
                 }
             }
         }
     }
+    found
 }
 
-fn wall_clock_in_sim(
-    path: &str,
-    idx: usize,
-    line: &str,
-    ctx: &FileContext,
-    out: &mut Vec<Violation>,
-) {
+fn wall_clock_in_sim(path: &str, idx: usize, line: &str, ctx: &FileContext, out: &mut Hits<'_>) {
     const RULE: &str = "wall-clock-in-sim";
     for token in ["Instant::now(", "SystemTime::now("] {
         if let Some(pos) = line.find(token) {
@@ -376,7 +473,7 @@ fn wall_clock_in_sim(
     }
 }
 
-fn ambient_rng(path: &str, idx: usize, line: &str, ctx: &FileContext, out: &mut Vec<Violation>) {
+fn ambient_rng(path: &str, idx: usize, line: &str, ctx: &FileContext, out: &mut Hits<'_>) {
     const RULE: &str = "ambient-rng";
     for token in ["thread_rng(", "rand::random", "from_entropy("] {
         if let Some(pos) = line.find(token) {
@@ -403,7 +500,7 @@ fn order_sensitive_float_fold(
     idx: usize,
     line: &str,
     ctx: &FileContext,
-    out: &mut Vec<Violation>,
+    out: &mut Hits<'_>,
 ) {
     const RULE: &str = "order-sensitive-float-fold";
     let fn_name = ctx.fn_at(idx);
@@ -477,7 +574,7 @@ fn unordered_partition_merge(
     idx: usize,
     line: &str,
     ctx: &FileContext,
-    out: &mut Vec<Violation>,
+    out: &mut Hits<'_>,
 ) {
     const RULE: &str = "unordered-partition-merge";
     let fn_name = ctx.fn_at(idx);
@@ -497,7 +594,13 @@ fn unordered_partition_merge(
         // network's.
         || (path.contains("crates/live/src")
             && (fn_name.contains("merge") || fn_name.contains("drain")
-                || fn_name.contains("outcome")));
+                || fn_name.contains("outcome")))
+        // Queueing/traffic reducers fold per-stream or per-batch model
+        // results that feed the reproduction's tables; same fixed-order
+        // bar as the engine partition merges.
+        || (in_model_crate(path)
+            && (fn_name.contains("merge") || fn_name.contains("fold")
+                || fn_name.contains("partition")));
     if !in_scope {
         return;
     }
@@ -525,10 +628,10 @@ fn truncating_cast_in_wire(
     idx: usize,
     line: &str,
     ctx: &FileContext,
-    out: &mut Vec<Violation>,
+    out: &mut Hits<'_>,
 ) {
     const RULE: &str = "truncating-cast-in-wire";
-    if !is_serialization_file(path) {
+    if !(is_serialization_file(path) || in_model_crate(path)) {
         return;
     }
     for target in ["u8", "u16", "u32", "i8", "i16", "i32"] {

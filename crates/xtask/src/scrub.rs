@@ -14,8 +14,16 @@ pub struct Scrubbed {
     /// as the input.
     pub code: String,
     /// For each line (0-based), the concatenated comment text on it.
+    /// Distinct comment segments on one line are separated by
+    /// [`SEGMENT_BREAK`] so a directive can never be fabricated from two
+    /// disjoint comments with code between them.
     pub comments: Vec<String>,
 }
+
+/// Separator inserted between distinct comment segments that land on the
+/// same line. `\x01` is not whitespace, so `probenet-lint:` in one comment
+/// followed by `allow(...)` in the next can never parse as one directive.
+pub const SEGMENT_BREAK: char = '\u{1}';
 
 #[derive(PartialEq)]
 enum State {
@@ -25,6 +33,28 @@ enum State {
     Str,
     RawStr(u32),
     Char,
+}
+
+fn is_ident_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// Does the `r` at byte `i` start a raw-string prefix token (`r"`, `r#"`,
+/// `br"`, `br#"`)? rustc lexes identifiers greedily, so an `r` that is the
+/// tail of an identifier (`var#"…"` in a macro token stream) is part of
+/// that identifier, never a raw-string prefix. Without this check the
+/// scrubber opens a bogus raw-string state there and blanks real code
+/// until an unrelated `"#` appears — masking genuine rule matches.
+fn raw_prefix_starts_token(bytes: &[u8], i: usize) -> bool {
+    if i == 0 {
+        return true;
+    }
+    let prev = bytes[i - 1];
+    if !is_ident_byte(prev) {
+        return true;
+    }
+    // `br"…"` / `br#"…"`: the `b` may itself start the token.
+    prev == b'b' && (i < 2 || !is_ident_byte(bytes[i - 2]))
 }
 
 /// Blank out comments and literal contents while preserving layout.
@@ -51,11 +81,17 @@ pub fn scrub(src: &str) -> Scrubbed {
             State::Normal => {
                 if b == b'/' && bytes.get(i + 1) == Some(&b'/') {
                     state = State::LineComment;
+                    if line < comments.len() && !comments[line].is_empty() {
+                        comments[line].push(SEGMENT_BREAK);
+                    }
                     out.push(b' ');
                     out.push(b' ');
                     i += 2;
                 } else if b == b'/' && bytes.get(i + 1) == Some(&b'*') {
                     state = State::BlockComment(1);
+                    if line < comments.len() && !comments[line].is_empty() {
+                        comments[line].push(SEGMENT_BREAK);
+                    }
                     out.push(b' ');
                     out.push(b' ');
                     i += 2;
@@ -63,7 +99,10 @@ pub fn scrub(src: &str) -> Scrubbed {
                     state = State::Str;
                     out.push(b'"');
                     i += 1;
-                } else if b == b'r' && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#')) {
+                } else if b == b'r'
+                    && matches!(bytes.get(i + 1), Some(b'"') | Some(b'#'))
+                    && raw_prefix_starts_token(bytes, i)
+                {
                     // Raw string: count hashes between r and the quote.
                     let mut hashes = 0u32;
                     let mut j = i + 1;

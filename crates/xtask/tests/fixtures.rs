@@ -365,3 +365,37 @@ fn cli_list_names_all_rules() {
         assert!(stdout.contains(id), "--list missing {id}: {stdout}");
     }
 }
+
+// ---- model-crate scope extensions (crates/queueing, crates/traffic) ------
+
+#[test]
+fn cast_rule_covers_the_model_crates() {
+    // Queueing/traffic outputs feed the reproduction's tables, so lossy
+    // casts there get the same treatment as the wire path.
+    let src = "pub fn batch_len(n: usize) -> u16 {\n    n as u16\n}\n";
+    for path in [
+        "crates/queueing/src/analytic.rs",
+        "crates/traffic/src/batch.rs",
+    ] {
+        let hits = lint_source(path, src);
+        assert_eq!(hits.len(), 1, "cast must fire in {path}: {hits:?}");
+        assert_eq!(hits[0].rule, "truncating-cast-in-wire");
+    }
+}
+
+#[test]
+fn merge_rule_covers_model_crate_folds() {
+    let src = "pub fn fold_batches(parts: &[Vec<u64>]) -> Vec<u64> {\n    let mut all = Vec::new();\n    for p in parts {\n        all.extend_from_slice(p);\n    }\n    all\n}\n";
+    let hits = lint_source("crates/traffic/src/interarrival.rs", src);
+    assert_eq!(hits.len(), 1, "fold in a model crate must fire: {hits:?}");
+    assert_eq!(hits[0].rule, "unordered-partition-merge");
+}
+
+#[test]
+fn model_crate_scope_requires_a_reducing_fn_name() {
+    // The same extend in a non-merge/fold/partition function stays out of
+    // scope: plain Vec building is not a cross-partition reduction.
+    let src = "pub fn collect_samples(parts: &[Vec<u64>]) -> Vec<u64> {\n    let mut all = Vec::new();\n    for p in parts {\n        all.extend_from_slice(p);\n    }\n    all\n}\n";
+    let hits = lint_source("crates/queueing/src/bolot.rs", src);
+    assert!(hits.is_empty(), "non-reducing fn must not fire: {hits:?}");
+}

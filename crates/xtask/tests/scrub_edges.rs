@@ -1,0 +1,152 @@
+//! Scrubber regression fixtures: string/comment stripping must never mask
+//! a genuine rule match (blanking real code) or fabricate one (leaking
+//! literal/comment text into code or directives). Each case here pins an
+//! edge the line-oriented rules rely on: raw strings with hashes, nested
+//! block comments, and the directive channel.
+
+use xtask::lint_source;
+use xtask::scrub::scrub;
+
+#[test]
+fn raw_string_hash_contents_blanked() {
+    let src = r###"let s = r##"inner "# thread_rng() "##; Instant::now();"###;
+    let s = scrub(src);
+    assert!(
+        !s.code.contains("thread_rng"),
+        "raw-string contents must be blanked: {}",
+        s.code
+    );
+    assert!(
+        s.code.contains("Instant::now"),
+        "code after the raw string must survive: {}",
+        s.code
+    );
+}
+
+#[test]
+fn raw_string_multiline_directive_not_fabricated() {
+    let src = "let q = r#\"\n// probenet-lint: allow(wall-clock-in-sim)\n\"#;\nlet t = std::time::Instant::now();\n";
+    let s = scrub(src);
+    assert!(
+        s.comments.iter().all(|c| !c.contains("probenet-lint")),
+        "directive text inside a raw string must not reach the comment channel: {:?}",
+        s.comments
+    );
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert_eq!(
+        hits.len(),
+        1,
+        "the wall-clock read after the raw string must still fire: {hits:?}"
+    );
+}
+
+#[test]
+fn ident_tail_r_hash_does_not_open_raw_string() {
+    // rustc lexes `var` greedily as one identifier, so in a macro token
+    // stream `var#"a "…" b"#` is ident/#/str/ident/str/#. A scrubber that
+    // takes the trailing `r` as a raw-string prefix swallows everything up
+    // to the final `"#` — masking the wall-clock read between the strings.
+    let src = "m!(var#\"a \"Instant::now()\" b\"#);";
+    let s = scrub(src);
+    assert!(
+        s.code.contains("Instant::now"),
+        "ident-tail `r` + `#` fabricated a raw string and masked code: {}",
+        s.code
+    );
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert_eq!(hits.len(), 1, "masked wall-clock read must fire: {hits:?}");
+}
+
+#[test]
+fn byte_raw_string_still_recognized() {
+    let src = "let a = br#\"thread_rng()\"#; Instant::now();";
+    let s = scrub(src);
+    assert!(!s.code.contains("thread_rng"), "{}", s.code);
+    assert!(s.code.contains("Instant::now"), "{}", s.code);
+}
+
+#[test]
+fn disjoint_comments_cannot_fabricate_a_directive() {
+    // `probenet-lint:` in one comment and `allow(...)` in another on the
+    // same line must not concatenate into a directive that silences the
+    // code between them.
+    let src = "let t = std::time::Instant::now(); /* probenet-lint: */ /* allow(wall-clock-in-sim) x */\n";
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert_eq!(
+        hits.len(),
+        1,
+        "fabricated cross-comment directive silenced a violation: {hits:?}"
+    );
+    assert_eq!(hits[0].rule, "wall-clock-in-sim");
+}
+
+#[test]
+fn single_comment_directive_still_parses() {
+    let src = "let t = std::time::Instant::now(); // probenet-lint: allow(wall-clock-in-sim) why\n";
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert!(hits.is_empty(), "intact directive must silence: {hits:?}");
+}
+
+#[test]
+fn nested_block_comment_masks_inner_and_releases_tail() {
+    let src = "/* outer /* inner */ thread_rng() */ fn f() { Instant::now(); }";
+    let s = scrub(src);
+    assert!(
+        !s.code.contains("thread_rng"),
+        "text at depth 1 is still comment: {}",
+        s.code
+    );
+    assert!(
+        s.code.contains("Instant::now"),
+        "code after the balanced close must survive: {}",
+        s.code
+    );
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn block_comment_containing_raw_string_opener() {
+    // `r#"` inside a comment must not push the scrubber into raw-string
+    // state (which would eat the comment close and mask the code after).
+    let src = "/* r#\" */ Instant::now(); // \"#";
+    let s = scrub(src);
+    assert!(s.code.contains("Instant::now"), "{}", s.code);
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn directive_inside_nested_comment_still_parses() {
+    // A directive in the tail of a nested block comment (after an inner
+    // close, still at depth 1) is legal comment text.
+    let src = "/* /* x */ probenet-lint: allow(ambient-rng) why */\nthread_rng();\n";
+    let s = scrub(src);
+    assert!(!s.code.contains("probenet-lint"), "{}", s.code);
+    let hits = lint_source("crates/traffic/src/x.rs", src);
+    assert!(
+        hits.is_empty(),
+        "nested-comment directive must work: {hits:?}"
+    );
+}
+
+#[test]
+fn line_comment_containing_block_open_does_not_comment_next_line() {
+    let src = "// /*\nInstant::now();\n// */\n";
+    let hits = lint_source("crates/sim/src/x.rs", src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn raw_ident_is_not_a_raw_string() {
+    let src = "let r#type = 1; thread_rng();";
+    let hits = lint_source("crates/traffic/src/x.rs", src);
+    assert_eq!(hits.len(), 1, "{hits:?}");
+}
+
+#[test]
+fn string_escapes_and_apostrophes_in_comments() {
+    let src = "/* it's /* \" */ nested */ let a = \"\\\"#\"; thread_rng();";
+    let s = scrub(src);
+    assert!(s.code.contains("thread_rng"), "{}", s.code);
+}
